@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+All paper-evaluation benchmarks share one :class:`ExperimentContext` so each
+(workload, mode) pair is simulated exactly once per session, no matter how
+many tables/figures consume it.  Set ``REPRO_SCALE`` to ``tiny``/``small``/
+``medium`` to trade fidelity for runtime (default ``small``).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    scale = os.environ.get("REPRO_SCALE", "small")
+    return ExperimentContext(scale=scale)

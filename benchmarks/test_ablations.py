@@ -1,0 +1,53 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* directory size (the paper fixes 32 entries to keep the CAM in-cycle);
+* the stream prefetcher of the cache-based baseline (part of the paper's
+  explanation for the hybrid system's advantage);
+* the double store vs. a single guarded store (the cost of not being able to
+  prove that aliased data will be written back).
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_ablation_directory_size(benchmark):
+    points = benchmark.pedantic(
+        experiments.ablation_directory_size,
+        kwargs=dict(workload="CG", scale="tiny", sizes=(4, 8, 16, 32, 64)),
+        rounds=1, iterations=1)
+    print()
+    print(reporting.format_ablation("Ablation: directory size (CG)", points))
+    cycles = [p.cycles for p in points]
+    assert all(c > 0 for c in cycles)
+    # 32 entries (the paper's choice) is already at the knee: doubling to 64
+    # changes performance by less than 2%.
+    assert abs(cycles[-1] - cycles[-2]) / cycles[-2] < 0.02
+
+
+def test_ablation_prefetcher(benchmark):
+    points = benchmark.pedantic(
+        experiments.ablation_prefetcher,
+        kwargs=dict(workload="MG", scale="tiny"),
+        rounds=1, iterations=1)
+    print()
+    print(reporting.format_ablation("Ablation: cache-based prefetcher (MG)", points))
+    on = next(p for p in points if p.label == "prefetcher on")
+    off = next(p for p in points if p.label == "prefetcher off")
+    # The prefetcher helps the cache-based baseline; the hybrid system's
+    # advantage reported in Figure 9 is measured against the *stronger*
+    # (prefetching) baseline.
+    assert off.cycles >= on.cycles * 0.98
+
+
+def test_ablation_double_store(benchmark):
+    results = benchmark.pedantic(
+        experiments.ablation_double_store, kwargs=dict(iterations=2000),
+        rounds=1, iterations=1)
+    print()
+    print("Ablation: double store cost (microbenchmark cycles)")
+    for mode, cycles in results.items():
+        print(f"   {mode:10s} {cycles:12.0f}")
+    # The double store (WR) costs more than a single guarded access (RD),
+    # which in turn is essentially free relative to the baseline.
+    assert results["WR"] >= results["RD"] * 0.99
+    assert results["RD"] <= results["baseline"] * 1.08

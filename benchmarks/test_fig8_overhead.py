@@ -1,0 +1,29 @@
+"""Figure 8: overhead of the coherence protocol on the NAS-like benchmarks.
+
+Compares the coherent hybrid memory system against the incoherent hybrid
+with an oracle compiler.  Paper shape: zero execution-time overhead for CG,
+EP, MG and SP (no double stores needed or the extra store issues in the same
+cycle), small overheads for FT and IS (the double stores), and an energy
+overhead of a few percent dominated by the directory lookups and the extra
+stores.
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_figure8_protocol_overhead(benchmark, ctx):
+    rows = benchmark.pedantic(experiments.figure8, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(reporting.format_figure8(rows))
+    by_name = {r.benchmark: r for r in rows}
+    # Benchmarks without a double store show (near-)zero overhead.
+    for name in ("CG", "MG", "SP"):
+        assert abs(by_name[name].time_overhead) < 0.01
+    # The double-store benchmarks pay something, but the protocol never costs
+    # more than a few percent.
+    avg = by_name["AVG"]
+    assert avg.time_overhead < 0.05
+    assert avg.energy_overhead < 0.08
+    # FT and IS are the benchmarks where the double store shows up.
+    assert by_name["FT"].time_overhead >= by_name["CG"].time_overhead
+    assert by_name["IS"].energy_overhead >= by_name["MG"].energy_overhead

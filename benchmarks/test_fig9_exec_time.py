@@ -1,0 +1,28 @@
+"""Figure 9: execution-time reduction of the hybrid system vs. cache-based.
+
+Paper shape: every benchmark except EP improves; the reductions come from
+the work phase (strided accesses served by the LM, irregular data no longer
+evicted), with the control and synchronisation phases adding a small amount
+of extra work; the average speedup is 1.38x in the paper.
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_figure9_execution_time_reduction(benchmark, ctx):
+    rows = benchmark.pedantic(experiments.figure9, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(reporting.format_figure9(rows))
+    by_name = {r.benchmark: r for r in rows}
+    # The benchmarks the paper highlights as big winners (many strided
+    # references -> prefetcher collisions and cache pollution) must win.
+    for name in ("MG", "SP", "FT"):
+        assert by_name[name].speedup > 1.1, name
+    # The suite-average speedup is comparable to the paper's 1.38x
+    # (scaled-down inputs: accept a broad band around it).
+    assert by_name["AVG"].speedup > 1.1
+    # Phase breakdown sanity: the work phase dominates hybrid execution.
+    for name in ("CG", "FT", "MG", "SP"):
+        row = by_name[name]
+        assert row.work_fraction > row.control_fraction
+        assert row.work_fraction > row.sync_fraction

@@ -1,0 +1,18 @@
+"""Table 1: the simulated machine configuration.
+
+This harness does not measure performance; it regenerates the configuration
+table from the live configuration objects so that any drift between the
+documented machine and the simulated one is caught.
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_table1_configuration(benchmark):
+    rows = benchmark.pedantic(experiments.table1, rounds=1, iterations=1)
+    print()
+    print(reporting.format_table1(rows))
+    names = dict(rows)
+    assert names["L1 D-cache"].startswith("32 KB")
+    assert names["Local memory"].startswith("32 KB")
+    assert "IP-based stream prefetcher" in names["Prefetcher"]

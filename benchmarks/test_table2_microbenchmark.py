@@ -1,0 +1,18 @@
+"""Table 2: the microbenchmark and its four modes.
+
+Regenerates the static-code properties of each mode (which instructions are
+guarded, where the double store appears) straight from the code generator.
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_table2_microbenchmark_modes(benchmark):
+    entries = benchmark.pedantic(experiments.table2, rounds=1, iterations=1)
+    print()
+    print(reporting.format_table2(entries))
+    by_mode = {e.mode: e for e in entries}
+    assert by_mode["baseline"].guarded_loads == 0
+    assert by_mode["RD"].guarded_loads == 1
+    assert by_mode["WR"].double_stores == 1
+    assert by_mode["RD/WR"].guarded_loads == 1 and by_mode["RD/WR"].guarded_stores == 1

@@ -1,0 +1,30 @@
+"""Table 3: activity in the memory subsystem, hybrid coherent vs. cache-based.
+
+Paper shape: the hybrid system has fewer accesses to every cache level (the
+strided accesses are served by the LM), a better AMAT, guarded references in
+every benchmark except SP, and directory activity only in the hybrid system.
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_table3_memory_subsystem_activity(benchmark, ctx):
+    rows = benchmark.pedantic(experiments.table3, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(reporting.format_table3(rows))
+    hybrid = {r.name: r for r in rows if r.mode == "Hybrid coherent"}
+    cache = {r.name: r for r in rows if r.mode == "Cache-based"}
+    for name in hybrid:
+        # Only the hybrid system has LM and directory activity.
+        assert hybrid[name].lm_accesses > 0
+        assert cache[name].lm_accesses == 0
+        assert cache[name].directory_accesses == 0
+        # The hybrid system touches the L1 less: the streams live in the LM.
+        assert hybrid[name].l1_accesses < cache[name].l1_accesses
+    # SP has no guarded references; every other benchmark has some.
+    assert hybrid["SP"].directory_accesses == 0
+    assert hybrid["CG"].directory_accesses > 0
+    # AMAT: the hybrid system is never worse on average across the suite.
+    avg_h = sum(r.amat for r in hybrid.values()) / len(hybrid)
+    avg_c = sum(r.amat for r in cache.values()) / len(cache)
+    assert avg_h <= avg_c

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Why the coherence protocol is needed: the Figure 2/3 kernel of the paper.
+
+The kernel streams two arrays (mapped to the local memory by the compiler)
+and updates random elements of one of them through a pointer the compiler
+cannot disambiguate.  Compiled four ways:
+
+* ``cache``          — the reference semantics (everything through the caches);
+* ``hybrid``         — the coherent hybrid memory system (guarded accesses +
+                       double store); results must match the reference;
+* ``hybrid-oracle``  — an incoherent hybrid whose compiler magically resolved
+                       all aliasing (the overhead baseline of Figure 8);
+* ``hybrid-naive``   — an incoherent hybrid that ignores the aliasing problem:
+                       the pointer updates are silently lost, demonstrating
+                       the incorrect execution the protocol prevents.
+
+Run:  python examples/aliasing_kernel.py
+"""
+
+import numpy as np
+
+from repro.compiler.ir import (
+    AffineIndex,
+    ArraySpec,
+    Assign,
+    BinOp,
+    Const,
+    IndirectIndex,
+    Kernel,
+    Load,
+    Loop,
+    ModuloIndex,
+    PointerSpec,
+    Ref,
+)
+from repro.harness.runner import run_kernel
+from repro.isa.program import WORD_SIZE
+
+N = 512
+
+
+def build_kernel() -> Kernel:
+    rng = np.random.default_rng(2012)
+    kernel = Kernel("figure2")
+    kernel.add_array(ArraySpec("a", N))
+    kernel.add_array(ArraySpec("b", N, data=rng.random(N)))
+    kernel.add_array(ArraySpec("c", N, mappable=False))
+    kernel.add_array(ArraySpec("idx", N, data=rng.integers(0, N, N).astype(float)))
+    kernel.add_pointer(PointerSpec("ptr", actual_target="a", declared_targets=None))
+    loop = Loop("i", 0, N)
+    # a[i] = b[i]              (regular accesses, mapped to LM buffers)
+    loop.body.append(Assign(Ref("a", AffineIndex()), Load(Ref("b", AffineIndex()))))
+    # c[random] = 0            (irregular access, provably no aliasing)
+    loop.body.append(Assign(Ref("c", ModuloIndex(17, N)), Const(0.0)))
+    # ptr[idx[i]] += 1         (potentially incoherent read + write)
+    ptr_ref = Ref("ptr", IndirectIndex("idx"))
+    loop.body.append(Assign(ptr_ref, BinOp("+", Load(ptr_ref), Const(1.0))))
+    kernel.add_loop(loop)
+    return kernel
+
+
+def final_a(result) -> np.ndarray:
+    decl = result.compiled.program.arrays["a"]
+    return np.array([result.system.read_sm_word(decl.base + i * WORD_SIZE)
+                     for i in range(N)])
+
+
+def main() -> None:
+    runs = {mode: run_kernel(build_kernel(), mode=mode)
+            for mode in ("cache", "hybrid", "hybrid-oracle", "hybrid-naive")}
+    reference = final_a(runs["cache"])
+
+    print(f"{'mode':<16s} {'cycles':>10s} {'guarded':>8s} {'double st':>10s} "
+          f"{'matches reference?':>20s}")
+    for mode, run in runs.items():
+        compiled = run.compiled
+        double_stores = sum(1 for i in compiled.program.instructions
+                            if i.collapse_with_prev)
+        matches = np.allclose(final_a(run), reference)
+        print(f"{mode:<16s} {run.cycles:>10.0f} "
+              f"{compiled.static_guarded_instructions:>8d} {double_stores:>10d} "
+              f"{str(matches):>20s}")
+
+    print()
+    wrong = int(np.sum(~np.isclose(final_a(runs['hybrid-naive']), reference)))
+    print(f"The naive incoherent hybrid produced {wrong} wrong elements of 'a': "
+          "the updates done through the pointer either landed on a stale SM copy "
+          "or were overwritten by the LM write-back.")
+    print("With the coherence protocol (guarded accesses + double store) the "
+          "results are identical to the cache-based reference.")
+
+
+if __name__ == "__main__":
+    main()

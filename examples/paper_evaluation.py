@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate the paper's full evaluation (Section 4) in one go.
+
+Prints, in order: Table 1 (configuration), Table 2 (microbenchmark modes),
+Figure 7 (microbenchmark overhead sweep), Figure 8 (protocol overhead on the
+NAS-like benchmarks), Table 3 (memory-subsystem activity), Figure 9
+(execution-time reduction) and Figure 10 (energy reduction).
+
+Run:  python examples/paper_evaluation.py [SCALE]
+      (default scale: tiny — use "small" for the figures quoted in
+       EXPERIMENTS.md; expect a few minutes of simulation time)
+"""
+
+import sys
+import time
+
+from repro.harness import experiments, reporting
+from repro.harness.runner import ExperimentContext
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    ctx = ExperimentContext(scale=scale)
+    start = time.time()
+
+    print(reporting.format_table1(experiments.table1()))
+    print()
+    print(reporting.format_table2(experiments.table2()))
+    print()
+    print(reporting.format_figure7(experiments.figure7(
+        percentages=(0, 25, 50, 75, 100), iterations=2000)))
+    print()
+    print(reporting.format_figure8(experiments.figure8(ctx)))
+    print()
+    print(reporting.format_table3(experiments.table3(ctx)))
+    print()
+    print(reporting.format_figure9(experiments.figure9(ctx)))
+    print()
+    print(reporting.format_figure10(experiments.figure10(ctx)))
+    print()
+    print(f"(scale={scale}, total simulation time {time.time() - start:.0f}s)")
+
+
+if __name__ == "__main__":
+    main()

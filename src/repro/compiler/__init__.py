@@ -1,0 +1,57 @@
+"""Compiler support for the hybrid memory system (Section 3.1).
+
+The compiler consumes a small loop-nest intermediate representation
+(:mod:`repro.compiler.ir`), runs the three phases of Figure 3 —
+
+1. **classification** of memory references into regular, irregular and
+   potentially incoherent (:mod:`repro.compiler.classify`, built on the alias
+   analysis in :mod:`repro.compiler.alias`);
+2. **code transformation** (tiling/blocking of regular references onto LM
+   buffers and the three-phase control/synchronisation/work execution model,
+   :mod:`repro.compiler.transform`);
+3. **code generation** into the mini ISA, emitting guarded memory
+   instructions and the double store where needed
+   (:mod:`repro.compiler.codegen`) —
+
+and produces a :class:`~repro.compiler.codegen.CompiledKernel` ready to run
+on the simulated core.  Four targets are supported: the coherent hybrid
+memory system, the incoherent hybrid with an oracle compiler (the Figure 8
+baseline), a *naive* incoherent hybrid (to demonstrate why the protocol is
+needed) and the cache-based system (the Section 4.3 baseline).
+"""
+
+from repro.compiler.ir import (
+    AffineIndex,
+    IndirectIndex,
+    ModuloIndex,
+    ArraySpec,
+    PointerSpec,
+    Ref,
+    Const,
+    Load,
+    ScalarVar,
+    BinOp,
+    Assign,
+    Reduce,
+    Loop,
+    Kernel,
+)
+from repro.compiler.alias import AliasAnalysis, AliasResult
+from repro.compiler.classify import RefClass, RefInfo, classify_kernel
+from repro.compiler.transform import TilingPlan, plan_tiling
+from repro.compiler.codegen import (
+    CodeGenerator,
+    CompiledKernel,
+    CompilationTarget,
+    compile_kernel,
+)
+
+__all__ = [
+    "AffineIndex", "IndirectIndex", "ModuloIndex",
+    "ArraySpec", "PointerSpec", "Ref",
+    "Const", "Load", "ScalarVar", "BinOp", "Assign", "Reduce", "Loop", "Kernel",
+    "AliasAnalysis", "AliasResult",
+    "RefClass", "RefInfo", "classify_kernel",
+    "TilingPlan", "plan_tiling",
+    "CodeGenerator", "CompiledKernel", "CompilationTarget", "compile_kernel",
+]

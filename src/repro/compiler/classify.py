@@ -1,0 +1,193 @@
+"""Phase 1 of the compiler: classification of memory references (Figure 3).
+
+Every memory reference of a loop is classified into one of three classes:
+
+* **regular** — strided (affine) accesses to a known array; these are mapped
+  to LM buffers by the tiling transformation;
+* **irregular** — non-strided accesses that the alias analysis can prove do
+  not alias any regular access; these are served by the cache hierarchy with
+  conventional memory instructions;
+* **potentially incoherent** — non-strided accesses that alias or may alias
+  some regular access; these are emitted as guarded memory instructions.
+
+A potentially incoherent *write* additionally needs the double store unless
+the compiler can prove that every regular array it may alias with is mapped
+read-write (and will therefore be written back to the SM); otherwise the
+modification done to a read-only LM buffer would be lost when the buffer is
+reused (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.compiler.alias import AliasAnalysis, AliasResult
+from repro.compiler.ir import (
+    AffineIndex,
+    Assign,
+    Kernel,
+    Loop,
+    Ref,
+    refs_of_expr,
+    refs_of_statement,
+)
+
+
+class RefClass(enum.Enum):
+    """The three reference classes of Section 3.1."""
+
+    REGULAR = "regular"
+    IRREGULAR = "irregular"
+    POTENTIALLY_INCOHERENT = "potentially-incoherent"
+
+
+@dataclass
+class RefInfo:
+    """Classification result for one (static) memory reference."""
+
+    ref: Ref
+    ref_class: RefClass
+    is_read: bool = False
+    is_written: bool = False
+    needs_double_store: bool = False
+    #: Regular arrays this reference may alias with (empty for regular refs).
+    may_alias_arrays: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class LoopClassification:
+    """Classification of every reference of one loop."""
+
+    loop: Loop
+    ref_info: Dict[Ref, RefInfo]
+    regular_arrays: List[str]
+
+    # -- convenience queries --------------------------------------------------------
+    def refs_of_class(self, ref_class: RefClass) -> List[RefInfo]:
+        return [info for info in self.ref_info.values()
+                if info.ref_class is ref_class]
+
+    @property
+    def total_references(self) -> int:
+        return len(self.ref_info)
+
+    @property
+    def guarded_references(self) -> int:
+        return len(self.refs_of_class(RefClass.POTENTIALLY_INCOHERENT))
+
+    @property
+    def double_store_references(self) -> int:
+        return sum(1 for info in self.ref_info.values() if info.needs_double_store)
+
+    def info(self, ref: Ref) -> RefInfo:
+        return self.ref_info[ref]
+
+
+@dataclass
+class KernelClassification:
+    """Per-loop classifications plus kernel-wide reference statistics."""
+
+    kernel: Kernel
+    loops: List[LoopClassification]
+
+    @property
+    def total_references(self) -> int:
+        return sum(c.total_references for c in self.loops)
+
+    @property
+    def guarded_references(self) -> int:
+        return sum(c.guarded_references for c in self.loops)
+
+    @property
+    def guarded_ratio(self) -> float:
+        total = self.total_references
+        return self.guarded_references / total if total else 0.0
+
+    @property
+    def double_store_references(self) -> int:
+        return sum(c.double_store_references for c in self.loops)
+
+
+def _collect_refs(loop: Loop) -> Dict[Ref, RefInfo]:
+    """Gather distinct refs of a loop with read/write flags (class unset)."""
+    infos: Dict[Ref, RefInfo] = {}
+    for stmt in loop.body:
+        read_refs = refs_of_expr(stmt.expr)
+        for ref in read_refs:
+            info = infos.setdefault(ref, RefInfo(ref, RefClass.IRREGULAR))
+            info.is_read = True
+        if isinstance(stmt, Assign):
+            info = infos.setdefault(stmt.target, RefInfo(stmt.target, RefClass.IRREGULAR))
+            info.is_written = True
+        # Indirect references also read their index array with an affine
+        # pattern; the index read is materialised as an explicit regular ref
+        # so that it participates in classification and buffer planning.
+        for ref in refs_of_statement(stmt):
+            index = ref.index
+            if hasattr(index, "index_ref_index"):
+                idx_ref = Ref(index.index_array, index.index_ref_index())
+                idx_info = infos.setdefault(idx_ref, RefInfo(idx_ref, RefClass.IRREGULAR))
+                idx_info.is_read = True
+    return infos
+
+
+def classify_loop(kernel: Kernel, loop: Loop,
+                  alias_analysis: Optional[AliasAnalysis] = None) -> LoopClassification:
+    """Classify every reference of ``loop`` (Figure 3, phase 1)."""
+    analysis = alias_analysis or AliasAnalysis(kernel)
+    infos = _collect_refs(loop)
+
+    # Step 1: regular references — strided accesses to a known, mappable array.
+    regular_refs: List[Ref] = []
+    regular_arrays: List[str] = []
+    for ref, info in infos.items():
+        if isinstance(ref.index, AffineIndex) and ref.array in kernel.arrays \
+                and kernel.arrays[ref.array].mappable:
+            info.ref_class = RefClass.REGULAR
+            regular_refs.append(ref)
+            if ref.array not in regular_arrays:
+                regular_arrays.append(ref.array)
+
+    # Which regular arrays are written (and will therefore be written back)?
+    written_regular_arrays = {
+        ref.array for ref, info in infos.items()
+        if info.ref_class is RefClass.REGULAR and info.is_written}
+
+    # Step 2: irregular vs. potentially incoherent for the remaining refs.
+    for ref, info in infos.items():
+        if info.ref_class is RefClass.REGULAR:
+            continue
+        if not regular_refs or not analysis.may_alias_any(ref, regular_refs):
+            info.ref_class = RefClass.IRREGULAR
+            continue
+        info.ref_class = RefClass.POTENTIALLY_INCOHERENT
+        # Record the set of regular arrays it may alias with.
+        candidates = analysis.pointee_candidates(ref.array)
+        if candidates is None:
+            info.may_alias_arrays = set(regular_arrays)
+        else:
+            info.may_alias_arrays = candidates & set(regular_arrays)
+            if not info.may_alias_arrays:
+                # Same-array aliasing (indirect index into a regular array).
+                target = kernel.storage_target(ref.array)
+                if target in regular_arrays:
+                    info.may_alias_arrays = {target}
+        # Step 3: double-store decision for potentially incoherent writes —
+        # needed unless every aliased regular array is provably written back.
+        if info.is_written:
+            aliased = info.may_alias_arrays or set(regular_arrays)
+            info.needs_double_store = not aliased.issubset(written_regular_arrays)
+
+    return LoopClassification(loop=loop, ref_info=infos,
+                              regular_arrays=regular_arrays)
+
+
+def classify_kernel(kernel: Kernel) -> KernelClassification:
+    """Classify every loop of ``kernel``."""
+    kernel.validate()
+    analysis = AliasAnalysis(kernel)
+    return KernelClassification(
+        kernel=kernel,
+        loops=[classify_loop(kernel, loop, analysis) for loop in kernel.loops])

@@ -1,0 +1,624 @@
+"""Phase 3 of the compiler: code generation (Figure 3).
+
+The code generator lowers a classified and blocked kernel into the mini ISA:
+
+* regular references mapped to LM buffers become conventional loads/stores
+  whose addresses fall in the LM virtual range;
+* irregular references become conventional loads/stores with SM addresses;
+* potentially incoherent references become guarded loads/stores (``GLD`` /
+  ``GST``) with an initial SM address; potentially incoherent writes that may
+  alias read-only LM data are emitted as a **double store** (a guarded store
+  followed by a conventional store to the same SM address, which the LSQ
+  collapses when the guarded store missed the directory);
+* the control/synchronisation phases of the execution model become DMA
+  commands and ``dma-synch`` instructions, tagged so the timing model can
+  attribute cycles per phase (Figure 9).
+
+Four compilation targets are supported (``CompilationTarget.mode``):
+
+``"hybrid"``
+    The coherent hybrid memory system: tiling + guarded instructions.
+``"hybrid-oracle"``
+    The incoherent hybrid with an oracle compiler (Figure 8 baseline):
+    tiling, but potentially incoherent accesses are plain instructions that
+    the simulator diverts to the valid copy with zero overhead.
+``"hybrid-naive"``
+    An *incorrect* incoherent hybrid that ignores the aliasing problem: same
+    tiling, potentially incoherent accesses go straight to the SM.  Used to
+    demonstrate why the coherence protocol is needed.
+``"cache"``
+    The cache-based baseline: no LM, a single flat loop, plain instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.classify import (
+    KernelClassification,
+    LoopClassification,
+    RefClass,
+    RefInfo,
+    classify_kernel,
+)
+from repro.compiler.ir import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    Const,
+    IndirectIndex,
+    Kernel,
+    Load,
+    Loop,
+    ModuloIndex,
+    Ref,
+    Reduce,
+    ScalarVar,
+)
+from repro.compiler.transform import TilingPlan, plan_tiling
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, WORD_SIZE
+from repro.lm.address_map import LMAddressMap
+
+#: Name of the array where reduction results are stored at kernel exit.
+REDUCTION_RESULTS_ARRAY = "__reductions__"
+
+_FP_BINOPS = {
+    "+": Opcode.FADD,
+    "-": Opcode.FSUB,
+    "*": Opcode.FMUL,
+    "/": Opcode.FDIV,
+    "min": Opcode.MIN,
+    "max": Opcode.MAX,
+}
+
+_HYBRID_MODES = ("hybrid", "hybrid-oracle", "hybrid-naive")
+_VALID_MODES = _HYBRID_MODES + ("cache",)
+
+
+@dataclass
+class CompilationTarget:
+    """Machine/compilation parameters the code generator targets."""
+
+    mode: str = "hybrid"
+    lm_size: int = 32 * 1024
+    lm_virtual_base: int = LMAddressMap.DEFAULT_VIRTUAL_BASE
+    max_buffers: int = 32
+    min_buffer_words: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in _VALID_MODES:
+            raise ValueError(
+                f"unknown compilation mode {self.mode!r}; expected one of {_VALID_MODES}")
+
+    @property
+    def uses_lm(self) -> bool:
+        return self.mode in _HYBRID_MODES
+
+    @property
+    def emits_guards(self) -> bool:
+        return self.mode == "hybrid"
+
+    @property
+    def oracle(self) -> bool:
+        return self.mode == "hybrid-oracle"
+
+
+@dataclass
+class CompiledKernel:
+    """The output of the compiler for one kernel and one target."""
+
+    kernel: Kernel
+    target: CompilationTarget
+    program: Program
+    classification: KernelClassification
+    plans: List[Optional[TilingPlan]]
+    scalar_result_index: Dict[str, int] = field(default_factory=dict)
+
+    # -- reference statistics (Table 3's "Guarded References" column) ------------------
+    @property
+    def total_references(self) -> int:
+        return self.classification.total_references
+
+    @property
+    def guarded_references(self) -> int:
+        if not self.target.emits_guards:
+            return 0
+        return self.classification.guarded_references
+
+    @property
+    def guarded_ratio(self) -> float:
+        total = self.total_references
+        return self.guarded_references / total if total else 0.0
+
+    @property
+    def static_guarded_instructions(self) -> int:
+        return sum(1 for inst in self.program.instructions if inst.is_guarded)
+
+    @property
+    def static_instructions(self) -> int:
+        return len(self.program.instructions)
+
+    def reduction_address(self, scalar: str) -> int:
+        """SM address where the final value of a reduction scalar is stored."""
+        decl = self.program.arrays[REDUCTION_RESULTS_ARRAY]
+        return decl.element_address(self.scalar_result_index[scalar])
+
+
+class CodeGenerator:
+    """Lowers a kernel into a :class:`CompiledKernel` for one target."""
+
+    def __init__(self, kernel: Kernel, target: Optional[CompilationTarget] = None):
+        self.kernel = kernel
+        self.target = target or CompilationTarget()
+        self.builder = ProgramBuilder()
+        # Registers holding kernel-wide values.
+        self._array_base_regs: Dict[str, str] = {}
+        self._pointer_base_regs: Dict[str, str] = {}
+        self._scalar_regs: Dict[str, str] = {}
+        self._reduction_regs: Dict[str, str] = {}
+        self._const_regs: Dict[float, str] = {}
+        self._scalar_result_index: Dict[str, int] = {}
+        # Per-loop, per-iteration address registers (reset for each loop).
+        self._lm_iter_addr_regs: Dict[str, str] = {}
+        self._sm_iter_addr_regs: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ entry point --
+    def compile(self) -> CompiledKernel:
+        kernel, target, b = self.kernel, self.target, self.builder
+        kernel.validate()
+        classification = classify_kernel(kernel)
+        plans: List[Optional[TilingPlan]] = []
+        for loop_cls in classification.loops:
+            if target.uses_lm:
+                plans.append(plan_tiling(
+                    kernel, loop_cls, lm_size=target.lm_size,
+                    max_buffers=target.max_buffers,
+                    min_buffer_words=target.min_buffer_words))
+            else:
+                plans.append(None)
+
+        self._declare_arrays(plans)
+        b.set_phase("other")
+        self._emit_preamble(plans)
+
+        for loop_cls, plan in zip(classification.loops, plans):
+            if plan is not None:
+                self._emit_tiled_loop(loop_cls, plan)
+            else:
+                self._emit_flat_loop(loop_cls)
+
+        b.set_phase("other")
+        self._emit_epilogue()
+        b.halt()
+        program = b.finish()
+        program.assign_addresses()
+        _patch_base_addresses(self, program)
+        return CompiledKernel(
+            kernel=kernel, target=target, program=program,
+            classification=classification, plans=plans,
+            scalar_result_index=dict(self._scalar_result_index))
+
+    # ------------------------------------------------------------------- data layout --
+    def _declare_arrays(self, plans: List[Optional[TilingPlan]]) -> None:
+        kernel, target, b = self.kernel, self.target, self.builder
+        # Padding / alignment requirements coming from the tiling plans.
+        padded: Dict[str, int] = {name: spec.length for name, spec in kernel.arrays.items()}
+        alignment: Dict[str, int] = {name: 64 for name in kernel.arrays}
+        for plan in plans:
+            if plan is None:
+                continue
+            for name, mapped in plan.mapped.items():
+                spec = kernel.arrays[name]
+                padded[name] = max(padded[name], plan.padded_length(spec.length, mapped))
+                alignment[name] = max(alignment[name], plan.buffer_bytes)
+        for name, spec in kernel.arrays.items():
+            data = spec.initial_data()
+            if padded[name] > len(data):
+                data = np.concatenate([data, np.zeros(padded[name] - len(data))])
+            b.declare_array(name, padded[name], dtype=spec.dtype, data=data,
+                            alignment=alignment[name])
+        # Reduction results live in their own small array.
+        reduction_scalars = sorted({
+            stmt.scalar for loop in kernel.loops for stmt in loop.body
+            if isinstance(stmt, Reduce)})
+        if reduction_scalars:
+            self._scalar_result_index = {name: i for i, name in enumerate(reduction_scalars)}
+            b.declare_array(REDUCTION_RESULTS_ARRAY, len(reduction_scalars),
+                            dtype="float")
+
+    # --------------------------------------------------------------------- preamble --
+    def _emit_preamble(self, plans: List[Optional[TilingPlan]]) -> None:
+        kernel, b = self.kernel, self.builder
+        # Array base addresses are patched after address assignment: emit LI
+        # instructions now and fix their immediates once the layout is known.
+        self._base_li_instructions: Dict[str, object] = {}
+        for name in kernel.arrays:
+            reg = b.new_int_reg()
+            inst = b.li(reg, 0, comment=f"&{name}")
+            self._array_base_regs[name] = reg
+            self._base_li_instructions[name] = inst
+        if self._scalar_result_index:
+            reg = b.new_int_reg()
+            inst = b.li(reg, 0, comment=f"&{REDUCTION_RESULTS_ARRAY}")
+            self._array_base_regs[REDUCTION_RESULTS_ARRAY] = reg
+            self._base_li_instructions[REDUCTION_RESULTS_ARRAY] = inst
+        for name, pointer in kernel.pointers.items():
+            reg = b.new_int_reg()
+            inst = b.li(reg, pointer.actual_offset * WORD_SIZE,
+                        comment=f"{name} -> {pointer.actual_target}")
+            self._pointer_base_regs[name] = reg
+            self._base_li_instructions[name] = inst
+        for name, value in kernel.scalars.items():
+            reg = b.new_fp_reg()
+            b.li(reg, float(value), comment=f"scalar {name}")
+            self._scalar_regs[name] = reg
+        for name in self._scalar_result_index:
+            reg = b.new_fp_reg()
+            b.li(reg, float(kernel.scalars.get(name, 0.0)),
+                 comment=f"reduction {name}")
+            self._reduction_regs[name] = reg
+        # Configure the coherence directory with the LM buffer size (the
+        # memory-mapped register write of Section 3.2).
+        if self.target.uses_lm:
+            sizes = {plan.buffer_bytes for plan in plans if plan is not None}
+            if len(sizes) > 1:
+                raise NotImplementedError(
+                    "all loops of a kernel must agree on the LM buffer size")
+            if sizes:
+                b.set_bufsize(sizes.pop())
+
+    def _emit_epilogue(self) -> None:
+        b = self.builder
+        # Store reduction results to memory so callers can read them back.
+        for name, index in self._scalar_result_index.items():
+            base = self._array_base_regs[REDUCTION_RESULTS_ARRAY]
+            b.st(self._reduction_regs[name], base, offset=index * WORD_SIZE,
+                 comment=f"spill reduction {name}")
+        if self.target.uses_lm:
+            b.set_phase("sync")
+            b.dma_sync(None, comment="final write-back drain")
+            b.set_phase("other")
+
+    # -------------------------------------------------------------- shared helpers --
+    def _const_reg(self, value: float) -> str:
+        """Register holding a floating-point constant (deduplicated)."""
+        if value not in self._const_regs:
+            reg = self.builder.new_fp_reg()
+            self.builder.li(reg, float(value), comment=f"const {value}")
+            self._const_regs[value] = reg
+        return self._const_regs[value]
+
+    def _storage_base_reg(self, name: str) -> str:
+        """Register holding the SM base address of an array or pointer."""
+        if name in self._array_base_regs:
+            return self._array_base_regs[name]
+        return self._pointer_base_regs[name]
+
+    # ---------------------------------------------------------------- flat (cache) loop --
+    def _emit_flat_loop(self, loop_cls: LoopClassification) -> None:
+        """Emit a loop with every reference served by the SM (cache target,
+        or a hybrid loop where nothing could be mapped)."""
+        b = self.builder
+        loop = loop_cls.loop
+        b.set_phase("work")
+        r_i = b.new_int_reg()
+        r_end = b.new_int_reg()
+        b.li(r_i, loop.start, comment=f"{loop.var} = {loop.start}")
+        b.li(r_end, loop.end)
+        if loop.trip_count <= 0:
+            return
+        top = b.new_label(f"{self.kernel.name}_flat")
+        b.label(top)
+        r_gbyte = b.new_int_reg()
+        b.shl(r_gbyte, r_i, 3, comment="byte offset of i")
+        self._sm_iter_addr_regs = {}
+        self._lm_iter_addr_regs = {}
+        ctx = _IterationContext(loop_cls=loop_cls, plan=None, r_iglobal=r_i,
+                                r_gbyte=r_gbyte, r_ilocal=None, r_ibyte=None)
+        self._emit_body(ctx)
+        b.add(r_i, r_i, imm=1)
+        b.blt(r_i, r_end, top)
+
+    # ---------------------------------------------------------------- tiled (hybrid) loop --
+    def _emit_tiled_loop(self, loop_cls: LoopClassification, plan: TilingPlan) -> None:
+        kernel, b, target = self.kernel, self.builder, self.target
+        loop = loop_cls.loop
+        W = plan.buffer_words
+        chunk_bytes = W * WORD_SIZE
+        if any(m.window_lo < 0 for m in plan.mapped.values()):
+            raise NotImplementedError(
+                "negative reference offsets are not supported by the blocking "
+                "scheme of this reproduction; express stencils with forward offsets")
+
+        b.set_phase("control")
+        # Loop-invariant registers.
+        r_chunk_start = b.new_int_reg()   # element index of the current chunk
+        r_chunk_byte = b.new_int_reg()    # byte offset of the current chunk
+        r_end = b.new_int_reg()           # loop trip count (elements)
+        r_bufwords = b.new_int_reg()
+        r_bufbytes = b.new_int_reg()
+        b.li(r_chunk_start, 0)
+        b.li(r_chunk_byte, 0)
+        b.li(r_end, loop.end)
+        b.li(r_bufwords, W)
+        b.li(r_bufbytes, chunk_bytes)
+        # LM slot base addresses (virtual) for each mapped array and window slot.
+        lm_slot_regs: Dict[Tuple[str, int], str] = {}
+        lm_window_base: Dict[str, str] = {}
+        for name, mapped in plan.mapped.items():
+            window_base = target.lm_virtual_base + mapped.lm_offset
+            reg = b.new_int_reg()
+            b.li(reg, window_base, comment=f"LM window base of {name}")
+            lm_window_base[name] = reg
+            for slot in range(mapped.num_buffers):
+                sreg = b.new_int_reg()
+                b.li(sreg, window_base + slot * chunk_bytes,
+                     comment=f"LM slot {slot} of {name}")
+                lm_slot_regs[(name, slot)] = sreg
+
+        outer = b.new_label(f"{kernel.name}_outer")
+        b.label(outer)
+
+        # ---- control phase: map the window of chunks of every regular array.
+        b.set_phase("control")
+        r_sm_chunk = b.new_int_reg()
+        for name, mapped in plan.mapped.items():
+            for slot in range(mapped.num_buffers):
+                chunk_rel = mapped.window_lo + slot
+                b.add(r_sm_chunk, self._array_base_regs[name], r_chunk_byte,
+                      comment=f"SM addr of current chunk of {name}")
+                if chunk_rel:
+                    b.add(r_sm_chunk, r_sm_chunk, imm=chunk_rel * chunk_bytes)
+                b.dma_get(lm_slot_regs[(name, slot)], r_sm_chunk, r_bufbytes,
+                          tag=0, comment=f"map {name} chunk {chunk_rel:+d}")
+
+        # ---- synchronisation phase.
+        b.set_phase("sync")
+        b.dma_sync(None, comment="wait for chunk transfers")
+
+        # ---- work phase: the blocked iterations.
+        b.set_phase("work")
+        r_ilocal = b.new_int_reg()
+        r_count = b.new_int_reg()
+        b.li(r_ilocal, 0)
+        # count = min(W, end - chunk_start): the last chunk may be partial.
+        b.sub(r_count, r_end, r_chunk_start)
+        b.alu(Opcode.MIN, r_count, r_count, r_bufwords)
+        inner = b.new_label(f"{kernel.name}_inner")
+        b.label(inner)
+        r_ibyte = b.new_int_reg()
+        b.shl(r_ibyte, r_ilocal, 3, comment="byte offset of i within the chunk")
+        # Per-iteration LM addresses of the mapped arrays actually referenced.
+        self._lm_iter_addr_regs = {}
+        for name in plan.mapped:
+            reg = b.new_int_reg()
+            b.add(reg, lm_window_base[name], r_ibyte,
+                  comment=f"LM address of {name}[i]")
+            self._lm_iter_addr_regs[name] = reg
+        # Global element index/byte offset, needed by irregular and guarded refs.
+        r_iglobal = b.new_int_reg()
+        r_gbyte = b.new_int_reg()
+        b.add(r_iglobal, r_chunk_start, r_ilocal)
+        b.shl(r_gbyte, r_iglobal, 3)
+        self._sm_iter_addr_regs = {}
+        ctx = _IterationContext(loop_cls=loop_cls, plan=plan, r_iglobal=r_iglobal,
+                                r_gbyte=r_gbyte, r_ilocal=r_ilocal, r_ibyte=r_ibyte)
+        self._emit_body(ctx)
+        b.add(r_ilocal, r_ilocal, imm=1)
+        b.blt(r_ilocal, r_count, inner)
+
+        # ---- write-back control phase for written chunks.
+        b.set_phase("control")
+        for name, mapped in plan.mapped.items():
+            if not mapped.written:
+                continue
+            for chunk_rel in mapped.written_window:
+                slot = chunk_rel - mapped.window_lo
+                b.add(r_sm_chunk, self._array_base_regs[name], r_chunk_byte,
+                      comment=f"SM addr of written chunk of {name}")
+                if chunk_rel:
+                    b.add(r_sm_chunk, r_sm_chunk, imm=chunk_rel * chunk_bytes)
+                b.dma_put(lm_slot_regs[(name, slot)], r_sm_chunk, r_bufbytes,
+                          tag=1, comment=f"write back {name} chunk {chunk_rel:+d}")
+
+        # ---- advance to the next chunk.
+        b.add(r_chunk_start, r_chunk_start, r_bufwords)
+        b.add(r_chunk_byte, r_chunk_byte, r_bufbytes)
+        b.blt(r_chunk_start, r_end, outer)
+
+    # -------------------------------------------------------------------- statements --
+    def _emit_body(self, ctx: "_IterationContext") -> None:
+        for stmt in ctx.loop_cls.loop.body:
+            if isinstance(stmt, Assign):
+                self._emit_assign(ctx, stmt)
+            elif isinstance(stmt, Reduce):
+                self._emit_reduce(ctx, stmt)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown statement {stmt!r}")
+
+    def _emit_assign(self, ctx: "_IterationContext", stmt: Assign) -> None:
+        b = self.builder
+        value_reg = self._emit_expr(ctx, stmt.expr)
+        info = ctx.loop_cls.info(stmt.target)
+        base, offset, kind = self._ref_address(ctx, stmt.target, info)
+        if kind == "lm" or kind == "sm":
+            b.st(value_reg, base, offset, comment=f"store {stmt.target.array}")
+        elif kind == "oracle":
+            b.st(value_reg, base, offset, oracle_divert=True,
+                 comment=f"oracle store {stmt.target.array}")
+        elif kind == "guarded":
+            double = info.needs_double_store and self.target.emits_guards
+            b.gst(value_reg, base, offset,
+                  comment=f"guarded store {stmt.target.array}")
+            if double:
+                b.st(value_reg, base, offset, collapse_with_prev=True,
+                     comment=f"double store {stmt.target.array}")
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown address kind {kind!r}")
+
+    def _emit_reduce(self, ctx: "_IterationContext", stmt: Reduce) -> None:
+        b = self.builder
+        value_reg = self._emit_expr(ctx, stmt.expr)
+        acc = self._reduction_regs[stmt.scalar]
+        opcode = _FP_BINOPS[stmt.op]
+        b.alu(opcode, acc, acc, value_reg, comment=f"reduce {stmt.scalar}")
+
+    # ------------------------------------------------------------------- expressions --
+    def _emit_expr(self, ctx: "_IterationContext", expr) -> str:
+        b = self.builder
+        if isinstance(expr, Const):
+            return self._const_reg(expr.value)
+        if isinstance(expr, ScalarVar):
+            return self._scalar_regs[expr.name]
+        if isinstance(expr, Load):
+            info = ctx.loop_cls.info(expr.ref)
+            base, offset, kind = self._ref_address(ctx, expr.ref, info)
+            dst = b.new_fp_reg()
+            if kind in ("lm", "sm"):
+                b.ld(dst, base, offset, comment=f"load {expr.ref.array}")
+            elif kind == "oracle":
+                b.ld(dst, base, offset, oracle_divert=True,
+                     comment=f"oracle load {expr.ref.array}")
+            elif kind == "guarded":
+                b.gld(dst, base, offset, comment=f"guarded load {expr.ref.array}")
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown address kind {kind!r}")
+            return dst
+        if isinstance(expr, BinOp):
+            lhs = self._emit_expr(ctx, expr.lhs)
+            rhs = self._emit_expr(ctx, expr.rhs)
+            dst = b.new_fp_reg()
+            b.alu(_FP_BINOPS[expr.op], dst, lhs, rhs)
+            return dst
+        raise TypeError(f"unknown expression {expr!r}")
+
+    # ----------------------------------------------------------------- address synthesis --
+    def _ref_address(self, ctx: "_IterationContext", ref: Ref,
+                     info: RefInfo) -> Tuple[str, int, str]:
+        """Return ``(base_register, immediate_offset, kind)`` for a reference.
+
+        ``kind`` is ``"lm"`` (address already in the LM range), ``"sm"``
+        (plain SM access), ``"guarded"`` (guarded instruction required) or
+        ``"oracle"`` (plain instruction with oracle diversion).
+        """
+        plan = ctx.plan
+        index = ref.index
+        # --- regular affine references -------------------------------------------------
+        if isinstance(index, AffineIndex) and info.ref_class is RefClass.REGULAR:
+            if plan is not None and plan.is_mapped(ref.array) and index.stride == 1:
+                mapped = plan.mapped[ref.array]
+                imm = (index.offset - mapped.window_lo * plan.buffer_words) * WORD_SIZE
+                return self._lm_iter_addr_regs[ref.array], imm, "lm"
+            # Unmapped regular ref (cache target, budget overflow, non-unit stride).
+            return self._affine_sm_address(ctx, ref.array, index)
+        # --- non-strided references ----------------------------------------------------
+        base_reg = self._nonstrided_sm_address(ctx, ref, index)
+        # Guards are only needed (and only legal) when something is actually
+        # mapped to the LM in this loop; if the tiling plan mapped nothing,
+        # every access is served by the SM and is trivially coherent.
+        if info.ref_class is RefClass.POTENTIALLY_INCOHERENT and self.target.uses_lm \
+                and ctx.plan is not None:
+            if self.target.emits_guards:
+                return base_reg, 0, "guarded"
+            if self.target.oracle:
+                return base_reg, 0, "oracle"
+            # hybrid-naive: incorrect plain access to the SM copy.
+            return base_reg, 0, "sm"
+        return base_reg, 0, "sm"
+
+    def _affine_sm_address(self, ctx: "_IterationContext", array: str,
+                           index: AffineIndex) -> Tuple[str, int, str]:
+        """SM address of ``array[stride*i + offset]`` for the current iteration."""
+        b = self.builder
+        base = self._storage_base_reg(array)
+        if index.stride == 1:
+            if array not in self._sm_iter_addr_regs:
+                reg = b.new_int_reg()
+                b.add(reg, base, ctx.r_gbyte, comment=f"SM address of {array}[i]")
+                self._sm_iter_addr_regs[array] = reg
+            return self._sm_iter_addr_regs[array], index.offset * WORD_SIZE, "sm"
+        # General affine: base + (stride*i + offset)*8.
+        r_elem = b.new_int_reg()
+        b.mul(r_elem, ctx.r_iglobal, imm=index.stride)
+        r_byte = b.new_int_reg()
+        b.shl(r_byte, r_elem, 3)
+        r_addr = b.new_int_reg()
+        b.add(r_addr, base, r_byte)
+        return r_addr, index.offset * WORD_SIZE, "sm"
+
+    def _nonstrided_sm_address(self, ctx: "_IterationContext", ref: Ref, index) -> str:
+        """Compute the (initial, SM) address register of an indirect/modulo ref."""
+        b = self.builder
+        base = self._storage_base_reg(ref.array)
+        if isinstance(index, IndirectIndex):
+            # Load the index value: the index array is itself a reference that
+            # was classified (and possibly mapped to the LM).
+            idx_ref = Ref(index.index_array, index.index_ref_index())
+            idx_info = ctx.loop_cls.info(idx_ref)
+            idx_base, idx_off, idx_kind = self._ref_address(ctx, idx_ref, idx_info)
+            r_idx = b.new_fp_reg()
+            if idx_kind == "guarded":
+                b.gld(r_idx, idx_base, idx_off, comment=f"guarded load {index.index_array}")
+            elif idx_kind == "oracle":
+                b.ld(r_idx, idx_base, idx_off, oracle_divert=True)
+            else:
+                b.ld(r_idx, idx_base, idx_off, comment=f"load index {index.index_array}")
+            r_elem = b.new_int_reg()
+            if index.scale != 1:
+                b.mul(r_elem, r_idx, imm=index.scale)
+            else:
+                b.mov(r_elem, r_idx)
+            if index.offset:
+                b.add(r_elem, r_elem, imm=index.offset)
+        elif isinstance(index, ModuloIndex):
+            r_elem = b.new_int_reg()
+            b.mul(r_elem, ctx.r_iglobal, imm=index.multiplier)
+            if index.offset:
+                b.add(r_elem, r_elem, imm=index.offset)
+            if index.modulo & (index.modulo - 1) == 0:
+                b.alu(Opcode.AND, r_elem, r_elem, imm=index.modulo - 1)
+            else:
+                b.alu(Opcode.MOD, r_elem, r_elem, imm=index.modulo)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected index {index!r}")
+        r_byte = b.new_int_reg()
+        b.shl(r_byte, r_elem, 3)
+        r_addr = b.new_int_reg()
+        b.add(r_addr, base, r_byte, comment=f"address of {ref.array}[...]")
+        return r_addr
+
+
+@dataclass
+class _IterationContext:
+    """Registers available to statement emission for the current iteration."""
+
+    loop_cls: LoopClassification
+    plan: Optional[TilingPlan]
+    r_iglobal: str
+    r_gbyte: str
+    r_ilocal: Optional[str]
+    r_ibyte: Optional[str]
+
+
+def compile_kernel(kernel: Kernel, mode: str = "hybrid",
+                   **target_kwargs) -> CompiledKernel:
+    """Convenience wrapper: compile ``kernel`` for ``mode``."""
+    target = CompilationTarget(mode=mode, **target_kwargs)
+    return CodeGenerator(kernel, target).compile()
+
+
+def _patch_base_addresses(generator: CodeGenerator, program: Program) -> None:
+    """Fill in the array base addresses now that the layout is known."""
+    for name, inst in generator._base_li_instructions.items():
+        if name in program.arrays:
+            inst.imm = program.arrays[name].base
+        else:
+            # Pointer: base of its actual target plus the declared offset.
+            pointer = generator.kernel.pointers[name]
+            target_decl = program.arrays[pointer.actual_target]
+            inst.imm = target_decl.base + pointer.actual_offset * WORD_SIZE

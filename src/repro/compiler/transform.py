@@ -1,0 +1,221 @@
+"""Phase 2 of the compiler: the tiling/blocking transformation (Figure 2).
+
+The transformation converts a flat loop into a two-level nested structure:
+every outer iteration maps a *window* of chunk-aligned data of each regular
+array to LM buffers (control phase), waits for the DMA transfers
+(synchronisation phase) and runs a block of the original iterations with the
+regular references redirected to the LM buffers (work phase).
+
+Layout decisions made here:
+
+* all LM buffers have the same size ``W`` words (a power of two so that the
+  coherence directory's base/offset masks work), chosen as large as possible
+  subject to the LM capacity and the directory entry budget;
+* an array referenced with offsets ``[min_off, max_off]`` needs a window of
+  ``ceil`` of that span in chunks — e.g. ``a[i]`` needs one chunk, a stencil
+  ``a[i-1], a[i], a[i+1]`` needs the previous, current and next chunk — and
+  the window occupies consecutive LM buffers so that the work-phase address
+  arithmetic stays a single add;
+* every chunk mapped is chunk-size aligned in the SM, which is what the
+  directory requires to decompose addresses with masks (Section 3.2);
+* only chunks of *written* arrays are transferred back (dma-put) — the
+  read-only-buffer optimisation whose interaction with potentially
+  incoherent stores is exactly why the double store exists (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.classify import LoopClassification, RefClass
+from repro.compiler.ir import AffineIndex, Kernel, Loop, Ref
+from repro.isa.program import WORD_SIZE
+
+
+@dataclass
+class MappedArray:
+    """LM mapping decision for one regular array."""
+
+    name: str
+    #: Chunk window relative to the current chunk index (inclusive bounds).
+    window_lo: int
+    window_hi: int
+    #: Byte offset of the first buffer slot of this array inside the LM.
+    lm_offset: int = 0
+    #: Whether any regular reference writes this array (needs write-back).
+    written: bool = False
+    #: Relative chunk indices (within the window) that contain written data.
+    written_window: List[int] = field(default_factory=list)
+    #: Offset range of the affine references mapped to this array.
+    min_offset: int = 0
+    max_offset: int = 0
+
+    @property
+    def num_buffers(self) -> int:
+        return self.window_hi - self.window_lo + 1
+
+
+@dataclass
+class TilingPlan:
+    """Complete blocking plan for one loop."""
+
+    loop: Loop
+    classification: LoopClassification
+    buffer_words: int
+    mapped: Dict[str, MappedArray]
+    #: Regular references that could not be mapped (non-unit stride or budget
+    #: exhausted); they are served by the cache hierarchy.
+    unmapped_regular_refs: List[Ref] = field(default_factory=list)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self.buffer_words * WORD_SIZE
+
+    @property
+    def total_buffers(self) -> int:
+        return sum(m.num_buffers for m in self.mapped.values())
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of outer (chunk) iterations needed to cover the loop."""
+        trip = self.loop.trip_count
+        return (trip + self.buffer_words - 1) // self.buffer_words
+
+    def padded_length(self, array_length: int, mapped_array: MappedArray) -> int:
+        """Array length padded so every mapped chunk stays inside the array."""
+        needed = (self.num_chunks + mapped_array.window_hi) * self.buffer_words
+        needed += max(0, -mapped_array.window_lo) * self.buffer_words
+        return max(array_length, needed)
+
+    def is_mapped(self, array: str) -> bool:
+        return array in self.mapped
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _largest_power_of_two_at_most(value: int) -> int:
+    if value < 1:
+        return 0
+    power = 1
+    while power * 2 <= value:
+        power *= 2
+    return power
+
+
+def _floor_div(a: int, b: int) -> int:
+    return a // b  # Python floor division handles negatives correctly
+
+
+def plan_tiling(kernel: Kernel, classification: LoopClassification,
+                lm_size: int = 32 * 1024,
+                max_buffers: int = 32,
+                min_buffer_words: int = 64) -> Optional[TilingPlan]:
+    """Compute the blocking plan for one classified loop.
+
+    Returns ``None`` when nothing can be mapped to the LM (no regular
+    references, or the loop does not start at zero — the transformations in
+    this reproduction only block zero-based loops, which all the workloads
+    use).
+    """
+    loop = classification.loop
+    if loop.start != 0 or loop.trip_count <= 0:
+        return None
+
+    # Group mappable affine refs per array; unit stride only (the blocking
+    # scheme relies on consecutive iterations touching consecutive elements).
+    per_array_offsets: Dict[str, List[int]] = {}
+    per_array_written: Dict[str, bool] = {}
+    per_array_written_offsets: Dict[str, List[int]] = {}
+    unmapped: List[Ref] = []
+    for info in classification.refs_of_class(RefClass.REGULAR):
+        index = info.ref.index
+        assert isinstance(index, AffineIndex)
+        if index.stride != 1:
+            unmapped.append(info.ref)
+            continue
+        per_array_offsets.setdefault(info.ref.array, []).append(index.offset)
+        per_array_written.setdefault(info.ref.array, False)
+        if info.is_written:
+            per_array_written[info.ref.array] = True
+            per_array_written_offsets.setdefault(info.ref.array, []).append(index.offset)
+
+    if not per_array_offsets:
+        return None
+
+    # Choose the buffer size: start from an even split of the LM between the
+    # candidate arrays and shrink until windows fit the capacity and the
+    # directory entry budget.
+    num_arrays = len(per_array_offsets)
+    buffer_words = _largest_power_of_two_at_most(
+        max(min_buffer_words, lm_size // (num_arrays * WORD_SIZE)))
+
+    def build_windows(width: int) -> Dict[str, MappedArray]:
+        windows: Dict[str, MappedArray] = {}
+        for name, offsets in per_array_offsets.items():
+            lo_off, hi_off = min(offsets), max(offsets)
+            written_offsets = per_array_written_offsets.get(name, [])
+            written_window = sorted({
+                _floor_div(off, width) for off in written_offsets} |
+                ({_floor_div(width - 1 + max(written_offsets), width)}
+                 if written_offsets else set()))
+            windows[name] = MappedArray(
+                name=name,
+                window_lo=_floor_div(lo_off, width),
+                window_hi=_floor_div(width - 1 + hi_off, width),
+                written=per_array_written.get(name, False),
+                written_window=written_window,
+                min_offset=lo_off, max_offset=hi_off)
+        return windows
+
+    plan_mapped: Dict[str, MappedArray] = {}
+    while buffer_words >= min_buffer_words:
+        plan_mapped = build_windows(buffer_words)
+        total_buffers = sum(m.num_buffers for m in plan_mapped.values())
+        capacity_ok = total_buffers * buffer_words * WORD_SIZE <= lm_size
+        budget_ok = total_buffers <= max_buffers
+        if capacity_ok and budget_ok:
+            break
+        buffer_words //= 2
+    else:
+        # No buffer size maps *every* candidate array; use the smallest
+        # buffer size and let the drop loop below unmap the excess (the
+        # paper's rule that exceeding regular accesses simply stay in the
+        # cache hierarchy).
+        buffer_words = min_buffer_words
+        plan_mapped = build_windows(buffer_words)
+
+    # If the directory entry budget or the LM capacity is still exceeded,
+    # drop the arrays with the widest windows until the plan fits.
+    def plan_fits() -> bool:
+        total = sum(m.num_buffers for m in plan_mapped.values())
+        return (total <= max_buffers and
+                total * buffer_words * WORD_SIZE <= lm_size)
+
+    while plan_mapped and not plan_fits():
+        victim = max(plan_mapped.values(), key=lambda m: m.num_buffers)
+        del plan_mapped[victim.name]
+    if not plan_mapped:
+        return None
+
+    # Assign LM byte offsets to the buffer windows, packed back to back.
+    offset = 0
+    for mapped in plan_mapped.values():
+        mapped.lm_offset = offset
+        offset += mapped.num_buffers * buffer_words * WORD_SIZE
+
+    # Regular refs to arrays that were dropped from the mapping are served by
+    # the cache hierarchy.
+    for info in classification.refs_of_class(RefClass.REGULAR):
+        if info.ref.array not in plan_mapped and info.ref not in unmapped:
+            unmapped.append(info.ref)
+
+    return TilingPlan(
+        loop=loop,
+        classification=classification,
+        buffer_words=buffer_words,
+        mapped=plan_mapped,
+        unmapped_regular_refs=unmapped,
+    )

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the hardware/software coherence protocol.
+
+This package contains the per-core hardware additions of Section 3 — the
+coherence directory, the guarded-access address generation and the hybrid
+memory system that assembles caches, local memory, DMA controller and
+directory — plus the conceptual data-replication state machine of Section 3.4
+used to verify correctness properties.
+"""
+
+from repro.core.directory import CoherenceDirectory, DirectoryEntry
+from repro.core.guarded import GuardedAGU, GuardedAccessOutcome
+from repro.core.protocol import DataState, ProtocolAction, ProtocolChecker, ProtocolError
+from repro.core.hybrid import HybridSystem, MemoryOutcome
+from repro.core.multicore import MulticoreHybridSystem
+
+__all__ = [
+    "CoherenceDirectory",
+    "DirectoryEntry",
+    "GuardedAGU",
+    "GuardedAccessOutcome",
+    "DataState",
+    "ProtocolAction",
+    "ProtocolChecker",
+    "ProtocolError",
+    "HybridSystem",
+    "MemoryOutcome",
+    "MulticoreHybridSystem",
+]

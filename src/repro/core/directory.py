@@ -1,0 +1,227 @@
+"""The per-core coherence directory (Section 3.2, Figure 4).
+
+The directory keeps track of what data is mapped to the local memory.  It has
+a fixed number of entries (32 in the paper, to keep the CAM access inside the
+address-generation cycle); entry *i* describes LM buffer *i* and maps the
+starting SM address of the data currently held in that buffer (the tag) to
+the buffer's starting LM address.
+
+The directory is configured with the LM buffer size chosen by the compiler
+(all buffers are equally sized).  The buffer size defines two internal mask
+registers:
+
+* ``base_mask``   — selects the chunk-aligned base of an address,
+* ``offset_mask`` — selects the offset of an address inside a chunk,
+
+so that any potentially incoherent SM address can be decomposed into a base
+(used for the CAM lookup) and an offset (used to rebuild either the LM
+address on a hit or the original SM address on a miss).
+
+Every ``dma-get`` updates the entry of the destination buffer: the tag is set
+to the source SM address and the *presence bit* is cleared until the transfer
+completes, which is what makes double buffering safe (a guarded access that
+hits a non-present entry raises an internal exception / stalls until the data
+has actually arrived).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass
+class DirectoryEntry:
+    """One directory entry: the mapping of one LM buffer."""
+
+    valid: bool = False
+    tag: int = 0                # chunk-aligned SM base address of the mapped data
+    lm_base: int = 0            # LM virtual base address of the buffer
+    present: bool = True        # presence bit (False while the dma-get is in flight)
+    ready_time: float = 0.0     # completion time of the in-flight dma-get
+
+    def matches(self, base_addr: int) -> bool:
+        return self.valid and self.tag == base_addr
+
+
+@dataclass
+class DirectoryStats:
+    """Activity counters of the directory (feed Table 3 and the energy model)."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    updates: int = 0
+    presence_stalls: int = 0
+    configurations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total directory activity: CAM lookups plus entry updates."""
+        return self.lookups + self.updates
+
+
+class CoherenceDirectory:
+    """Hardware directory tracking the contents of the local memory.
+
+    Parameters
+    ----------
+    num_entries:
+        Number of entries (32 in the paper).  Constrains the software to use
+        at most this many LM buffers.
+    """
+
+    DEFAULT_ENTRIES = 32
+
+    def __init__(self, num_entries: int = DEFAULT_ENTRIES):
+        if num_entries <= 0:
+            raise ValueError("the directory needs at least one entry")
+        self.num_entries = num_entries
+        self.entries: List[DirectoryEntry] = [DirectoryEntry() for _ in range(num_entries)]
+        self.buffer_size: Optional[int] = None
+        self.base_mask: int = 0
+        self.offset_mask: int = 0
+        self.stats = DirectoryStats()
+
+    # -- configuration -----------------------------------------------------------
+    def configure(self, buffer_size: int) -> None:
+        """Set the LM buffer size (memory-mapped register written by software).
+
+        The buffer size must be a power of two so that the base/offset
+        decomposition can be done with bit-wise ANDs, exactly like the
+        hardware of Figure 4.
+        """
+        if not _is_power_of_two(buffer_size):
+            raise ValueError(
+                f"LM buffer size must be a power of two, got {buffer_size}")
+        self.buffer_size = buffer_size
+        self.offset_mask = buffer_size - 1
+        self.base_mask = ~self.offset_mask
+        self.stats.configurations += 1
+        # Reconfiguring the buffer size invalidates all previous mappings.
+        for entry in self.entries:
+            entry.valid = False
+
+    @property
+    def is_configured(self) -> bool:
+        return self.buffer_size is not None
+
+    def split_address(self, addr: int) -> Tuple[int, int]:
+        """Decompose ``addr`` into (base, offset) with the mask registers."""
+        if not self.is_configured:
+            raise RuntimeError("directory used before configuring the buffer size")
+        return addr & self.base_mask, addr & self.offset_mask
+
+    # -- update (driven by dma-get) ------------------------------------------------
+    def buffer_index(self, lm_offset: int) -> int:
+        """Directory entry index of the LM buffer starting at ``lm_offset``.
+
+        Because all buffers are equally sized, the base address of a buffer is
+        equivalent to its buffer number (Section 3.2).
+        """
+        if not self.is_configured:
+            raise RuntimeError("directory used before configuring the buffer size")
+        index = lm_offset // self.buffer_size
+        if not (0 <= index < self.num_entries):
+            raise ValueError(
+                f"LM buffer at offset {lm_offset:#x} maps to entry {index}, "
+                f"but the directory only has {self.num_entries} entries")
+        return index
+
+    def update(self, lm_offset: int, lm_base_vaddr: int, sm_addr: int,
+               ready_time: float = 0.0) -> DirectoryEntry:
+        """Record that a dma-get maps SM data at ``sm_addr`` to an LM buffer.
+
+        ``lm_offset`` is the physical offset of the destination buffer (used
+        to derive the entry index), ``lm_base_vaddr`` is the buffer's virtual
+        base address stored in the entry, and ``ready_time`` is the cycle at
+        which the transfer completes (the presence bit is conceptually unset
+        until then).
+        """
+        base, offset = self.split_address(sm_addr)
+        if offset != 0:
+            raise ValueError(
+                f"dma-get source address {sm_addr:#x} is not aligned to the "
+                f"LM buffer size {self.buffer_size:#x}; the compiler must map "
+                "chunk-aligned data")
+        index = self.buffer_index(lm_offset)
+        entry = self.entries[index]
+        entry.valid = True
+        entry.tag = base
+        entry.lm_base = lm_base_vaddr
+        entry.present = False
+        entry.ready_time = ready_time
+        self.stats.updates += 1
+        return entry
+
+    def invalidate_buffer(self, lm_offset: int) -> None:
+        """Explicitly unmap the buffer at ``lm_offset`` (used by tests)."""
+        index = self.buffer_index(lm_offset)
+        self.entries[index].valid = False
+
+    def mark_present(self, lm_offset: int) -> None:
+        """Set the presence bit of the buffer at ``lm_offset`` (dma-get done)."""
+        index = self.buffer_index(lm_offset)
+        self.entries[index].present = True
+
+    # -- lookup (driven by guarded memory instructions) ------------------------------
+    def lookup(self, sm_addr: int, now: float = 0.0) -> Tuple[bool, int, float]:
+        """CAM lookup for a potentially incoherent SM address.
+
+        Returns ``(hit, target_address, stall_cycles)``:
+
+        * on a hit, ``target_address`` is the LM virtual address of the copy
+          (LM buffer base OR-ed with the address offset) and ``stall_cycles``
+          is the time to wait for an in-flight dma-get (presence bit), which
+          is zero when the data has already arrived;
+        * on a miss, ``target_address`` is the original SM address and
+          ``stall_cycles`` is zero.
+        """
+        base, offset = self.split_address(sm_addr)
+        self.stats.lookups += 1
+        for entry in self.entries:
+            if entry.matches(base):
+                self.stats.hits += 1
+                stall = 0.0
+                if not entry.present and now < entry.ready_time:
+                    stall = entry.ready_time - now
+                    self.stats.presence_stalls += 1
+                if now >= entry.ready_time:
+                    entry.present = True
+                return True, entry.lm_base | offset, stall
+        self.stats.misses += 1
+        return False, sm_addr, 0.0
+
+    def peek_lookup(self, sm_addr: int) -> Tuple[bool, int]:
+        """Lookup without touching statistics or the presence bit.
+
+        Used by the *oracle* baseline of Figure 8 (an incoherent hybrid
+        system whose compiler magically resolved all aliasing): the simulator
+        still needs to know where the valid copy lives to execute correctly,
+        but no directory hardware is exercised.
+        """
+        if not self.is_configured:
+            return False, sm_addr
+        base = sm_addr & self.base_mask
+        offset = sm_addr & self.offset_mask
+        for entry in self.entries:
+            if entry.matches(base):
+                return True, entry.lm_base | offset
+        return False, sm_addr
+
+    def mapped_sm_ranges(self) -> List[Tuple[int, int]]:
+        """List of (sm_base, size) ranges currently mapped (for verification)."""
+        if not self.is_configured:
+            return []
+        return [(e.tag, self.buffer_size) for e in self.entries if e.valid]
+
+    def reset(self) -> None:
+        """Invalidate all entries and zero statistics."""
+        for entry in self.entries:
+            entry.valid = False
+            entry.present = True
+        self.stats = DirectoryStats()

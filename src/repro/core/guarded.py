@@ -1,0 +1,64 @@
+"""Guarded-access address generation (Section 3.2, Figure 4).
+
+When the core executes a guarded memory instruction (``GLD``/``GST``), the
+Address Generation Unit first computes the *incoherent* SM address from the
+instruction's operands, then consults the coherence directory: on a hit the
+access is diverted to the LM copy (the directory supplies the LM buffer base
+which is OR-ed with the address offset), on a miss the original SM address is
+preserved.  The directory lookup happens in the same cycle as the address
+generation (32-entry CAM, 0.348 ns at 45 nm per CACTI), so the guard itself
+adds no latency — only the energy of the CAM access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.directory import CoherenceDirectory
+
+
+@dataclass
+class GuardedAccessOutcome:
+    """Result of generating the address of a guarded memory access."""
+
+    original_address: int    # the incoherent SM address computed by the AGU
+    effective_address: int   # where the access actually goes
+    diverted: bool           # True when the directory hit and the LM serves it
+    stall_cycles: float      # presence-bit stall (double-buffering support)
+
+
+class GuardedAGU:
+    """Address Generation Unit extension for guarded memory instructions."""
+
+    def __init__(self, directory: CoherenceDirectory):
+        self.directory = directory
+        self.guarded_loads = 0
+        self.guarded_stores = 0
+        self.diverted_loads = 0
+        self.diverted_stores = 0
+
+    def generate(self, sm_addr: int, is_store: bool, now: float = 0.0) -> GuardedAccessOutcome:
+        """Resolve the effective address of a guarded access to ``sm_addr``."""
+        hit, target, stall = self.directory.lookup(sm_addr, now)
+        if is_store:
+            self.guarded_stores += 1
+            if hit:
+                self.diverted_stores += 1
+        else:
+            self.guarded_loads += 1
+            if hit:
+                self.diverted_loads += 1
+        return GuardedAccessOutcome(
+            original_address=sm_addr,
+            effective_address=target,
+            diverted=hit,
+            stall_cycles=stall,
+        )
+
+    @property
+    def guarded_accesses(self) -> int:
+        return self.guarded_loads + self.guarded_stores
+
+    @property
+    def diverted_accesses(self) -> int:
+        return self.diverted_loads + self.diverted_stores

@@ -1,0 +1,119 @@
+"""Multicore composition of the per-core coherence protocol (Section 3).
+
+The proposed coherence protocol is *per core*: it keeps the caches and the
+local memory of one core coherent without interacting with other cores or
+with the inter-core cache coherence protocol.  Integrating it in a multicore
+is therefore just a matter of replicating the per-core hardware, under the
+programming-model constraint that LMs hold core-private data only — one core
+never accesses another core's LM, and while a core has data mapped to its LM
+no other core accesses the SM copy of that data.
+
+:class:`MulticoreHybridSystem` models exactly that: N independent
+:class:`~repro.core.hybrid.HybridSystem` instances plus a software-visible
+ownership map that *checks* the programming-model constraint and raises when
+it is violated, which is how the tests demonstrate the claim of Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.hybrid import HybridSystem, MemoryOutcome
+from repro.mem.hierarchy import MemoryHierarchyConfig
+
+
+class OwnershipViolation(RuntimeError):
+    """Raised when a core touches SM data currently mapped to another core's LM."""
+
+
+class MulticoreHybridSystem:
+    """A set of cores, each with its private hybrid memory system.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of replicated cores.
+    memory_config:
+        Per-core cache-hierarchy configuration (each core gets its own private
+        hierarchy instance; the paper's protocol never crosses cores, so a
+        shared LLC model is unnecessary for its evaluation).
+    enforce_ownership:
+        When True, cross-core accesses to data mapped in another core's LM
+        raise :class:`OwnershipViolation` — the constraint the programming
+        model must guarantee.
+    """
+
+    def __init__(self, num_cores: int = 4,
+                 memory_config: Optional[MemoryHierarchyConfig] = None,
+                 enforce_ownership: bool = True,
+                 **core_kwargs):
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self.enforce_ownership = enforce_ownership
+        self.cores: List[HybridSystem] = [
+            HybridSystem(memory_config=memory_config, **core_kwargs)
+            for _ in range(num_cores)
+        ]
+        # chunk base address -> owning core id
+        self._ownership: Dict[int, int] = {}
+
+    def core(self, core_id: int) -> HybridSystem:
+        return self.cores[core_id]
+
+    # -- ownership bookkeeping ------------------------------------------------------
+    def _chunk_base(self, core_id: int, sm_addr: int) -> Optional[int]:
+        directory = self.cores[core_id].directory
+        if directory is None or not directory.is_configured:
+            return None
+        return sm_addr & directory.base_mask
+
+    def _check_ownership(self, core_id: int, sm_addr: int) -> None:
+        if not self.enforce_ownership:
+            return
+        for owner_id, core in enumerate(self.cores):
+            if owner_id == core_id or core.directory is None:
+                continue
+            for base, size in core.directory.mapped_sm_ranges():
+                if base <= sm_addr < base + size:
+                    raise OwnershipViolation(
+                        f"core {core_id} accessed SM address {sm_addr:#x} that is "
+                        f"mapped to the LM of core {owner_id}")
+
+    # -- per-core operations ----------------------------------------------------------
+    def load(self, core_id: int, vaddr: int, **kwargs) -> MemoryOutcome:
+        core = self.cores[core_id]
+        if core.address_map is None or not core.address_map.contains(vaddr):
+            self._check_ownership(core_id, vaddr)
+        return core.load(vaddr, **kwargs)
+
+    def store(self, core_id: int, vaddr: int, value, **kwargs) -> MemoryOutcome:
+        core = self.cores[core_id]
+        if core.address_map is None or not core.address_map.contains(vaddr):
+            self._check_ownership(core_id, vaddr)
+        return core.store(vaddr, value, **kwargs)
+
+    def dma_get(self, core_id: int, lm_vaddr: int, sm_addr: int, size: int,
+                tag: int = 0, now: float = 0.0) -> float:
+        self._check_ownership(core_id, sm_addr)
+        result = self.cores[core_id].dma_get(lm_vaddr, sm_addr, size, tag, now)
+        base = self._chunk_base(core_id, sm_addr)
+        if base is not None:
+            self._ownership[base] = core_id
+        return result
+
+    def dma_put(self, core_id: int, lm_vaddr: int, sm_addr: int, size: int,
+                tag: int = 0, now: float = 0.0) -> float:
+        return self.cores[core_id].dma_put(lm_vaddr, sm_addr, size, tag, now)
+
+    def dma_sync(self, core_id: int, tag: Optional[int] = None,
+                 now: float = 0.0) -> float:
+        return self.cores[core_id].dma_sync(tag, now)
+
+    def set_buffer_size(self, core_id: int, size_bytes: int) -> float:
+        return self.cores[core_id].set_buffer_size(size_bytes)
+
+    # -- reporting ---------------------------------------------------------------------
+    def stats_summary(self) -> dict:
+        return {f"core{idx}": core.stats_summary()
+                for idx, core in enumerate(self.cores)}

@@ -1,0 +1,204 @@
+"""Conceptual data-replication state machine (Section 3.4, Figure 6).
+
+The paper argues correctness of the coherence protocol with a conceptual
+state diagram: a piece of data can live in main memory only (``MM``), be
+replicated only in the LM (``LM``), only in the cache hierarchy (``CM``) or
+in both (``LM-CM``).  The diagram is *not* implemented in hardware; here it
+is implemented as a verification artifact:
+
+* :data:`TRANSITIONS` encodes the legal transitions;
+* :class:`ProtocolChecker` tracks the state of every LM-buffer-sized chunk
+  during a simulation and raises :class:`ProtocolError` if an illegal
+  transition is attempted, and it can report which copy of a chunk is valid;
+* the property-based tests in ``tests/test_protocol_properties.py`` explore
+  random action sequences and assert the two key invariants of Section 3.4:
+  whenever two replicas exist, either they are identical or the LM copy is
+  the valid one, and data is only ever evicted from a single-replica state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class DataState(enum.Enum):
+    """Replication state of a chunk of data (Figure 6)."""
+
+    MM = "MM"        # only in main memory
+    LM = "LM"        # replicated only in the local memory
+    CM = "CM"        # replicated only in the cache hierarchy
+    LM_CM = "LM-CM"  # replicated in both
+
+
+class ProtocolAction(enum.Enum):
+    """Actions that create, modify or discard replicas."""
+
+    LM_MAP = "LM-map"              # dma-get maps the chunk to an LM buffer
+    LM_UNMAP = "LM-unmap"          # dma-get overwrites the buffer with other data
+    LM_WRITEBACK = "LM-writeback"  # dma-put writes the LM copy back to the SM
+    CM_ACCESS = "CM-access"        # cache line with the chunk placed in the hierarchy
+    CM_EVICT = "CM-evict"          # cache line replaced / written back
+    DOUBLE_STORE = "double-store"  # compiler-generated guarded store + SM store
+    GUARDED_LOAD = "guarded-load"
+    GUARDED_STORE = "guarded-store"
+
+
+class ProtocolError(RuntimeError):
+    """Raised when an illegal transition is attempted."""
+
+
+#: Legal transitions of the state diagram.  Missing (state, action) pairs are
+#: illegal and raise :class:`ProtocolError`.
+TRANSITIONS: Dict[Tuple[DataState, ProtocolAction], DataState] = {
+    # From MM: a replica can be created in either storage.
+    (DataState.MM, ProtocolAction.LM_MAP): DataState.LM,
+    (DataState.MM, ProtocolAction.CM_ACCESS): DataState.CM,
+    (DataState.MM, ProtocolAction.LM_UNMAP): DataState.MM,
+    # From LM: guarded accesses stay in the LM; only the double store creates
+    # the cache replica; unguarded SM accesses to this data never happen
+    # because the compiler only leaves accesses unguarded when it has proved
+    # there is no aliasing.
+    (DataState.LM, ProtocolAction.LM_MAP): DataState.LM,
+    (DataState.LM, ProtocolAction.LM_UNMAP): DataState.MM,
+    (DataState.LM, ProtocolAction.LM_WRITEBACK): DataState.LM,
+    (DataState.LM, ProtocolAction.GUARDED_LOAD): DataState.LM,
+    (DataState.LM, ProtocolAction.GUARDED_STORE): DataState.LM,
+    (DataState.LM, ProtocolAction.DOUBLE_STORE): DataState.LM_CM,
+    # From CM: normal cache behaviour, plus an LM-map creating the second
+    # replica (the coherent dma-get sources the data from the cache, so the
+    # two replicas start identical).
+    (DataState.CM, ProtocolAction.CM_ACCESS): DataState.CM,
+    (DataState.CM, ProtocolAction.CM_EVICT): DataState.MM,
+    (DataState.CM, ProtocolAction.LM_MAP): DataState.LM_CM,
+    (DataState.CM, ProtocolAction.GUARDED_LOAD): DataState.CM,
+    (DataState.CM, ProtocolAction.GUARDED_STORE): DataState.CM,
+    # From LM-CM: there is no direct transition to MM — one replica must be
+    # discarded first, which is the key point for correct evictions.
+    (DataState.LM_CM, ProtocolAction.LM_WRITEBACK): DataState.LM,
+    (DataState.LM_CM, ProtocolAction.CM_EVICT): DataState.LM,
+    (DataState.LM_CM, ProtocolAction.LM_UNMAP): DataState.CM,
+    (DataState.LM_CM, ProtocolAction.DOUBLE_STORE): DataState.LM_CM,
+    (DataState.LM_CM, ProtocolAction.GUARDED_LOAD): DataState.LM_CM,
+    (DataState.LM_CM, ProtocolAction.GUARDED_STORE): DataState.LM_CM,
+}
+
+
+def next_state(state: DataState, action: ProtocolAction) -> DataState:
+    """Apply ``action`` to ``state``; raise :class:`ProtocolError` if illegal."""
+    try:
+        return TRANSITIONS[(state, action)]
+    except KeyError:
+        raise ProtocolError(
+            f"illegal action {action.value} in state {state.value}") from None
+
+
+@dataclass
+class ChunkInfo:
+    """Tracked information about one chunk of data."""
+
+    state: DataState = DataState.MM
+    #: True while the two replicas are known to hold identical values.  Only
+    #: meaningful in the LM-CM state.
+    replicas_identical: bool = True
+    #: Version counters used by the property tests to decide which copy holds
+    #: the most recent value.
+    lm_version: int = 0
+    cm_version: int = 0
+    mm_version: int = 0
+    history: list = field(default_factory=list)
+
+
+class ProtocolChecker:
+    """Tracks the replication state of chunks and enforces the state diagram.
+
+    The checker is keyed by chunk-aligned SM base address.  It is used in two
+    ways: the hybrid system can drive it during simulation (``strict=True``
+    turns violations into exceptions), and the property-based tests drive it
+    directly with random action sequences.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self.chunks: Dict[int, ChunkInfo] = {}
+        self.violations: list = []
+
+    def _chunk(self, base_addr: int) -> ChunkInfo:
+        return self.chunks.setdefault(base_addr, ChunkInfo())
+
+    def state_of(self, base_addr: int) -> DataState:
+        return self._chunk(base_addr).state
+
+    def apply(self, base_addr: int, action: ProtocolAction) -> DataState:
+        """Apply ``action`` to the chunk at ``base_addr``."""
+        info = self._chunk(base_addr)
+        try:
+            new_state = next_state(info.state, action)
+        except ProtocolError as exc:
+            self.violations.append((base_addr, info.state, action))
+            if self.strict:
+                raise
+            return info.state
+        # Track which copy is the most recent one.
+        if action is ProtocolAction.LM_MAP:
+            # Coherent dma-get: the LM copy starts identical to the SM copy.
+            info.lm_version = max(info.cm_version, info.mm_version)
+            info.replicas_identical = True
+        elif action is ProtocolAction.GUARDED_STORE:
+            if new_state in (DataState.LM, DataState.LM_CM):
+                info.lm_version += 1
+                info.replicas_identical = False
+            else:
+                info.cm_version += 1
+        elif action is ProtocolAction.DOUBLE_STORE:
+            # Both copies are updated with the same value.
+            version = max(info.lm_version, info.cm_version) + 1
+            info.lm_version = version
+            info.cm_version = version
+            info.replicas_identical = True
+        elif action is ProtocolAction.CM_ACCESS:
+            info.cm_version = max(info.cm_version, info.mm_version)
+        elif action is ProtocolAction.LM_WRITEBACK:
+            # dma-put: main memory receives the LM copy and the cache replica
+            # is invalidated by the coherent transfer.
+            info.mm_version = info.lm_version
+            info.cm_version = info.lm_version
+            info.replicas_identical = True
+        elif action is ProtocolAction.CM_EVICT:
+            info.mm_version = max(info.mm_version, info.cm_version)
+        elif action is ProtocolAction.LM_UNMAP:
+            # The programming model guarantees the LM copy has been written
+            # back (or was clean) before being replaced.
+            info.mm_version = max(info.mm_version, info.lm_version)
+        info.state = new_state
+        info.history.append(action)
+        return new_state
+
+    # -- invariants ------------------------------------------------------------------
+    def valid_copy_location(self, base_addr: int) -> str:
+        """Where the valid copy of the chunk lives: "LM", "CM" or "MM"."""
+        info = self._chunk(base_addr)
+        if info.state in (DataState.LM, DataState.LM_CM):
+            return "LM"
+        if info.state is DataState.CM:
+            return "CM"
+        return "MM"
+
+    def check_replication_invariant(self, base_addr: int) -> bool:
+        """Section 3.4.1: with two replicas, either they are identical or the
+        LM copy is the newest one."""
+        info = self._chunk(base_addr)
+        if info.state is not DataState.LM_CM:
+            return True
+        return info.replicas_identical or info.lm_version >= info.cm_version
+
+    def check_eviction_allowed(self, base_addr: int) -> bool:
+        """Section 3.4.2: eviction to main memory only happens from a
+        single-replica state (LM or CM), never directly from LM-CM."""
+        info = self._chunk(base_addr)
+        return info.state in (DataState.LM, DataState.CM, DataState.MM)
+
+    def all_invariants_hold(self) -> bool:
+        return all(
+            self.check_replication_invariant(addr) for addr in self.chunks)

@@ -1,0 +1,138 @@
+"""Hybrid branch predictor (Table 1).
+
+The simulated core uses a hybrid predictor: a 4K-entry g-share predictor, a
+4K-entry bimodal predictor and a 4K-entry selector of 2-bit counters that
+chooses between them per branch, plus a 4K-entry 4-way BTB for targets and a
+32-entry return address stack.  All tables use 2-bit saturating counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+
+class SaturatingCounterTable:
+    """A table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int, initial: int = 2):
+        if entries <= 0:
+            raise ValueError("table needs at least one entry")
+        self.entries = entries
+        self.counters: List[int] = [initial] * entries
+
+    def index(self, key: int) -> int:
+        return key % self.entries
+
+    def predict(self, key: int) -> bool:
+        return self.counters[self.index(key)] >= 2
+
+    def update(self, key: int, taken: bool) -> None:
+        idx = self.index(key)
+        if taken:
+            self.counters[idx] = min(3, self.counters[idx] + 1)
+        else:
+            self.counters[idx] = max(0, self.counters[idx] - 1)
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB holding branch targets."""
+
+    def __init__(self, entries: int = 4096, assoc: int = 4):
+        self.assoc = assoc
+        self.num_sets = max(1, entries // assoc)
+        self._sets: Dict[int, "OrderedDict[int, int]"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int):
+        s = self._sets.get(pc % self.num_sets)
+        if s is not None and pc in s:
+            s.move_to_end(pc)
+            self.hits += 1
+            return s[pc]
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        s = self._sets.setdefault(pc % self.num_sets, OrderedDict())
+        if pc in s:
+            s.move_to_end(pc)
+        elif len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[pc] = target
+
+
+class ReturnAddressStack:
+    """Fixed-depth return address stack (32 entries in Table 1)."""
+
+    def __init__(self, depth: int = 32):
+        self.depth = depth
+        self._stack: List[int] = []
+
+    def push(self, addr: int) -> None:
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)
+        self._stack.append(addr)
+
+    def pop(self):
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class HybridBranchPredictor:
+    """G-share + bimodal with a per-branch selector."""
+
+    def __init__(self, entries: int = 4096, btb_entries: int = 4096,
+                 btb_assoc: int = 4, ras_entries: int = 32,
+                 history_bits: int = 12):
+        self.gshare = SaturatingCounterTable(entries)
+        self.bimodal = SaturatingCounterTable(entries)
+        self.selector = SaturatingCounterTable(entries)
+        self.btb = BranchTargetBuffer(btb_entries, btb_assoc)
+        self.ras = ReturnAddressStack(ras_entries)
+        self.history_bits = history_bits
+        self.history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _gshare_key(self, pc: int) -> int:
+        return (pc ^ self.history) & ((1 << self.history_bits) - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at ``pc``."""
+        use_gshare = self.selector.predict(pc)
+        if use_gshare:
+            return self.gshare.predict(self._gshare_key(pc))
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Update all tables with the outcome; returns True on a misprediction."""
+        self.predictions += 1
+        gshare_key = self._gshare_key(pc)
+        gshare_pred = self.gshare.predict(gshare_key)
+        bimodal_pred = self.bimodal.predict(pc)
+        use_gshare = self.selector.predict(pc)
+        prediction = gshare_pred if use_gshare else bimodal_pred
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.mispredictions += 1
+        # Selector learns which component was right (only when they disagree).
+        if gshare_pred != bimodal_pred:
+            self.selector.update(pc, gshare_pred == taken)
+        self.gshare.update(gshare_key, taken)
+        self.bimodal.update(pc, taken)
+        # Global history update.
+        self.history = ((self.history << 1) | int(taken)) & \
+            ((1 << self.history_bits) - 1)
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions

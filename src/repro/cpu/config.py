@@ -1,0 +1,42 @@
+"""Core configuration (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CoreConfig:
+    """Parameters of the simulated speculative out-of-order core.
+
+    Defaults reproduce Table 1: a 4-wide out-of-order pipeline with 3 integer
+    ALUs, 3 floating-point ALUs, 2 load/store units, 256 + 256 physical
+    registers and a hybrid branch predictor with 4K-entry tables, a 4K-entry
+    4-way BTB and a 32-entry return address stack.
+    """
+
+    fetch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    rob_size: int = 128
+    lsq_size: int = 64
+    int_alus: int = 3
+    fp_alus: int = 3
+    load_store_units: int = 2
+    int_registers: int = 256
+    fp_registers: int = 256
+    # Branch predictor (hybrid 4K selector, 4K gshare, 4K bimodal,
+    # 4K-entry 4-way BTB, 32-entry RAS).
+    predictor_entries: int = 4096
+    btb_entries: int = 4096
+    btb_assoc: int = 4
+    ras_entries: int = 32
+    mispredict_penalty: int = 14
+    #: Frequency in GHz, used only to convert energy numbers (Wattch reports
+    #: energy per access; execution time in seconds = cycles / frequency).
+    frequency_ghz: float = 2.5
+
+    def copy_with(self, **kwargs) -> "CoreConfig":
+        data = self.__dict__.copy()
+        data.update(kwargs)
+        return CoreConfig(**data)

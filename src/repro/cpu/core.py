@@ -1,0 +1,112 @@
+"""The simulated core: functional execution + out-of-order timing.
+
+:class:`Core` couples a :class:`~repro.cpu.executor.FunctionalExecutor` with
+an :class:`~repro.cpu.pipeline.OutOfOrderTimingModel` and a memory system
+(:class:`~repro.core.hybrid.HybridSystem`), producing a
+:class:`SimulationResult` with cycle counts, per-phase breakdowns,
+instruction statistics and the memory system's activity summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.hybrid import HybridSystem
+from repro.cpu.config import CoreConfig
+from repro.cpu.executor import FunctionalExecutor
+from repro.cpu.pipeline import OutOfOrderTimingModel
+from repro.isa.program import Program, WORD_SIZE
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running one program on one system configuration."""
+
+    cycles: float
+    instructions: int
+    phase_cycles: Dict[str, float]
+    mispredictions: int
+    branch_predictions: int
+    memory_stats: dict
+    core_stats: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def work_cycles(self) -> float:
+        return self.phase_cycles.get("work", 0.0)
+
+    @property
+    def control_cycles(self) -> float:
+        return self.phase_cycles.get("control", 0.0)
+
+    @property
+    def sync_cycles(self) -> float:
+        return self.phase_cycles.get("sync", 0.0)
+
+
+class Core:
+    """A single simulated core attached to a hybrid (or cache-based) system."""
+
+    def __init__(self, system: HybridSystem,
+                 config: Optional[CoreConfig] = None,
+                 max_instructions: int = 50_000_000):
+        self.system = system
+        self.config = config or CoreConfig()
+        self.max_instructions = max_instructions
+
+    def _load_program_data(self, program: Program) -> None:
+        """Copy the declared arrays' initial contents into system memory."""
+        for decl in program.arrays.values():
+            if decl.base is None:
+                raise RuntimeError(
+                    f"array {decl.name!r} has no address; call assign_addresses()")
+            if decl.data is None:
+                continue
+            for i, value in enumerate(decl.data):
+                self.system.write_sm_word(decl.base + i * WORD_SIZE, float(value))
+
+    def read_array(self, program: Program, name: str):
+        """Read back an array's current SM contents (after execution)."""
+        decl = program.arrays[name]
+        return [self.system.read_sm_word(decl.base + i * WORD_SIZE)
+                for i in range(decl.length)]
+
+    def run(self, program: Program, load_data: bool = True) -> SimulationResult:
+        """Execute ``program`` to completion and return the simulation result."""
+        if not program.is_laid_out:
+            program.assign_addresses()
+        if load_data:
+            self._load_program_data(program)
+        executor = FunctionalExecutor(program, self.system,
+                                      max_instructions=self.max_instructions)
+        timing = OutOfOrderTimingModel(self.config, hierarchy=self.system.hierarchy)
+        while True:
+            inst = executor.current_instruction()
+            if inst is None:
+                break
+            now = timing.issue_estimate(inst, executor.pc)
+            dyn = executor.execute_at(now)
+            if dyn is None:  # pragma: no cover - defensive
+                break
+            timing.retire(dyn, now)
+        return SimulationResult(
+            cycles=timing.cycles,
+            instructions=timing.committed,
+            phase_cycles=timing.phase_breakdown(),
+            mispredictions=timing.mispredictions,
+            branch_predictions=timing.predictor.predictions,
+            memory_stats=self.system.stats_summary(),
+            core_stats={
+                "ipc": timing.ipc,
+                "fu_op_counts": dict(timing.fu_op_counts),
+                "fu_contended_cycles": timing.fus.contended_cycles,
+                "rob_dispatch_stalls": timing.rob.dispatch_stalls,
+                "lsq_occupancy_stalls": timing.lsq.occupancy_stalls,
+                "lsq_collapsed_stores": timing.lsq.collapsed_stores,
+                "misprediction_rate": timing.predictor.misprediction_rate,
+            },
+        )

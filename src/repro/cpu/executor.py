@@ -1,0 +1,209 @@
+"""Functional executor of the mini ISA.
+
+The executor interprets a :class:`~repro.isa.program.Program` against a
+memory system (:class:`~repro.core.hybrid.HybridSystem`), resolving operand
+values, computing effective addresses, performing loads/stores/DMA commands
+and following control flow.  For every executed instruction it produces a
+:class:`DynamicInstruction` record that the timing model consumes.
+
+The executor is deliberately decoupled from timing: the core drives it one
+instruction at a time, passing the estimated issue time (``now``) so that
+time-dependent behaviour in the memory system (MSHR occupancy, DMA
+completion, directory presence stalls) sees a consistent clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.hybrid import HybridSystem, MemoryOutcome
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile
+
+
+class ExecutionError(RuntimeError):
+    """Raised when the program performs an illegal operation."""
+
+
+@dataclass
+class DynamicInstruction:
+    """One executed (dynamic) instruction and its resolved effects."""
+
+    inst: Instruction
+    index: int                      # static instruction index (the "PC")
+    address: Optional[int] = None   # resolved memory address (memory ops)
+    mem_outcome: Optional[MemoryOutcome] = None
+    latency: float = 1.0            # execution latency in cycles
+    stall_cycles: float = 0.0       # pipeline-serialising stall (dma-synch)
+    branch_taken: bool = False
+    next_index: int = 0             # index of the next instruction to execute
+    serializing: bool = False       # drains the pipeline (dma-synch, halt)
+
+
+class FunctionalExecutor:
+    """Interprets a program against a hybrid (or cache-based) memory system."""
+
+    def __init__(self, program: Program, system: HybridSystem,
+                 max_instructions: int = 50_000_000):
+        if not program.is_laid_out:
+            program.assign_addresses()
+        program.validate()
+        self.program = program
+        self.system = system
+        self.registers = RegisterFile()
+        self.pc = 0
+        self.executed = 0
+        self.max_instructions = max_instructions
+        self.halted = False
+
+    # -- helpers -------------------------------------------------------------------
+    def current_instruction(self) -> Optional[Instruction]:
+        """The static instruction about to execute (None when finished)."""
+        if self.halted or self.pc >= len(self.program.instructions):
+            return None
+        return self.program.instructions[self.pc]
+
+    def _reg(self, name: str):
+        return self.registers.read(name)
+
+    def _src2_value(self, inst: Instruction):
+        """Second ALU operand: a register when present, else the immediate."""
+        if len(inst.srcs) >= 2:
+            return self._reg(inst.srcs[1])
+        if inst.imm is None:
+            raise ExecutionError(f"{inst!r}: missing second operand")
+        return inst.imm
+
+    # -- execution ------------------------------------------------------------------
+    def execute_at(self, now: float) -> Optional[DynamicInstruction]:
+        """Execute the instruction at the current PC with clock estimate ``now``."""
+        inst = self.current_instruction()
+        if inst is None:
+            return None
+        if self.executed >= self.max_instructions:
+            raise ExecutionError(
+                f"instruction limit of {self.max_instructions} exceeded "
+                "(missing HALT or runaway loop?)")
+        self.executed += 1
+        index = self.pc
+        dyn = DynamicInstruction(inst=inst, index=index, latency=float(inst.latency),
+                                 next_index=index + 1)
+        op = inst.opcode
+
+        if op is Opcode.LI:
+            self.registers.write(inst.dst, inst.imm)
+        elif op is Opcode.MOV:
+            self.registers.write(inst.dst, self._reg(inst.srcs[0]))
+        elif op is Opcode.FCVT:
+            self.registers.write(inst.dst, float(self._reg(inst.srcs[0])))
+        elif op in _ALU_EVAL:
+            a = self._reg(inst.srcs[0])
+            b = self._src2_value(inst)
+            self.registers.write(inst.dst, _ALU_EVAL[op](a, b))
+        elif op is Opcode.FNEG:
+            self.registers.write(inst.dst, -self._reg(inst.srcs[0]))
+        elif op is Opcode.FSQRT:
+            value = self._reg(inst.srcs[0])
+            self.registers.write(inst.dst, abs(value) ** 0.5)
+        elif op in (Opcode.LD, Opcode.GLD):
+            base = self._reg(inst.srcs[0])
+            addr = int(base) + int(inst.imm or 0)
+            outcome = self.system.load(
+                addr, guarded=(op is Opcode.GLD),
+                oracle_divert=inst.oracle_divert, pc=index, now=now)
+            self.registers.write(inst.dst, outcome.value)
+            dyn.address = addr
+            dyn.mem_outcome = outcome
+            dyn.latency = outcome.latency
+        elif op in (Opcode.ST, Opcode.GST):
+            value = self._reg(inst.srcs[0])
+            base = self._reg(inst.srcs[1])
+            addr = int(base) + int(inst.imm or 0)
+            outcome = self.system.store(
+                addr, value, guarded=(op is Opcode.GST),
+                oracle_divert=inst.oracle_divert,
+                collapse_with_prev=inst.collapse_with_prev, pc=index, now=now)
+            dyn.address = addr
+            dyn.mem_outcome = outcome
+            dyn.latency = outcome.latency
+        elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            a = self._reg(inst.srcs[0])
+            b = self._reg(inst.srcs[1])
+            taken = _BRANCH_EVAL[op](a, b)
+            dyn.branch_taken = taken
+            if taken:
+                dyn.next_index = self.program.resolve_label(inst.target)
+        elif op is Opcode.JMP:
+            dyn.branch_taken = True
+            dyn.next_index = self.program.resolve_label(inst.target)
+        elif op is Opcode.HALT:
+            self.halted = True
+            dyn.serializing = True
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.DMA_GET:
+            lm_addr = int(self._reg(inst.srcs[0]))
+            sm_addr = int(self._reg(inst.srcs[1]))
+            size = int(self._reg(inst.srcs[2]))
+            dyn.latency = self.system.dma_get(lm_addr, sm_addr, size,
+                                              tag=inst.imm or 0, now=now)
+        elif op is Opcode.DMA_PUT:
+            lm_addr = int(self._reg(inst.srcs[0]))
+            sm_addr = int(self._reg(inst.srcs[1]))
+            size = int(self._reg(inst.srcs[2]))
+            dyn.latency = self.system.dma_put(lm_addr, sm_addr, size,
+                                              tag=inst.imm or 0, now=now)
+        elif op is Opcode.DMA_SYNC:
+            stall = self.system.dma_sync(inst.imm, now=now)
+            dyn.stall_cycles = stall
+            dyn.latency = 1.0 + stall
+            dyn.serializing = True
+        elif op is Opcode.SET_BUFSIZE:
+            dyn.latency = self.system.set_buffer_size(inst.imm)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unimplemented opcode {op}")
+
+        self.pc = dyn.next_index
+        return dyn
+
+
+def _safe_div(a, b):
+    return a / b if b != 0 else 0.0
+
+
+def _safe_idiv(a, b):
+    return a // b if b != 0 else 0
+
+
+def _safe_mod(a, b):
+    return a % b if b != 0 else 0
+
+
+_ALU_EVAL = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _safe_idiv,
+    Opcode.MOD: _safe_mod,
+    Opcode.AND: lambda a, b: int(a) & int(b),
+    Opcode.OR: lambda a, b: int(a) | int(b),
+    Opcode.XOR: lambda a, b: int(a) ^ int(b),
+    Opcode.SHL: lambda a, b: int(a) << int(b),
+    Opcode.SHR: lambda a, b: int(a) >> int(b),
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: _safe_div,
+    Opcode.FMA: lambda a, b: a * b,  # two-operand form; three-operand FMA unused
+}
+
+_BRANCH_EVAL = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+}

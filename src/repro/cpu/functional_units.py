@@ -1,0 +1,76 @@
+"""Functional-unit pool model.
+
+Table 1: 3 integer ALUs, 3 floating-point ALUs and 2 load/store units.
+
+Contention is modelled with a per-cycle reservation table per unit class: an
+operation that becomes ready at time ``t`` executes in the earliest cycle at
+or after ``t`` in which fewer than ``num_units`` operations of that class are
+already scheduled.  This keeps the model out-of-order: an operation whose
+operands are ready early can use an earlier cycle even if an older operation
+(still waiting on a cache miss) will use the unit later — unlike a simple
+"next free time" reservation, which would let stalled operations capture the
+units and artificially serialise independent work.
+
+Units are pipelined (one new operation per cycle) except the long-latency
+dividers/square roots, which occupy their unit for the full latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.instructions import FuClass, Opcode
+
+#: Opcodes that occupy their functional unit for the whole latency
+#: (unpipelined units).
+UNPIPELINED_OPS = {Opcode.DIV, Opcode.MOD, Opcode.FDIV, Opcode.FSQRT}
+
+
+class FunctionalUnitPool:
+    """Per-cycle reservation tables for each functional-unit class."""
+
+    def __init__(self, int_alus: int = 3, fp_alus: int = 3,
+                 load_store_units: int = 2):
+        self._capacity: Dict[FuClass, int] = {
+            FuClass.INT_ALU: int_alus,
+            FuClass.FP_ALU: fp_alus,
+            FuClass.LOAD_STORE: load_store_units,
+            # Branches execute on the integer ALU ports in this model.
+            FuClass.BRANCH: int_alus,
+            FuClass.NONE: max(int_alus, 1),
+        }
+        self._schedule: Dict[FuClass, Dict[int, int]] = {
+            cls: {} for cls in self._capacity}
+        self.contended_cycles = 0.0
+
+    def acquire(self, fu_class: FuClass, ready_time: float, opcode: Opcode,
+                latency: float) -> float:
+        """Return the time at which an instruction can start executing.
+
+        ``ready_time`` is when its operands are available; the returned start
+        time is the first cycle with a free unit of the class.  Unpipelined
+        operations reserve their unit for ``latency`` consecutive cycles.
+        """
+        capacity = self._capacity[fu_class]
+        table = self._schedule[fu_class]
+        cycle = int(ready_time)
+        while table.get(cycle, 0) >= capacity:
+            cycle += 1
+        start = max(ready_time, float(cycle))
+        self.contended_cycles += max(0.0, start - ready_time)
+        occupancy = int(latency) if opcode in UNPIPELINED_OPS else 1
+        for c in range(cycle, cycle + max(1, occupancy)):
+            table[c] = table.get(c, 0) + 1
+        return start
+
+    def prune(self, horizon: float) -> None:
+        """Drop reservations before ``horizon`` (no future op can use them)."""
+        h = int(horizon)
+        for cls, table in self._schedule.items():
+            if len(table) > 2048:
+                self._schedule[cls] = {c: n for c, n in table.items() if c >= h}
+
+    def reset(self) -> None:
+        for table in self._schedule.values():
+            table.clear()
+        self.contended_cycles = 0.0

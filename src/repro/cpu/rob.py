@@ -1,0 +1,57 @@
+"""Reorder-buffer occupancy model.
+
+The ROB bounds the number of in-flight instructions: a new instruction cannot
+be dispatched until the instruction ``rob_size`` positions earlier has
+committed.  Commit is in order and limited to ``commit_width`` instructions
+per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ReorderBuffer:
+    """Tracks in-order commit times of the last ``size`` instructions."""
+
+    def __init__(self, size: int = 128, commit_width: int = 4):
+        if size <= 0:
+            raise ValueError("ROB size must be positive")
+        self.size = size
+        self.commit_width = commit_width
+        self._commit_times: deque = deque(maxlen=size)
+        self._last_commit_time = 0.0
+        self._commit_bandwidth_time = 0.0
+        self.dispatch_stalls = 0.0
+
+    def dispatch_constraint(self, dispatch_time: float) -> float:
+        """Earliest time a new instruction may dispatch given ROB occupancy."""
+        if len(self._commit_times) < self.size:
+            return dispatch_time
+        oldest = self._commit_times[0]
+        if oldest > dispatch_time:
+            self.dispatch_stalls += oldest - dispatch_time
+            return oldest
+        return dispatch_time
+
+    def commit(self, completion_time: float) -> float:
+        """Record the in-order commit of an instruction completing at ``completion_time``."""
+        # In-order commit: an instruction cannot commit before the previous one.
+        commit_time = max(completion_time, self._last_commit_time)
+        # Commit bandwidth: at most commit_width instructions per cycle.
+        self._commit_bandwidth_time = max(
+            self._commit_bandwidth_time + 1.0 / self.commit_width, commit_time)
+        commit_time = self._commit_bandwidth_time
+        self._last_commit_time = commit_time
+        self._commit_times.append(commit_time)
+        return commit_time
+
+    @property
+    def last_commit_time(self) -> float:
+        return self._last_commit_time
+
+    def reset(self) -> None:
+        self._commit_times.clear()
+        self._last_commit_time = 0.0
+        self._commit_bandwidth_time = 0.0
+        self.dispatch_stalls = 0.0

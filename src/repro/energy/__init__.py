@@ -1,0 +1,16 @@
+"""Activity-based energy model (Wattch/CACTI style).
+
+The paper integrates Wattch into PTLsim to report energy.  This package
+provides the equivalent for the cycle-approximate simulator: per-event energy
+costs for every structure (pipeline stages, register files, ALUs, branch
+predictor, caches, local memory, coherence directory, prefetchers, DMA
+controller and buses) that are multiplied by the activity counters collected
+during simulation.  Absolute joule figures are not meaningful — what matters,
+as in the paper, is the relative breakdown and the deltas between system
+configurations.
+"""
+
+from repro.energy.parameters import EnergyParameters
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = ["EnergyParameters", "EnergyBreakdown", "EnergyModel"]

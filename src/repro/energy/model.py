@@ -1,0 +1,125 @@
+"""Energy accounting from simulation activity counters.
+
+:class:`EnergyModel` takes a :class:`~repro.cpu.core.SimulationResult` and
+produces an :class:`EnergyBreakdown` with per-structure energies and the
+four-way grouping of Figure 10 (CPU, Caches, LM, Others).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cpu.core import SimulationResult
+from repro.energy.parameters import EnergyParameters
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy in nanojoules."""
+
+    cpu: float = 0.0
+    caches: float = 0.0
+    lm: float = 0.0
+    directory: float = 0.0
+    prefetcher: float = 0.0
+    dma: float = 0.0
+    bus: float = 0.0
+    dram: float = 0.0
+
+    @property
+    def others(self) -> float:
+        """The "Others" group of Figure 10: prefetchers, DMAC, buses and the
+        coherence directory."""
+        return self.directory + self.prefetcher + self.dma + self.bus
+
+    @property
+    def total(self) -> float:
+        """Total on-chip energy (DRAM excluded, as in Wattch)."""
+        return self.cpu + self.caches + self.lm + self.others
+
+    @property
+    def total_with_dram(self) -> float:
+        return self.total + self.dram
+
+    def groups(self) -> Dict[str, float]:
+        """The Figure 10 component grouping."""
+        return {
+            "CPU": self.cpu,
+            "Caches": self.caches,
+            "LM": self.lm,
+            "Others": self.others,
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cpu": self.cpu,
+            "caches": self.caches,
+            "lm": self.lm,
+            "directory": self.directory,
+            "prefetcher": self.prefetcher,
+            "dma": self.dma,
+            "bus": self.bus,
+            "dram": self.dram,
+            "others": self.others,
+            "total": self.total,
+        }
+
+
+class EnergyModel:
+    """Maps simulation activity onto energy using :class:`EnergyParameters`."""
+
+    def __init__(self, params: Optional[EnergyParameters] = None):
+        self.params = params or EnergyParameters()
+
+    def compute(self, result: SimulationResult) -> EnergyBreakdown:
+        """Compute the energy breakdown of one simulation."""
+        p = self.params
+        mem = result.memory_stats
+        hier = mem["hierarchy"]
+        core = result.core_stats
+        fu_counts = core.get("fu_op_counts", {})
+        breakdown = EnergyBreakdown()
+
+        # --- CPU: pipeline structures, register files, ALUs, misspeculation ------
+        n = result.instructions
+        breakdown.cpu += n * (p.fetch_decode_per_inst + p.rename_dispatch_per_inst +
+                              p.issue_window_per_inst + p.regfile_per_inst +
+                              p.commit_per_inst)
+        breakdown.cpu += fu_counts.get("int_alu", 0) * p.int_alu_per_op
+        breakdown.cpu += fu_counts.get("fp_alu", 0) * p.fp_alu_per_op
+        breakdown.cpu += fu_counts.get("load_store", 0) * p.lsq_per_mem_op
+        breakdown.cpu += result.branch_predictions * p.branch_predictor_per_branch
+        breakdown.cpu += result.mispredictions * p.squash_per_mispredict
+        breakdown.cpu += hier["L1"]["misses"] * p.replay_per_l1_miss
+
+        # --- Caches ----------------------------------------------------------------
+        breakdown.caches += hier["L1"]["accesses"] * p.l1_per_access
+        breakdown.caches += hier["L1I"]["accesses"] * p.l1i_per_access
+        breakdown.caches += hier["L2"]["accesses"] * p.l2_per_access
+        breakdown.caches += hier["L3"]["accesses"] * p.l3_per_access
+
+        # --- Local memory ------------------------------------------------------------
+        lm_accesses = mem.get("lm_accesses", 0)
+        dma_words = mem.get("dma", {}).get("words_transferred", 0)
+        breakdown.lm += (lm_accesses + dma_words) * p.lm_per_access
+
+        # --- Directory ----------------------------------------------------------------
+        directory = mem.get("directory", {})
+        breakdown.directory += directory.get("lookups", 0) * p.directory_per_lookup
+        breakdown.directory += directory.get("updates", 0) * p.directory_per_update
+
+        # --- Prefetcher ----------------------------------------------------------------
+        breakdown.prefetcher += hier.get("prefetches_issued", 0) * p.prefetcher_per_prefetch
+        breakdown.prefetcher += hier["L1"]["demand_accesses"] * p.prefetcher_per_training
+
+        # --- DMA controller and bus -------------------------------------------------------
+        dma = mem.get("dma", {})
+        breakdown.dma += dma.get("lines_transferred", 0) * p.dma_per_line
+        breakdown.dma += (dma.get("gets", 0) + dma.get("puts", 0)) * p.dma_per_command
+        breakdown.bus += hier.get("bus_transactions", 0) * p.bus_per_transaction
+
+        # --- DRAM (reported separately, excluded from the Figure 10 total) -----------------
+        breakdown.dram += (hier.get("memory_reads", 0) +
+                           hier.get("memory_writes", 0)) * p.dram_per_access
+        return breakdown

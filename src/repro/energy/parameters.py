@@ -1,0 +1,61 @@
+"""Per-event energy parameters.
+
+The values are loosely derived from CACTI 6.0 numbers for 45 nm SRAM arrays
+of the Table 1 sizes and from the relative stage energies Wattch reports for
+a 4-wide out-of-order core.  Absolute values are not the point: the paper's
+energy conclusions are activity-driven (fewer cache accesses, fewer misses,
+fewer prefetches, a cheap LM and a tiny directory CAM), and those relations
+are what the defaults encode:
+
+* an LM access is much cheaper than an L1 access of the same size because it
+  has no tag array and no TLB lookup;
+* the 32-entry directory CAM (0.348 ns at 45 nm per the paper) costs a small
+  fraction of an L1 access;
+* lower-level caches cost progressively more per access;
+* a cache miss also costs pipeline energy (re-executed/replayed work), which
+  is how the CPU component shrinks when the hybrid system removes misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EnergyParameters:
+    """Energy cost (in nanojoules) charged per event of each kind."""
+
+    # --- core pipeline (per committed instruction) ---------------------------------
+    fetch_decode_per_inst: float = 0.08
+    rename_dispatch_per_inst: float = 0.06
+    issue_window_per_inst: float = 0.08
+    regfile_per_inst: float = 0.08
+    commit_per_inst: float = 0.04
+    int_alu_per_op: float = 0.08
+    fp_alu_per_op: float = 0.18
+    branch_predictor_per_branch: float = 0.05
+    lsq_per_mem_op: float = 0.07
+    #: Pipeline energy wasted per L1 demand miss (replays, scheduler pressure).
+    replay_per_l1_miss: float = 0.80
+    #: Pipeline energy wasted per branch misprediction (squashed work).
+    squash_per_mispredict: float = 1.2
+
+    # --- memory structures (per access) ---------------------------------------------
+    l1_per_access: float = 0.18
+    l1i_per_access: float = 0.10
+    l2_per_access: float = 0.80
+    l3_per_access: float = 2.20
+    lm_per_access: float = 0.035
+    directory_per_lookup: float = 0.012
+    directory_per_update: float = 0.012
+    prefetcher_per_training: float = 0.01
+    prefetcher_per_prefetch: float = 0.02
+    dma_per_line: float = 0.25
+    dma_per_command: float = 0.50
+    bus_per_transaction: float = 0.10
+    dram_per_access: float = 4.0
+
+    def copy_with(self, **kwargs) -> "EnergyParameters":
+        data = self.__dict__.copy()
+        data.update(kwargs)
+        return EnergyParameters(**data)

@@ -1,0 +1,26 @@
+"""Experiment harness: machine configurations, runners and the drivers that
+regenerate every table and figure of the paper's evaluation (Section 4)."""
+
+from repro.harness.config import MachineConfig, PTLSIM_CONFIG, table1_rows
+from repro.harness.systems import SYSTEM_MODES, build_system, core_config_for
+from repro.harness.runner import RunResult, run_program, run_workload, ExperimentContext
+from repro.harness.metrics import Table3Row, table3_row
+from repro.harness import experiments
+from repro.harness import reporting
+
+__all__ = [
+    "MachineConfig",
+    "PTLSIM_CONFIG",
+    "table1_rows",
+    "SYSTEM_MODES",
+    "build_system",
+    "core_config_for",
+    "RunResult",
+    "run_program",
+    "run_workload",
+    "ExperimentContext",
+    "Table3Row",
+    "table3_row",
+    "experiments",
+    "reporting",
+]

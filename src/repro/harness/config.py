@@ -1,0 +1,81 @@
+"""Machine configuration (Table 1 of the paper).
+
+:class:`MachineConfig` bundles the core, memory-hierarchy, local-memory and
+energy parameters of one simulated machine.  :data:`PTLSIM_CONFIG` is the
+configuration of Table 1; the cache-based baseline of Section 4.3 is the same
+machine with the LM removed and the L1 capacity doubled to 64 KB for
+fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cpu.config import CoreConfig
+from repro.energy.parameters import EnergyParameters
+from repro.mem.hierarchy import MemoryHierarchyConfig
+
+
+@dataclass
+class MachineConfig:
+    """Everything needed to instantiate one simulated machine."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+    energy: EnergyParameters = field(default_factory=EnergyParameters)
+    lm_size: int = 32 * 1024
+    lm_latency: int = 2
+    directory_entries: int = 32
+    dma_setup_latency: int = 100
+    dma_per_line_latency: int = 4
+
+    def cache_based(self) -> "MachineConfig":
+        """The cache-based baseline: no LM, L1 doubled to match capacity."""
+        return MachineConfig(
+            core=self.core,
+            memory=self.memory.copy_with(l1_size=self.memory.l1_size + self.lm_size),
+            energy=self.energy,
+            lm_size=0,
+            lm_latency=self.lm_latency,
+            directory_entries=self.directory_entries,
+            dma_setup_latency=self.dma_setup_latency,
+            dma_per_line_latency=self.dma_per_line_latency,
+        )
+
+
+#: The simulated machine of Table 1.
+PTLSIM_CONFIG = MachineConfig()
+
+
+def table1_rows(config: MachineConfig = PTLSIM_CONFIG) -> List[Tuple[str, str]]:
+    """The rows of Table 1, rendered from the live configuration objects."""
+    core, mem = config.core, config.memory
+    return [
+        ("Pipeline", f"Out-of-order, {core.issue_width} instructions wide"),
+        ("Branch predictor",
+         f"Hybrid {core.predictor_entries // 1024}K selector, "
+         f"{core.predictor_entries // 1024}K G-share, "
+         f"{core.predictor_entries // 1024}K Bimodal, "
+         f"{core.btb_entries // 1024}K BTB {core.btb_assoc}-way, "
+         f"RAS {core.ras_entries} entries"),
+        ("Functional units",
+         f"{core.int_alus} INT ALUs, {core.fp_alus} FP ALUs, "
+         f"{core.load_store_units} load/store units"),
+        ("Register file",
+         f"{core.int_registers} INT registers, {core.fp_registers} FP registers"),
+        ("L1 I-cache",
+         f"{mem.l1i_size // 1024} KB, {mem.l1i_assoc}-way set-associative, "
+         f"{mem.l1i_latency} cycles latency"),
+        ("L1 D-cache",
+         f"{mem.l1_size // 1024} KB, {mem.l1_assoc}-way set-associative, "
+         f"write-through, {mem.l1_latency} cycles latency"),
+        ("L2 cache",
+         f"{mem.l2_size // 1024} KB, {mem.l2_assoc}-way set-associative, "
+         f"write-back, {mem.l2_latency} cycles latency"),
+        ("L3 cache",
+         f"{mem.l3_size // (1024 * 1024)} MB, {mem.l3_assoc}-way set-associative, "
+         f"write-back, {mem.l3_latency} cycles latency"),
+        ("Prefetcher", "IP-based stream prefetcher to L1, L2 and L3"),
+        ("Local memory", f"{config.lm_size // 1024} KB, {config.lm_latency} cycles latency"),
+    ]

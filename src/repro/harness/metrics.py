@@ -1,0 +1,90 @@
+"""Derived metrics: the rows of Table 3 and helper ratios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.runner import RunResult
+
+
+@dataclass
+class Table3Row:
+    """One row of Table 3: memory-subsystem activity of one run."""
+
+    name: str
+    mode: str
+    guarded_refs: str       # e.g. "1/7 (14%)"
+    amat: float
+    l1_hit_ratio: float     # percentage, 0..100
+    l1_accesses: int
+    l2_accesses: int
+    l3_accesses: int
+    lm_accesses: int
+    directory_accesses: int
+
+    def as_tuple(self):
+        return (self.name, self.mode, self.guarded_refs, self.amat,
+                self.l1_hit_ratio, self.l1_accesses, self.l2_accesses,
+                self.l3_accesses, self.lm_accesses, self.directory_accesses)
+
+
+def guarded_refs_label(result: RunResult) -> str:
+    """The "Guarded References" column: guarded/total (ratio%)."""
+    compiled = result.compiled
+    if compiled is None or not compiled.target.emits_guards:
+        return "0"
+    guarded = compiled.guarded_references
+    total = compiled.total_references
+    pct = 100.0 * guarded / total if total else 0.0
+    return f"{guarded}/{total} ({pct:.0f}%)"
+
+
+def table3_row(result: RunResult) -> Table3Row:
+    """Extract the Table 3 row from one run."""
+    mem = result.sim.memory_stats
+    hier = mem["hierarchy"]
+    mode_label = "Hybrid coherent" if result.mode == "hybrid" else (
+        "Cache-based" if result.mode == "cache" else result.mode)
+    return Table3Row(
+        name=result.workload,
+        mode=mode_label,
+        guarded_refs=guarded_refs_label(result),
+        amat=mem["amat"],
+        l1_hit_ratio=100.0 * hier["L1"]["hits"] / max(1, hier["L1"]["demand_accesses"]),
+        l1_accesses=hier["L1"]["accesses"],
+        l2_accesses=hier["L2"]["accesses"],
+        l3_accesses=hier["L3"]["accesses"],
+        lm_accesses=mem.get("lm_accesses", 0),
+        # The paper's Table 3 counts directory lookups (CAM accesses made by
+        # guarded instructions); updates driven by dma-gets are not included,
+        # which is why SP reports zero directory accesses.
+        directory_accesses=mem.get("directory", {}).get("lookups", 0),
+    )
+
+
+def speedup(baseline: RunResult, improved: RunResult) -> float:
+    """Speedup of ``improved`` over ``baseline`` (>1 means faster)."""
+    if improved.cycles <= 0:
+        return 0.0
+    return baseline.cycles / improved.cycles
+
+
+def overhead(reference: RunResult, measured: RunResult) -> float:
+    """Relative execution-time overhead of ``measured`` vs ``reference``."""
+    if reference.cycles <= 0:
+        return 0.0
+    return measured.cycles / reference.cycles - 1.0
+
+
+def energy_overhead(reference: RunResult, measured: RunResult) -> float:
+    """Relative energy overhead of ``measured`` vs ``reference``."""
+    if reference.total_energy <= 0:
+        return 0.0
+    return measured.total_energy / reference.total_energy - 1.0
+
+
+def energy_reduction(baseline: RunResult, improved: RunResult) -> float:
+    """Fractional energy saved by ``improved`` relative to ``baseline``."""
+    if baseline.total_energy <= 0:
+        return 0.0
+    return 1.0 - improved.total_energy / baseline.total_energy

@@ -1,0 +1,116 @@
+"""Plain-text rendering of the experiment results.
+
+Each ``format_*`` function takes the data structure produced by the matching
+driver in :mod:`repro.harness.experiments` and returns a text table shaped
+like the corresponding table/figure of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.experiments import (
+    AblationPoint,
+    Figure7Point,
+    Figure8Row,
+    Figure9Row,
+    Figure10Row,
+    Table2Entry,
+)
+from repro.harness.metrics import Table3Row
+
+
+def _rule(width: int = 86) -> str:
+    return "-" * width
+
+
+def format_table1(rows: List[tuple]) -> str:
+    lines = ["Table 1: simulated machine configuration", _rule()]
+    for name, description in rows:
+        lines.append(f"{name:<20s} {description}")
+    return "\n".join(lines)
+
+
+def format_table2(entries: List[Table2Entry]) -> str:
+    lines = ["Table 2: microbenchmark modes", _rule(),
+             f"{'Mode':<10s} {'static instr':>12s} {'gld':>5s} {'gst':>5s} {'double st':>10s}"]
+    for e in entries:
+        lines.append(f"{e.mode:<10s} {e.static_instructions:>12d} "
+                     f"{e.guarded_loads:>5d} {e.guarded_stores:>5d} {e.double_stores:>10d}")
+    return "\n".join(lines)
+
+
+def format_figure7(results: Dict[str, List[Figure7Point]]) -> str:
+    lines = ["Figure 7: microbenchmark overhead vs. % of guarded instructions", _rule()]
+    modes = list(results)
+    pcts = [p.guarded_pct for p in results[modes[0]]]
+    header = f"{'% guarded':>10s}" + "".join(f"{m:>10s}" for m in modes)
+    lines.append(header)
+    for i, pct in enumerate(pcts):
+        row = f"{pct:>10d}" + "".join(
+            f"{results[m][i].overhead:>10.3f}" for m in modes)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_figure8(rows: List[Figure8Row]) -> str:
+    lines = ["Figure 8: overhead of the coherence protocol (vs. oracle hybrid)", _rule(),
+             f"{'Bench':<6s} {'time ovh':>10s} {'paper':>8s} {'energy ovh':>12s} {'paper':>8s}"]
+    for r in rows:
+        lines.append(f"{r.benchmark:<6s} {r.time_overhead:>9.2%} "
+                     f"{r.paper_time_overhead:>7.2%} {r.energy_overhead:>11.2%} "
+                     f"{r.paper_energy_overhead:>7.2%}")
+    return "\n".join(lines)
+
+
+def format_table3(rows: List[Table3Row]) -> str:
+    lines = ["Table 3: activity in the memory subsystem (accesses in thousands)", _rule(),
+             f"{'Bench':<6s} {'Mode':<16s} {'Guarded':<14s} {'AMAT':>6s} {'L1 hit%':>8s} "
+             f"{'L1':>9s} {'L2':>9s} {'L3':>9s} {'LM':>9s} {'Dir':>9s}"]
+    for r in rows:
+        lines.append(
+            f"{r.name:<6s} {r.mode:<16s} {r.guarded_refs:<14s} {r.amat:>6.2f} "
+            f"{r.l1_hit_ratio:>8.2f} {r.l1_accesses / 1000:>9.1f} "
+            f"{r.l2_accesses / 1000:>9.1f} {r.l3_accesses / 1000:>9.1f} "
+            f"{r.lm_accesses / 1000:>9.1f} {r.directory_accesses / 1000:>9.1f}")
+    return "\n".join(lines)
+
+
+def format_figure9(rows: List[Figure9Row]) -> str:
+    lines = ["Figure 9: execution time of the hybrid system normalised to cache-based", _rule(),
+             f"{'Bench':<6s} {'work':>8s} {'sync':>8s} {'control':>8s} {'total':>8s} "
+             f"{'reduction':>10s} {'paper':>8s} {'speedup':>8s}"]
+    for r in rows:
+        total = r.work_fraction + r.sync_fraction + r.control_fraction
+        lines.append(
+            f"{r.benchmark:<6s} {r.work_fraction:>8.3f} {r.sync_fraction:>8.3f} "
+            f"{r.control_fraction:>8.3f} {total:>8.3f} {r.time_reduction:>9.1%} "
+            f"{r.paper_time_reduction:>7.0%} {r.speedup:>8.2f}")
+    return "\n".join(lines)
+
+
+def format_figure10(rows: List[Figure10Row]) -> str:
+    lines = ["Figure 10: energy of the hybrid system normalised to cache-based", _rule(),
+             f"{'Bench':<6s} {'CPU':>8s} {'Caches':>8s} {'LM':>8s} {'Others':>8s} "
+             f"{'total':>8s} {'reduction':>10s} {'paper':>8s}"]
+    for r in rows:
+        if r.hybrid_groups:
+            groups = r.hybrid_groups
+            total = sum(groups.values())
+            lines.append(
+                f"{r.benchmark:<6s} {groups.get('CPU', 0):>8.3f} "
+                f"{groups.get('Caches', 0):>8.3f} {groups.get('LM', 0):>8.3f} "
+                f"{groups.get('Others', 0):>8.3f} {total:>8.3f} "
+                f"{r.energy_reduction:>9.1%} {r.paper_energy_reduction:>7.0%}")
+        else:
+            lines.append(
+                f"{r.benchmark:<6s} {'':>8s} {'':>8s} {'':>8s} {'':>8s} {'':>8s} "
+                f"{r.energy_reduction:>9.1%} {r.paper_energy_reduction:>7.0%}")
+    return "\n".join(lines)
+
+
+def format_ablation(title: str, points: List[AblationPoint]) -> str:
+    lines = [title, _rule(), f"{'Configuration':<22s} {'cycles':>14s} {'energy (nJ)':>14s}"]
+    for p in points:
+        lines.append(f"{p.label:<22s} {p.cycles:>14.0f} {p.energy:>14.0f}")
+    return "\n".join(lines)

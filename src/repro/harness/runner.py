@@ -1,0 +1,113 @@
+"""Run compiled kernels or raw programs on simulated machines.
+
+:func:`run_workload` is the main entry point: it compiles a NAS-like kernel
+for a given mode, builds the matching system, runs it on the simulated core
+and returns a :class:`RunResult` bundling the compiled kernel, the simulation
+result and the energy breakdown.
+
+Several experiments (Figure 8, Table 3, Figures 9 and 10) need the *same*
+runs; :class:`ExperimentContext` memoizes them so a full evaluation sweep
+simulates each (workload, mode) pair exactly once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.codegen import CompiledKernel, compile_kernel
+from repro.compiler.ir import Kernel
+from repro.core.hybrid import HybridSystem
+from repro.cpu.core import Core, SimulationResult
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.harness.config import MachineConfig, PTLSIM_CONFIG
+from repro.harness.systems import build_system, core_config_for
+from repro.isa.program import Program
+from repro.workloads import get_workload
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one simulation run."""
+
+    workload: str
+    mode: str
+    compiled: Optional[CompiledKernel]
+    sim: SimulationResult
+    energy: EnergyBreakdown
+    system: HybridSystem
+
+    @property
+    def cycles(self) -> float:
+        return self.sim.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.sim.instructions
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+
+def run_program(program: Program, mode: str = "hybrid",
+                machine: Optional[MachineConfig] = None,
+                workload: str = "program",
+                track_protocol: bool = False) -> RunResult:
+    """Run an already-built program on the system for ``mode``."""
+    machine = machine or PTLSIM_CONFIG
+    system = build_system(mode, machine, track_protocol=track_protocol)
+    core = Core(system, config=core_config_for(machine))
+    sim = core.run(program)
+    energy = EnergyModel(machine.energy).compute(sim)
+    return RunResult(workload=workload, mode=mode, compiled=None, sim=sim,
+                     energy=energy, system=system)
+
+
+def run_kernel(kernel: Kernel, mode: str = "hybrid",
+               machine: Optional[MachineConfig] = None,
+               track_protocol: bool = False) -> RunResult:
+    """Compile ``kernel`` for ``mode`` and run it."""
+    machine = machine or PTLSIM_CONFIG
+    compiled = compile_kernel(kernel, mode=mode, lm_size=machine.lm_size,
+                              max_buffers=machine.directory_entries)
+    system = build_system(mode, machine, track_protocol=track_protocol)
+    core = Core(system, config=core_config_for(machine))
+    sim = core.run(compiled.program)
+    energy = EnergyModel(machine.energy).compute(sim)
+    return RunResult(workload=kernel.name, mode=mode, compiled=compiled, sim=sim,
+                     energy=energy, system=system)
+
+
+def run_workload(name: str, mode: str = "hybrid", scale: str = "small",
+                 machine: Optional[MachineConfig] = None,
+                 track_protocol: bool = False) -> RunResult:
+    """Build, compile and run the NAS-like kernel ``name``."""
+    kernel = get_workload(name, scale)
+    return run_kernel(kernel, mode=mode, machine=machine,
+                      track_protocol=track_protocol)
+
+
+class ExperimentContext:
+    """Memoizing runner shared by the experiment drivers.
+
+    Keyed by (workload, mode, scale); a full evaluation sweep therefore
+    simulates each configuration once even though several tables/figures
+    consume the same runs.
+    """
+
+    def __init__(self, scale: str = "small",
+                 machine: Optional[MachineConfig] = None):
+        self.scale = scale
+        self.machine = machine or PTLSIM_CONFIG
+        self._cache: Dict[Tuple[str, str, str], RunResult] = {}
+
+    def run(self, workload: str, mode: str) -> RunResult:
+        key = (workload.upper(), mode, self.scale)
+        if key not in self._cache:
+            self._cache[key] = run_workload(
+                workload, mode=mode, scale=self.scale, machine=self.machine)
+        return self._cache[key]
+
+    def cached_runs(self) -> Dict[Tuple[str, str, str], RunResult]:
+        return dict(self._cache)

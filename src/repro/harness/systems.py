@@ -1,0 +1,53 @@
+"""System builders: map a compilation mode onto a simulated machine.
+
+The evaluation compares three machines:
+
+* ``"hybrid"`` / ``"hybrid-naive"`` — the hybrid memory system with the
+  coherence protocol (Table 1: 32 KB L1 + 32 KB LM + directory);
+* ``"hybrid-oracle"`` — the same machine, but the baseline *incoherent*
+  variant whose oracle compiler resolved all aliasing (Figure 8 baseline);
+* ``"cache"`` — the cache-based system with the L1 grown to 64 KB so both
+  machines have the same on-chip data capacity (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hybrid import HybridSystem
+from repro.cpu.config import CoreConfig
+from repro.harness.config import MachineConfig, PTLSIM_CONFIG
+
+#: Compilation/system modes understood by the harness.
+SYSTEM_MODES = ("hybrid", "hybrid-oracle", "hybrid-naive", "cache")
+
+
+def build_system(mode: str, machine: Optional[MachineConfig] = None,
+                 track_protocol: bool = False) -> HybridSystem:
+    """Instantiate the memory system for ``mode``."""
+    if mode not in SYSTEM_MODES:
+        raise ValueError(f"unknown system mode {mode!r}; expected one of {SYSTEM_MODES}")
+    machine = machine or PTLSIM_CONFIG
+    if mode == "cache":
+        cache_machine = machine.cache_based()
+        return HybridSystem(
+            memory_config=cache_machine.memory,
+            use_lm=False,
+            track_protocol=False,
+        )
+    return HybridSystem(
+        memory_config=machine.memory,
+        lm_size=machine.lm_size,
+        lm_latency=machine.lm_latency,
+        directory_entries=machine.directory_entries,
+        dma_setup_latency=machine.dma_setup_latency,
+        dma_per_line_latency=machine.dma_per_line_latency,
+        use_lm=True,
+        oracle=(mode == "hybrid-oracle"),
+        track_protocol=track_protocol,
+    )
+
+
+def core_config_for(machine: Optional[MachineConfig] = None) -> CoreConfig:
+    """Core configuration of the machine (identical for all modes)."""
+    return (machine or PTLSIM_CONFIG).core

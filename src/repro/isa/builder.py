@@ -1,0 +1,188 @@
+"""Fluent builder used by the compiler back-end to emit mini-ISA code.
+
+The builder keeps track of the current execution-model phase (work, control,
+synchronisation — see Figure 2 of the paper) so that the timing model can
+attribute cycles per phase for the Figure 9 breakdown, and it provides a
+simple virtual-register allocator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import ArrayDecl, Program
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self) -> None:
+        self.program = Program()
+        self.phase = "work"
+        self._int_reg_counter = itertools.count()
+        self._fp_reg_counter = itertools.count()
+        self._label_counter = itertools.count()
+
+    # -- registers and labels --------------------------------------------------
+    def new_int_reg(self) -> str:
+        """Allocate a fresh integer virtual register name."""
+        return f"r{next(self._int_reg_counter)}"
+
+    def new_fp_reg(self) -> str:
+        """Allocate a fresh floating-point virtual register name."""
+        return f"f{next(self._fp_reg_counter)}"
+
+    def new_label(self, hint: str = "L") -> str:
+        """Allocate a fresh unique label name."""
+        return f"{hint}_{next(self._label_counter)}"
+
+    def label(self, name: str) -> str:
+        """Place label ``name`` at the current position."""
+        self.program.add_label(name)
+        return name
+
+    def set_phase(self, phase: str) -> None:
+        """Set the phase tag attached to subsequently emitted instructions."""
+        if phase not in ("work", "control", "sync", "other"):
+            raise ValueError(f"unknown phase {phase!r}")
+        self.phase = phase
+
+    # -- data ------------------------------------------------------------------
+    def declare_array(self, name: str, length: int, dtype: str = "float",
+                      data=None, alignment: int = 64) -> ArrayDecl:
+        return self.program.declare_array(
+            ArrayDecl(name, length, dtype, data, alignment=alignment))
+
+    # -- generic emit ----------------------------------------------------------
+    def emit(self, opcode: Opcode, dst: Optional[str] = None, srcs=(),
+             imm=None, target: Optional[str] = None, size: int = 8,
+             collapse_with_prev: bool = False, oracle_divert: bool = False,
+             comment: str = "") -> Instruction:
+        inst = Instruction(
+            opcode, dst=dst, srcs=tuple(srcs), imm=imm, target=target,
+            size=size, phase=self.phase,
+            collapse_with_prev=collapse_with_prev,
+            oracle_divert=oracle_divert, comment=comment)
+        self.program.add(inst)
+        return inst
+
+    # -- ALU / moves -----------------------------------------------------------
+    def li(self, dst: str, value, comment: str = "") -> Instruction:
+        """Load immediate ``value`` into ``dst``."""
+        return self.emit(Opcode.LI, dst=dst, imm=value, comment=comment)
+
+    def mov(self, dst: str, src: str, comment: str = "") -> Instruction:
+        return self.emit(Opcode.MOV, dst=dst, srcs=(src,), comment=comment)
+
+    def alu(self, opcode: Opcode, dst: str, src1: str, src2: Optional[str] = None,
+            imm=None, comment: str = "") -> Instruction:
+        """Emit a two- or three-operand ALU instruction.
+
+        Either ``src2`` (register) or ``imm`` (immediate) supplies the second
+        operand.
+        """
+        srcs = (src1,) if src2 is None else (src1, src2)
+        return self.emit(opcode, dst=dst, srcs=srcs, imm=imm, comment=comment)
+
+    def add(self, dst, src1, src2=None, imm=None, comment=""):
+        return self.alu(Opcode.ADD, dst, src1, src2, imm, comment)
+
+    def sub(self, dst, src1, src2=None, imm=None, comment=""):
+        return self.alu(Opcode.SUB, dst, src1, src2, imm, comment)
+
+    def mul(self, dst, src1, src2=None, imm=None, comment=""):
+        return self.alu(Opcode.MUL, dst, src1, src2, imm, comment)
+
+    def shl(self, dst, src1, imm, comment=""):
+        return self.alu(Opcode.SHL, dst, src1, None, imm, comment)
+
+    def fadd(self, dst, src1, src2=None, imm=None, comment=""):
+        return self.alu(Opcode.FADD, dst, src1, src2, imm, comment)
+
+    def fsub(self, dst, src1, src2=None, imm=None, comment=""):
+        return self.alu(Opcode.FSUB, dst, src1, src2, imm, comment)
+
+    def fmul(self, dst, src1, src2=None, imm=None, comment=""):
+        return self.alu(Opcode.FMUL, dst, src1, src2, imm, comment)
+
+    def fdiv(self, dst, src1, src2=None, imm=None, comment=""):
+        return self.alu(Opcode.FDIV, dst, src1, src2, imm, comment)
+
+    # -- memory ----------------------------------------------------------------
+    def ld(self, dst: str, base: str, offset: int = 0, size: int = 8,
+           oracle_divert: bool = False, comment: str = "") -> Instruction:
+        """Conventional load: ``dst = MEM[base + offset]``."""
+        return self.emit(Opcode.LD, dst=dst, srcs=(base,), imm=offset,
+                         size=size, oracle_divert=oracle_divert, comment=comment)
+
+    def st(self, src: str, base: str, offset: int = 0, size: int = 8,
+           collapse_with_prev: bool = False, oracle_divert: bool = False,
+           comment: str = "") -> Instruction:
+        """Conventional store: ``MEM[base + offset] = src``."""
+        return self.emit(Opcode.ST, srcs=(src, base), imm=offset, size=size,
+                         collapse_with_prev=collapse_with_prev,
+                         oracle_divert=oracle_divert, comment=comment)
+
+    def gld(self, dst: str, base: str, offset: int = 0, size: int = 8,
+            comment: str = "") -> Instruction:
+        """Guarded load (Section 3.1): looked up in the coherence directory."""
+        return self.emit(Opcode.GLD, dst=dst, srcs=(base,), imm=offset,
+                         size=size, comment=comment)
+
+    def gst(self, src: str, base: str, offset: int = 0, size: int = 8,
+            comment: str = "") -> Instruction:
+        """Guarded store (Section 3.1): looked up in the coherence directory."""
+        return self.emit(Opcode.GST, srcs=(src, base), imm=offset, size=size,
+                         comment=comment)
+
+    # -- control flow ----------------------------------------------------------
+    def branch(self, opcode: Opcode, src1: str, src2: str, target: str,
+               comment: str = "") -> Instruction:
+        return self.emit(opcode, srcs=(src1, src2), target=target, comment=comment)
+
+    def beq(self, src1, src2, target, comment=""):
+        return self.branch(Opcode.BEQ, src1, src2, target, comment)
+
+    def bne(self, src1, src2, target, comment=""):
+        return self.branch(Opcode.BNE, src1, src2, target, comment)
+
+    def blt(self, src1, src2, target, comment=""):
+        return self.branch(Opcode.BLT, src1, src2, target, comment)
+
+    def bge(self, src1, src2, target, comment=""):
+        return self.branch(Opcode.BGE, src1, src2, target, comment)
+
+    def jmp(self, target: str, comment: str = "") -> Instruction:
+        return self.emit(Opcode.JMP, target=target, comment=comment)
+
+    def halt(self) -> Instruction:
+        return self.emit(Opcode.HALT)
+
+    # -- DMA -------------------------------------------------------------------
+    def dma_get(self, lm_addr_reg: str, sm_addr_reg: str, size_reg: str,
+                tag: int = 0, comment: str = "") -> Instruction:
+        """Trigger a dma-get: transfer ``size`` bytes from SM to LM."""
+        return self.emit(Opcode.DMA_GET, srcs=(lm_addr_reg, sm_addr_reg, size_reg),
+                         imm=tag, comment=comment)
+
+    def dma_put(self, lm_addr_reg: str, sm_addr_reg: str, size_reg: str,
+                tag: int = 0, comment: str = "") -> Instruction:
+        """Trigger a dma-put: transfer ``size`` bytes from LM to SM."""
+        return self.emit(Opcode.DMA_PUT, srcs=(lm_addr_reg, sm_addr_reg, size_reg),
+                         imm=tag, comment=comment)
+
+    def dma_sync(self, tag: int = 0, comment: str = "") -> Instruction:
+        """Wait for completion of DMA transfers with matching ``tag``."""
+        return self.emit(Opcode.DMA_SYNC, imm=tag, comment=comment)
+
+    def set_bufsize(self, size_bytes: int, comment: str = "") -> Instruction:
+        """Inform the coherence directory of the LM buffer size (Section 3.2)."""
+        return self.emit(Opcode.SET_BUFSIZE, imm=size_bytes, comment=comment)
+
+    # -- finishing -------------------------------------------------------------
+    def finish(self) -> Program:
+        """Validate and return the built program."""
+        self.program.validate()
+        return self.program

@@ -1,0 +1,179 @@
+"""Program container: instructions, labels and data-segment layout.
+
+A :class:`Program` couples the instruction stream produced by the compiler
+with the declaration of the arrays it operates on.  Array data is provided as
+numpy arrays; the loader in :mod:`repro.harness.runner` copies the initial
+values into the simulated system memory before execution and reads results
+back afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.isa.instructions import Instruction
+
+#: Size in bytes of every simulated memory word.  All arrays are stored as
+#: one value per 8-byte word regardless of their logical element type; this
+#: keeps the functional memory model simple without changing the access
+#: pattern the caches observe.
+WORD_SIZE = 8
+
+#: Default alignment of arrays in the simulated address space (a cache line).
+ARRAY_ALIGNMENT = 64
+
+
+class ArrayDecl:
+    """Declaration of an array placed in simulated system memory.
+
+    Parameters
+    ----------
+    name:
+        Symbolic name used by the compiler and by instructions' comments.
+    length:
+        Number of elements (each element occupies one 8-byte word).
+    dtype:
+        ``"int"`` or ``"float"``; informational, used by workloads when
+        initialising and verifying data.
+    data:
+        Optional numpy array with the initial contents.  If omitted the array
+        is zero-initialised.
+    """
+
+    __slots__ = ("name", "length", "dtype", "data", "base", "alignment")
+
+    def __init__(self, name: str, length: int, dtype: str = "float",
+                 data: Optional[np.ndarray] = None,
+                 alignment: int = ARRAY_ALIGNMENT):
+        if length <= 0:
+            raise ValueError(f"array {name!r} must have positive length")
+        if data is not None and len(data) != length:
+            raise ValueError(
+                f"array {name!r}: data length {len(data)} != declared length {length}")
+        if alignment <= 0 or alignment % WORD_SIZE != 0:
+            raise ValueError(
+                f"array {name!r}: alignment must be a positive multiple of the word size")
+        self.name = name
+        self.length = length
+        self.dtype = dtype
+        self.data = data
+        #: Required alignment of the base address.  Arrays whose chunks are
+        #: mapped to LM buffers must be aligned to the buffer size so that the
+        #: directory's base-mask/offset-mask decomposition works (Section 3.2).
+        self.alignment = alignment
+        #: Base byte address assigned by :meth:`Program.assign_addresses`.
+        self.base: Optional[int] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.length * WORD_SIZE
+
+    def element_address(self, index: int) -> int:
+        """Byte address of element ``index`` once the program is laid out."""
+        if self.base is None:
+            raise RuntimeError(f"array {self.name!r} has no base address yet")
+        if not (0 <= index < self.length):
+            raise IndexError(f"array {self.name!r}: index {index} out of range")
+        return self.base + index * WORD_SIZE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayDecl({self.name!r}, length={self.length}, base={self.base})"
+
+
+class Program:
+    """An executable program for the simulated core.
+
+    Attributes
+    ----------
+    instructions:
+        Static instruction list.
+    labels:
+        Mapping from label name to instruction index.
+    arrays:
+        Mapping from array name to :class:`ArrayDecl`.
+    """
+
+    #: Base byte address of the data segment in the simulated (system memory)
+    #: address space.  Chosen well away from address 0 so that accidental
+    #: null-pointer style accesses are caught by tests.
+    DATA_BASE = 0x1000_0000
+
+    def __init__(self) -> None:
+        self.instructions: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self.arrays: Dict[str, ArrayDecl] = {}
+        self._laid_out = False
+
+    # -- construction ----------------------------------------------------------
+    def add(self, instruction: Instruction) -> int:
+        """Append an instruction; returns its index."""
+        self.instructions.append(instruction)
+        return len(self.instructions) - 1
+
+    def add_label(self, name: str) -> None:
+        """Attach a label to the next instruction to be added."""
+        if name in self.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def declare_array(self, decl: ArrayDecl) -> ArrayDecl:
+        """Register an array declaration."""
+        if decl.name in self.arrays:
+            raise ValueError(f"duplicate array {decl.name!r}")
+        self.arrays[decl.name] = decl
+        self._laid_out = False
+        return decl
+
+    # -- layout ----------------------------------------------------------------
+    def assign_addresses(self, base: Optional[int] = None) -> None:
+        """Lay out all declared arrays contiguously starting at ``base``.
+
+        Arrays are aligned to :data:`ARRAY_ALIGNMENT` and separated by one
+        guard line so that distinct arrays never share a cache line (this
+        mirrors how the paper's benchmarks allocate distinct objects).
+        """
+        addr = self.DATA_BASE if base is None else base
+        for decl in self.arrays.values():
+            align = max(ARRAY_ALIGNMENT, decl.alignment)
+            addr = (addr + align - 1) // align * align
+            decl.base = addr
+            addr += decl.size_bytes + ARRAY_ALIGNMENT
+        self._laid_out = True
+
+    @property
+    def is_laid_out(self) -> bool:
+        return self._laid_out
+
+    def resolve_label(self, name: str) -> int:
+        """Return the instruction index a label points to."""
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise KeyError(f"unknown label {name!r}") from None
+
+    def validate(self) -> None:
+        """Check that all branch targets resolve and arrays are laid out."""
+        for idx, inst in enumerate(self.instructions):
+            if inst.is_branch and inst.target is not None:
+                if inst.target not in self.labels:
+                    raise ValueError(
+                        f"instruction {idx} ({inst!r}) targets unknown label "
+                        f"{inst.target!r}")
+
+    # -- introspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def dump(self) -> str:
+        """Human-readable listing (labels interleaved with instructions)."""
+        by_index: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(name)
+        lines = []
+        for idx, inst in enumerate(self.instructions):
+            for name in by_index.get(idx, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {idx:5d}  {inst!r}")
+        return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Local memory (scratchpad) subsystem: LM storage, address map and DMAC.
+
+This package models the additions of Figure 1: a local memory integrated at
+the same level as the L1 data cache, a direct virtual-to-physical mapping of
+a reserved address range onto the LM, and a programmable DMA controller with
+``dma-get``, ``dma-put`` and ``dma-synch`` operations whose bus requests are
+coherent with the system memory.
+"""
+
+from repro.lm.address_map import LMAddressMap
+from repro.lm.local_memory import LocalMemory
+from repro.lm.dma import DMAController, DMATransfer
+
+__all__ = ["LMAddressMap", "LocalMemory", "DMAController", "DMATransfer"]

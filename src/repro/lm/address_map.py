@@ -1,0 +1,61 @@
+"""Virtual-address mapping of the local memory (Section 2.1).
+
+A range of the virtual address space is reserved for the LM and is
+direct-mapped to the LM's physical storage.  The CPU keeps three registers:
+the base of the virtual range, the base of the physical range and the size.
+A range check on the virtual address — performed *before* any MMU action —
+decides whether an access is served by the LM (bypassing the TLB) or by the
+cache hierarchy.
+"""
+
+from __future__ import annotations
+
+
+class LMAddressMap:
+    """The three-register LM address mapping.
+
+    Parameters
+    ----------
+    virtual_base:
+        Base virtual address of the range reserved for the LM.
+    size:
+        Size of the LM in bytes.
+    physical_base:
+        Base of the LM's physical address range (defaults to 0: LM-internal
+        offsets).
+    """
+
+    #: Default virtual base: a high canonical-form address far away from any
+    #: data-segment address used by the programs, mirroring how a 64-bit
+    #: machine would reserve a small slice of its huge virtual space.
+    DEFAULT_VIRTUAL_BASE = 0x7F00_0000_0000
+
+    def __init__(self, virtual_base: int = DEFAULT_VIRTUAL_BASE,
+                 size: int = 32 * 1024, physical_base: int = 0):
+        if size <= 0:
+            raise ValueError("LM size must be positive")
+        if virtual_base < 0 or physical_base < 0:
+            raise ValueError("addresses must be non-negative")
+        self.virtual_base = virtual_base
+        self.size = size
+        self.physical_base = physical_base
+
+    def contains(self, vaddr: int) -> bool:
+        """Range check: is ``vaddr`` inside the LM virtual range?"""
+        return self.virtual_base <= vaddr < self.virtual_base + self.size
+
+    def translate(self, vaddr: int) -> int:
+        """Translate an LM virtual address to an LM physical offset."""
+        if not self.contains(vaddr):
+            raise ValueError(f"address {vaddr:#x} is not in the LM range")
+        return self.physical_base + (vaddr - self.virtual_base)
+
+    def to_virtual(self, offset: int) -> int:
+        """Inverse of :meth:`translate`: LM offset to virtual address."""
+        if not (0 <= offset - self.physical_base < self.size):
+            raise ValueError(f"offset {offset:#x} is outside the LM")
+        return self.virtual_base + (offset - self.physical_base)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LMAddressMap(virtual_base={self.virtual_base:#x}, "
+                f"size={self.size}, physical_base={self.physical_base:#x})")

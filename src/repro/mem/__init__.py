@@ -1,0 +1,27 @@
+"""Memory-hierarchy substrate: caches, MSHRs, prefetchers, bus, main memory.
+
+This package models the system memory (SM) side of the hybrid memory system:
+the L1/L2/L3 cache hierarchy of Table 1, an IP-based stream prefetcher, a
+main memory with functional storage and the bus used by coherent DMA
+transfers.  Timing is cycle-approximate: every access returns a latency and
+updates per-structure activity counters that feed Table 3 and the energy
+model.
+"""
+
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.mshr import MSHRFile
+from repro.mem.prefetcher import StreamPrefetcher
+from repro.mem.main_memory import MainMemory
+from repro.mem.bus import Bus
+from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MSHRFile",
+    "StreamPrefetcher",
+    "MainMemory",
+    "Bus",
+    "AccessResult",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,39 @@
+"""On-chip bus connecting the cache hierarchy, the DMA controller and memory.
+
+The bus model is purely an activity counter with a per-transfer latency:
+coherent DMA transfers issue one bus request per cache line moved (Section
+2.1), and the energy model charges each request.
+"""
+
+from __future__ import annotations
+
+
+class Bus:
+    """Counts bus transactions and models a fixed per-line transfer cost.
+
+    Parameters
+    ----------
+    latency_per_line:
+        Cycles needed to move one cache line across the bus.
+    """
+
+    def __init__(self, latency_per_line: int = 4):
+        self.latency_per_line = latency_per_line
+        self.transactions = 0
+        self.dma_transactions = 0
+        self.bytes_transferred = 0
+
+    def transfer(self, num_lines: int, line_size: int, *, dma: bool = False) -> int:
+        """Account for a transfer of ``num_lines`` lines; returns its latency."""
+        if num_lines < 0:
+            raise ValueError("cannot transfer a negative number of lines")
+        self.transactions += num_lines
+        if dma:
+            self.dma_transactions += num_lines
+        self.bytes_transferred += num_lines * line_size
+        return num_lines * self.latency_per_line
+
+    def reset(self) -> None:
+        self.transactions = 0
+        self.dma_transactions = 0
+        self.bytes_transferred = 0

@@ -1,0 +1,256 @@
+"""The cache hierarchy of the simulated core (Table 1).
+
+:class:`MemoryHierarchy` glues together the L1 data cache, L2, L3, the
+IP-based stream prefetcher, the MSHR file, the bus and main memory.  It
+provides three entry points:
+
+* :meth:`access` — demand loads/stores issued by the core (the cache-served
+  path of the hybrid memory system, and every access of the cache-based
+  baseline);
+* :meth:`snoop_read` — coherent dma-get bus requests that look up the caches
+  for the valid copy before falling back to main memory (Section 2.1);
+* :meth:`snoop_invalidate` — coherent dma-put bus requests that write main
+  memory and invalidate the line in the whole hierarchy (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mem.bus import Bus
+from repro.mem.cache import Cache
+from repro.mem.main_memory import MainMemory
+from repro.mem.mshr import MSHRFile
+from repro.mem.prefetcher import StreamPrefetcher
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a demand access."""
+
+    latency: float
+    level: str  # "L1", "L2", "L3" or "MEM"
+
+    @property
+    def hit_l1(self) -> bool:
+        return self.level == "L1"
+
+
+@dataclass
+class MemoryHierarchyConfig:
+    """Sizes and latencies of the cache hierarchy (defaults follow Table 1)."""
+
+    line_size: int = 64
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 8
+    l1_latency: int = 2
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 8
+    l1i_latency: int = 2
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 24
+    l2_latency: int = 15
+    l3_size: int = 4 * 1024 * 1024
+    l3_assoc: int = 32
+    l3_latency: int = 40
+    memory_latency: int = 150
+    mshr_entries: int = 16
+    bus_latency_per_line: int = 4
+    prefetch_enabled: bool = True
+    prefetch_table_size: int = 16
+    prefetch_degree: int = 4
+    prefetch_distance: int = 4
+
+    def copy_with(self, **kwargs) -> "MemoryHierarchyConfig":
+        """Return a copy with some fields overridden."""
+        data = self.__dict__.copy()
+        data.update(kwargs)
+        return MemoryHierarchyConfig(**data)
+
+
+class MemoryHierarchy:
+    """Cycle-approximate model of the SM side (caches + main memory)."""
+
+    def __init__(self, config: Optional[MemoryHierarchyConfig] = None):
+        self.config = config or MemoryHierarchyConfig()
+        c = self.config
+        self.l1 = Cache("L1D", c.l1_size, c.l1_assoc, c.line_size,
+                        c.l1_latency, write_back=False)
+        self.l1i = Cache("L1I", c.l1i_size, c.l1i_assoc, c.line_size,
+                         c.l1i_latency, write_back=False)
+        self.l2 = Cache("L2", c.l2_size, c.l2_assoc, c.line_size,
+                        c.l2_latency, write_back=True)
+        self.l3 = Cache("L3", c.l3_size, c.l3_assoc, c.line_size,
+                        c.l3_latency, write_back=True)
+        self.memory = MainMemory(latency=c.memory_latency)
+        self.mshr = MSHRFile(c.mshr_entries)
+        self.bus = Bus(c.bus_latency_per_line)
+        self.prefetcher = StreamPrefetcher(
+            table_size=c.prefetch_table_size, degree=c.prefetch_degree,
+            distance=c.prefetch_distance, line_size=c.line_size)
+        # Aggregate counters
+        self.demand_accesses = 0
+        self.total_latency = 0.0
+        self.icache_accesses = 0
+
+    # -- demand path -----------------------------------------------------------
+    def access(self, addr: int, is_write: bool, pc: int = 0,
+               now: float = 0.0) -> AccessResult:
+        """Demand access from the core.  Returns latency and serving level."""
+        self.demand_accesses += 1
+        c = self.config
+        line = self.l1.line_address(addr)
+
+        hit_l1 = self.l1.access(addr, is_write)
+        if hit_l1:
+            result = AccessResult(latency=float(c.l1_latency), level="L1")
+            if is_write:
+                # Write-through L1: propagate the write to L2 off the critical
+                # path (write buffer), updating L2 state if the line is there.
+                self._writethrough(addr)
+        else:
+            result = self._miss_path(addr, is_write, now)
+        # Train the prefetcher on every demand access to the L1D, like an
+        # IP-based stream prefetcher observing the load/store stream.
+        if c.prefetch_enabled:
+            for pf_line in self.prefetcher.train(pc, addr):
+                self._prefetch_fill(pf_line)
+        self.total_latency += result.latency
+        return result
+
+    def _writethrough(self, addr: int) -> None:
+        """Propagate a write-through from L1 into L2 (no latency charged)."""
+        hit = self.l2.access(addr, True, kind="writethrough")
+        if not hit:
+            # No write-allocate for write-through traffic: forward towards L3
+            # (counted as activity only).
+            self.l3.access(addr, True, kind="writethrough")
+
+    def _miss_path(self, addr: int, is_write: bool, now: float) -> AccessResult:
+        """Handle an L1 demand miss: walk L2/L3/memory, fill upwards."""
+        c = self.config
+        line = self.l1.line_address(addr)
+        hit_l2 = self.l2.access(addr, False)
+        if hit_l2:
+            beyond_l1 = float(c.l2_latency)
+            level = "L2"
+        else:
+            hit_l3 = self.l3.access(addr, False)
+            if hit_l3:
+                beyond_l1 = float(c.l2_latency + c.l3_latency)
+                level = "L3"
+            else:
+                self.memory.reads += 1
+                beyond_l1 = float(c.l2_latency + c.l3_latency + c.memory_latency)
+                level = "MEM"
+                # Fill L3 from memory.
+                self._fill_level(self.l3, line, next_cache=None)
+            # Fill L2 from L3.
+            self._fill_level(self.l2, line, next_cache=self.l3)
+        # The portion of the latency beyond the L1 goes through an MSHR so
+        # that concurrent misses to the same line merge and MLP is bounded.
+        effective = self.mshr.request(line, now, beyond_l1)
+        # Fill L1 (write-allocate on write misses).
+        self._fill_level(self.l1, line, next_cache=self.l2)
+        if is_write:
+            self._writethrough(addr)
+        return AccessResult(latency=float(c.l1_latency) + effective, level=level)
+
+    def _fill_level(self, cache: Cache, line: int, next_cache: Optional[Cache],
+                    is_prefetch: bool = False) -> None:
+        """Fill ``line`` into ``cache``; handle the victim's write-back."""
+        evicted = cache.fill(line, is_prefetch=is_prefetch)
+        if evicted is not None:
+            victim, dirty = evicted
+            if dirty and next_cache is not None:
+                # Dirty victim is written back into the next level.
+                next_cache.access(victim, True, kind="writethrough")
+            elif dirty:
+                self.memory.writes += 1
+
+    def _prefetch_fill(self, line: int) -> None:
+        """Bring a prefetched line into L1/L2/L3 (Table 1: prefetch to all levels)."""
+        if self.l1.probe(line):
+            return
+        hit_l2 = self.l2.access(line, False, kind="prefetch")
+        if not hit_l2:
+            hit_l3 = self.l3.access(line, False, kind="prefetch")
+            if not hit_l3:
+                self.memory.reads += 1
+                self._fill_level(self.l3, line, None, is_prefetch=True)
+            self._fill_level(self.l2, line, self.l3, is_prefetch=True)
+        self._fill_level(self.l1, line, self.l2, is_prefetch=True)
+
+    # -- instruction fetch -----------------------------------------------------
+    def fetch_access(self, pc_addr: int) -> float:
+        """Instruction-cache access; counted for energy, almost always a hit."""
+        self.icache_accesses += 1
+        hit = self.l1i.access(pc_addr, False)
+        if not hit:
+            self.l1i.fill(pc_addr)
+            return float(self.config.l1i_latency + self.config.l2_latency)
+        return float(self.config.l1i_latency)
+
+    # -- coherent DMA bus requests ----------------------------------------------
+    def snoop_read(self, addr: int) -> float:
+        """dma-get bus request: find the valid copy of one line in the SM.
+
+        The caches are looked up top-down; if the line is found it is read
+        from there, otherwise from main memory.  Returns the latency of
+        sourcing this line.
+        """
+        c = self.config
+        lat = self.bus.transfer(1, c.line_size, dma=True)
+        if self.l1.access(addr, False, kind="dma") and self.l1.probe(addr):
+            return lat + c.l1_latency
+        if self.l2.access(addr, False, kind="dma"):
+            return lat + c.l2_latency
+        if self.l3.access(addr, False, kind="dma"):
+            return lat + c.l3_latency
+        return lat + c.memory_latency
+
+    def snoop_invalidate(self, addr: int) -> float:
+        """dma-put bus request: invalidate the line in the whole hierarchy."""
+        c = self.config
+        lat = self.bus.transfer(1, c.line_size, dma=True)
+        self.l1.invalidate(addr)
+        self.l2.invalidate(addr)
+        self.l3.invalidate(addr)
+        self.memory.writes += 1
+        return lat + c.memory_latency
+
+    # -- functional data --------------------------------------------------------
+    def read_word(self, addr: int):
+        """Functional read of SM data (data lives in main memory storage)."""
+        return self.memory.read_word(addr)
+
+    def write_word(self, addr: int, value) -> None:
+        """Functional write of SM data."""
+        self.memory.write_word(addr, value)
+
+    # -- reporting ---------------------------------------------------------------
+    @property
+    def amat(self) -> float:
+        """Average latency of demand accesses served by the hierarchy."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.total_latency / self.demand_accesses
+
+    def stats_summary(self) -> dict:
+        """Aggregate per-level statistics (used by Table 3 and the energy model)."""
+        return {
+            "L1": self.l1.stats.as_dict(),
+            "L1I": self.l1i.stats.as_dict(),
+            "L2": self.l2.stats.as_dict(),
+            "L3": self.l3.stats.as_dict(),
+            "memory_reads": self.memory.reads,
+            "memory_writes": self.memory.writes,
+            "bus_transactions": self.bus.transactions,
+            "bus_dma_transactions": self.bus.dma_transactions,
+            "prefetches_issued": self.prefetcher.issued,
+            "prefetcher_collisions": self.prefetcher.collisions,
+            "mshr_merges": self.mshr.merges,
+            "demand_accesses": self.demand_accesses,
+            "amat": self.amat,
+        }

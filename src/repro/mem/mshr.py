@@ -1,0 +1,81 @@
+"""Miss Status Holding Registers (MSHRs).
+
+MSHRs track cache lines with outstanding misses so that several misses to
+the same line are merged into a single request and so that the number of
+in-flight misses is bounded.  In this cycle-approximate model the MSHR file
+serves two purposes:
+
+* merging — a demand miss to a line that is already outstanding pays only the
+  remaining latency of the in-flight request rather than a full round trip;
+* throttling — when all entries are busy a new miss must wait for the oldest
+  entry to retire, which adds stall cycles (this is what bounds memory-level
+  parallelism in the model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MSHRFile:
+    """A small fully-associative file of MSHR entries.
+
+    Parameters
+    ----------
+    num_entries:
+        Number of simultaneously outstanding misses supported.
+    """
+
+    def __init__(self, num_entries: int = 16):
+        if num_entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        # line address -> absolute completion time (cycles)
+        self._outstanding: Dict[int, float] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0
+
+    def _expire(self, now: float) -> None:
+        if not self._outstanding:
+            return
+        done = [line for line, t in self._outstanding.items() if t <= now]
+        for line in done:
+            del self._outstanding[line]
+
+    def request(self, line_addr: int, now: float, full_latency: float) -> float:
+        """Register a miss for ``line_addr`` issued at time ``now``.
+
+        Returns the effective latency seen by this request:
+
+        * if the line is already outstanding the request is merged and only
+          the remaining time is paid;
+        * if the file is full the request first waits for the earliest entry
+          to complete;
+        * otherwise a new entry is allocated and the full latency is paid.
+        """
+        self._expire(now)
+        if line_addr in self._outstanding:
+            self.merges += 1
+            return max(0.0, self._outstanding[line_addr] - now)
+        start = now
+        if len(self._outstanding) >= self.num_entries:
+            earliest = min(self._outstanding.values())
+            self.full_stalls += 1
+            start = max(now, earliest)
+            self._expire(start)
+        completion = start + full_latency
+        self._outstanding[line_addr] = completion
+        self.allocations += 1
+        return completion - now
+
+    @property
+    def occupancy(self) -> int:
+        """Number of currently tracked outstanding misses (untrimmed)."""
+        return len(self._outstanding)
+
+    def reset(self) -> None:
+        self._outstanding.clear()
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0

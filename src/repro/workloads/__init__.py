@@ -1,0 +1,68 @@
+"""Workloads used in the evaluation (Section 4).
+
+The paper evaluates the coherence protocol with a configurable
+microbenchmark (Table 2) and six memory-intensive NAS benchmarks (CG, EP,
+FT, IS, MG, SP).  The original benchmarks are Fortran/C programs run for at
+least 150 M x86 instructions under SimPoint; this reproduction provides
+Python kernel definitions (in the compiler IR) that preserve what the
+evaluation actually depends on — each benchmark's mix of strided, irregular
+and potentially incoherent references, its data reuse, and the presence or
+absence of double stores — at sizes a pure-Python cycle-approximate
+simulator can run.
+
+Use :func:`get_workload` / :func:`available_workloads` to obtain kernels by
+name, and :mod:`repro.workloads.microbenchmark` for the Table 2 / Figure 7
+microbenchmark (which is generated directly at the ISA level so that the
+fraction of guarded references can be controlled exactly).
+"""
+
+from typing import Callable, Dict, List
+
+from repro.compiler.ir import Kernel
+from repro.workloads import nas
+from repro.workloads.microbenchmark import (
+    MicroMode,
+    build_microbenchmark,
+    MICRO_MODES,
+)
+
+#: Registry of NAS-like kernels: name -> builder(scale) -> Kernel.
+_REGISTRY: Dict[str, Callable[[str], Kernel]] = {
+    "CG": nas.cg.build_kernel,
+    "EP": nas.ep.build_kernel,
+    "FT": nas.ft.build_kernel,
+    "IS": nas.is_.build_kernel,
+    "MG": nas.mg.build_kernel,
+    "SP": nas.sp.build_kernel,
+}
+
+#: Benchmark order used throughout the paper's tables and figures.
+BENCHMARK_ORDER: List[str] = ["CG", "EP", "FT", "IS", "MG", "SP"]
+
+
+def available_workloads() -> List[str]:
+    """Names of the NAS-like kernels, in the paper's order."""
+    return list(BENCHMARK_ORDER)
+
+
+def get_workload(name: str, scale: str = "small") -> Kernel:
+    """Build the kernel for benchmark ``name`` at ``scale``.
+
+    ``scale`` is one of ``"tiny"`` (unit tests), ``"small"`` (default,
+    benchmark harness) or ``"medium"`` (longer runs).
+    """
+    key = name.upper()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](scale)
+
+
+__all__ = [
+    "available_workloads",
+    "get_workload",
+    "BENCHMARK_ORDER",
+    "MicroMode",
+    "MICRO_MODES",
+    "build_microbenchmark",
+]

@@ -1,0 +1,5 @@
+"""NAS-like kernel definitions (CG, EP, FT, IS, MG, SP)."""
+
+from repro.workloads.nas import cg, ep, ft, is_, mg, sp  # noqa: F401
+
+__all__ = ["cg", "ep", "ft", "is_", "mg", "sp"]

@@ -1,0 +1,39 @@
+"""Shared helpers for the NAS-like kernel definitions."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Loop trip counts per scale.  "tiny" keeps unit tests fast, "small" is the
+#: default for the benchmark harness, "medium" gives longer, steadier runs.
+SCALE_ITERATIONS: Dict[str, int] = {
+    "tiny": 256,
+    "small": 4096,
+    "medium": 16384,
+}
+
+
+def iterations_for(scale: str) -> int:
+    try:
+        return SCALE_ITERATIONS[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALE_ITERATIONS)}"
+        ) from None
+
+
+def rng_for(name: str) -> np.random.Generator:
+    """Deterministic per-benchmark random generator (reproducible inputs)."""
+    seed = abs(hash(name)) % (2 ** 32)
+    return np.random.default_rng(seed)
+
+
+def random_indices(rng: np.random.Generator, count: int, upper: int) -> np.ndarray:
+    """Random gather indices in ``[0, upper)`` stored as floats (one per word)."""
+    return rng.integers(0, upper, size=count).astype(float)
+
+
+def random_values(rng: np.random.Generator, count: int, scale: float = 1.0) -> np.ndarray:
+    return rng.random(count) * scale

@@ -1,0 +1,80 @@
+"""EP-like kernel: embarrassingly parallel pseudo-random pair evaluation.
+
+The NAS EP benchmark generates pseudo-random pairs, evaluates them and
+tallies results into small count tables.  Its reference mix is dominated by
+local (stack) variables: the paper reports 3 strided references, 16 local
+variables and a single potentially incoherent write reference (treated with a
+double store), for a guarded ratio of 1/20 (5%).
+
+The local variables are modelled as constant-index references into a small
+``locals`` array: they are predictable (and therefore classified regular) but
+are not worth mapping to the LM (non-unit stride), which is exactly how a
+compiler would treat stack slots, so they are served by the L1 cache.  The
+tally update goes through a pointer with an unknown pointee set, producing
+the potentially incoherent write and its double store; because the two stores
+always issue in the same cycle, the measured overhead is zero (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    AffineIndex,
+    ArraySpec,
+    Assign,
+    BinOp,
+    Const,
+    Kernel,
+    Load,
+    Loop,
+    ModuloIndex,
+    PointerSpec,
+    Ref,
+    ScalarVar,
+)
+from repro.workloads.nas.common import iterations_for, random_values, rng_for
+
+PAPER_GUARDED = "1/20 (5%)"
+
+#: Number of local (constant-index) references, as in the paper.
+NUM_LOCALS = 16
+#: Size of the tally table (power of two so the modulo index is cheap).
+TALLY_SIZE = 1024
+
+
+def build_kernel(scale: str = "small") -> Kernel:
+    n = iterations_for(scale)
+    rng = rng_for("EP")
+
+    k = Kernel("EP")
+    k.add_array(ArraySpec("sx", n, data=random_values(rng, n, 2.0)))
+    k.add_array(ArraySpec("sy", n, data=random_values(rng, n, 2.0)))
+    k.add_array(ArraySpec("t", n))
+    k.add_array(ArraySpec("locals", NUM_LOCALS + 1,
+                          data=random_values(rng, NUM_LOCALS + 1)))
+    k.add_array(ArraySpec("tally", TALLY_SIZE, mappable=False))
+    k.add_pointer(PointerSpec("p_tally", actual_target="tally", declared_targets=None))
+    k.scalars["half"] = 0.5
+
+    sx = Ref("sx", AffineIndex())
+    sy = Ref("sy", AffineIndex())
+    t = Ref("t", AffineIndex())
+
+    def local(i: int) -> Ref:
+        # Constant-index (stride-0) reference: a stack slot.
+        return Ref("locals", AffineIndex(stride=0, offset=i))
+
+    loop = Loop("i", 0, n)
+    # t[i] = sx[i]*sx[i] + sy[i]*sy[i]
+    loop.body.append(Assign(
+        t, BinOp("+", BinOp("*", Load(sx), Load(sx)), BinOp("*", Load(sy), Load(sy)))))
+    # A chain of local-variable computations (8 written, 8 read-only locals).
+    loop.body.append(Assign(local(0), BinOp("*", Load(t), ScalarVar("half"))))
+    for j in range(1, 8):
+        loop.body.append(Assign(
+            local(j), BinOp("+", Load(local(j - 1)), Load(local(8 + j)))))
+    # tally[(i * 2654435761) mod TALLY_SIZE] = locals[7]  (potentially
+    # incoherent write through a pointer: double store required).
+    scatter = Ref("p_tally", ModuloIndex(multiplier=2654435761, modulo=TALLY_SIZE))
+    loop.body.append(Assign(scatter, BinOp("+", Load(local(7)), Const(1.0))))
+    k.add_loop(loop)
+    return k

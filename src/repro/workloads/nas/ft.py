@@ -1,0 +1,96 @@
+"""FT-like kernel: complex butterfly passes with checksum scatter updates.
+
+The NAS FT benchmark performs FFT passes over a 3-D complex array.  The hot
+loop walks the real/imaginary planes and twiddle-factor tables with unit
+stride (many strided references) and maintains checksums that are accessed
+through pointers whose aliasing cannot be resolved: these produce 2
+potentially incoherent reads and 2 potentially incoherent writes (the writes
+need the double store).  The paper reports 34 strided references and a
+guarded ratio of ~11%, with an execution-time overhead of 1.03% — the largest
+of the suite, caused by the double stores.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    AffineIndex,
+    ArraySpec,
+    Assign,
+    BinOp,
+    IndirectIndex,
+    Kernel,
+    Load,
+    Loop,
+    PointerSpec,
+    Ref,
+    ScalarVar,
+)
+from repro.workloads.nas.common import iterations_for, random_indices, random_values, rng_for
+
+PAPER_GUARDED = "4/34 (11%)"
+
+#: Size of the checksum tables reached through pointers.
+CHECKSUM_SIZE = 1024
+
+
+def build_kernel(scale: str = "small") -> Kernel:
+    n = iterations_for(scale)
+    rng = rng_for("FT")
+
+    k = Kernel("FT")
+    for name in ("u0r", "u0i", "u1r", "u1i", "u2r", "u2i"):
+        k.add_array(ArraySpec(name, n + 8, data=random_values(rng, n + 8, 2.0)))
+    for name in ("twr", "twi"):
+        k.add_array(ArraySpec(name, n + 8, data=random_values(rng, n + 8)))
+    k.add_array(ArraySpec("yr", n + 8))
+    k.add_array(ArraySpec("yi", n + 8))
+    k.add_array(ArraySpec("cidx", n, data=random_indices(rng, n, CHECKSUM_SIZE - 2)))
+    k.add_array(ArraySpec("chkr", CHECKSUM_SIZE, mappable=False))
+    k.add_array(ArraySpec("chki", CHECKSUM_SIZE, mappable=False))
+    k.add_pointer(PointerSpec("p_chkr", actual_target="chkr", declared_targets=None))
+    k.add_pointer(PointerSpec("p_chki", actual_target="chki", declared_targets=None))
+    k.scalars["c1"] = 0.5
+    k.scalars["c2"] = 0.25
+
+    def ref(name: str, off: int = 0) -> Ref:
+        return Ref(name, AffineIndex(1, off))
+
+    loop = Loop("i", 0, n)
+    body = loop.body
+    # Radix-2 butterflies over two element pairs (offsets 0 and 1), using the
+    # twiddle factors: 2 x 4 statements over u0/u1/tw -> many strided refs.
+    for off in (0, 1):
+        body.append(Assign(ref("u1r", off), BinOp(
+            "-", BinOp("*", Load(ref("u0r", off)), Load(ref("twr", off))),
+            BinOp("*", Load(ref("u0i", off)), Load(ref("twi", off))))))
+        body.append(Assign(ref("u1i", off), BinOp(
+            "+", BinOp("*", Load(ref("u0r", off)), Load(ref("twi", off))),
+            BinOp("*", Load(ref("u0i", off)), Load(ref("twr", off))))))
+    # Combine with a second plane (offsets 2 and 3) and scale.
+    body.append(Assign(ref("u2r"), BinOp(
+        "+", BinOp("*", Load(ref("u1r")), ScalarVar("c1")),
+        BinOp("*", Load(ref("u0r", 2)), ScalarVar("c2")))))
+    body.append(Assign(ref("u2i"), BinOp(
+        "+", BinOp("*", Load(ref("u1i")), ScalarVar("c1")),
+        BinOp("*", Load(ref("u0i", 2)), ScalarVar("c2")))))
+    body.append(Assign(ref("yr"), BinOp(
+        "+", BinOp("*", Load(ref("u2r")), Load(ref("twr", 2))),
+        BinOp("*", Load(ref("u1r", 1)), Load(ref("twi", 2))))))
+    body.append(Assign(ref("yi"), BinOp(
+        "+", BinOp("*", Load(ref("u2i")), Load(ref("twr", 3))),
+        BinOp("*", Load(ref("u1i", 1)), Load(ref("twi", 3))))))
+    body.append(Assign(ref("yr", 1), BinOp(
+        "-", Load(ref("u0r", 3)), BinOp("*", Load(ref("u2r", 1)), ScalarVar("c1")))))
+    body.append(Assign(ref("yi", 1), BinOp(
+        "-", Load(ref("u0i", 3)), BinOp("*", Load(ref("u2i", 1)), ScalarVar("c1")))))
+    # Checksum updates through pointers: potentially incoherent reads of
+    # chk[cidx[i]] and potentially incoherent writes of chk[cidx[i]+1]
+    # (double store for the writes).
+    chk_r_read = Ref("p_chkr", IndirectIndex("cidx"))
+    chk_r_write = Ref("p_chkr", IndirectIndex("cidx", offset=1))
+    chk_i_read = Ref("p_chki", IndirectIndex("cidx"))
+    chk_i_write = Ref("p_chki", IndirectIndex("cidx", offset=1))
+    body.append(Assign(chk_r_write, BinOp("+", Load(chk_r_read), Load(ref("yr")))))
+    body.append(Assign(chk_i_write, BinOp("+", Load(chk_i_read), Load(ref("yi")))))
+    k.add_loop(loop)
+    return k

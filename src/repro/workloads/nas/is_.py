@@ -1,0 +1,67 @@
+"""IS-like kernel: integer bucket sort (key histogramming).
+
+The NAS IS benchmark ranks integer keys by histogramming them into buckets.
+The computation per key is trivial — read the key, increment its bucket —
+which is why the double store shows up in the results: the paper reports 2
+guarded references out of 5, both writes needing the double store, giving the
+largest (but still small, 0.44% time / 5% energy) overhead of the suite.
+The bucket tables are reached through pointers the compiler cannot resolve,
+and the bucket reads have high reuse, which is what makes the hybrid memory
+system fast on IS (the buckets stay hot in the L1 because the streaming key
+arrays live in the LM).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    AffineIndex,
+    ArraySpec,
+    Assign,
+    BinOp,
+    Const,
+    IndirectIndex,
+    Kernel,
+    Load,
+    Loop,
+    PointerSpec,
+    Ref,
+)
+from repro.workloads.nas.common import iterations_for, random_indices, rng_for
+
+PAPER_GUARDED = "2/5 (25%)"
+
+#: Number of buckets per table (power of two).  Two tables of this size give
+#: a 32 KB irregular working set that exactly fills the hybrid system's L1
+#: (the streaming key arrays live in the LM) while competing with the key
+#: streams and their prefetches in the cache-based system's L1.
+NUM_BUCKETS = 2048
+
+
+def build_kernel(scale: str = "small") -> Kernel:
+    n = iterations_for(scale)
+    rng = rng_for("IS")
+
+    k = Kernel("IS")
+    k.add_array(ArraySpec("key", n, data=random_indices(rng, n, NUM_BUCKETS)))
+    k.add_array(ArraySpec("key2", n, data=random_indices(rng, n, NUM_BUCKETS)))
+    k.add_array(ArraySpec("keybuf", n))
+    k.add_array(ArraySpec("bucket", NUM_BUCKETS, mappable=False))
+    k.add_array(ArraySpec("bucket2", NUM_BUCKETS, mappable=False))
+    k.add_pointer(PointerSpec("p_bucket", actual_target="bucket", declared_targets=None))
+    k.add_pointer(PointerSpec("p_bucket2", actual_target="bucket2", declared_targets=None))
+
+    key = Ref("key", AffineIndex())
+    key2 = Ref("key2", AffineIndex())
+    keybuf = Ref("keybuf", AffineIndex())
+    hist1 = Ref("p_bucket", IndirectIndex("key"))
+    hist2 = Ref("p_bucket2", IndirectIndex("key2"))
+
+    loop = Loop("i", 0, n)
+    # keybuf[i] = key[i] + key2[i]
+    loop.body.append(Assign(keybuf, BinOp("+", Load(key), Load(key2))))
+    # bucket[key[i]] += 1 ; bucket2[key2[i]] += 1  (both potentially
+    # incoherent writes: guarded + double store)
+    loop.body.append(Assign(hist1, BinOp("+", Load(hist1), Const(1.0))))
+    loop.body.append(Assign(hist2, BinOp("+", Load(hist2), Const(1.0))))
+    k.add_loop(loop)
+    return k

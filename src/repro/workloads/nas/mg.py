@@ -1,0 +1,100 @@
+"""MG-like kernel: multigrid residual/relaxation stencil sweep.
+
+The NAS MG benchmark applies 27-point stencils over a 3-D grid.  Flattened to
+one dimension, every neighbour becomes a strided reference with a constant
+offset, so the loop carries a very large number of regular references (the
+paper reports 60 references with a single guarded one, 1.66%).  The single
+potentially incoherent reference models the periodic-boundary gather that the
+compiler cannot disambiguate; it is a *read*, so no double store is needed
+and the measured protocol overhead is zero.
+
+The stencil is expressed with forward offsets only (``u[i]``..``u[i+2+2*nx+2*nxy]``),
+which keeps the blocked chunks aligned — the interior point being updated is
+at ``i + 1 + nx + nxy``.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    AffineIndex,
+    ArraySpec,
+    Assign,
+    BinOp,
+    Const,
+    IndirectIndex,
+    Kernel,
+    Load,
+    Loop,
+    PointerSpec,
+    Ref,
+    ScalarVar,
+)
+from repro.workloads.nas.common import iterations_for, random_indices, random_values, rng_for
+
+PAPER_GUARDED = "1/60 (1.66%)"
+
+#: Flattened 3-D grid dimensions (plane = NX * NX elements).
+NX = 16
+PLANE = NX * NX
+
+#: Size of the periodic-boundary table reached through a pointer.
+BOUNDARY_SIZE = 512
+
+
+def _stencil_sum(array: str, weights) -> BinOp:
+    """Weighted sum of the 27 forward-offset neighbours of ``array``."""
+    terms = []
+    for dz in (0, 1, 2):
+        for dy in (0, 1, 2):
+            for dx in (0, 1, 2):
+                off = dx + dy * NX + dz * PLANE
+                weight = weights[(dx + dy + dz) % len(weights)]
+                terms.append(BinOp("*", Load(Ref(array, AffineIndex(1, off))),
+                                   Const(weight)))
+    expr = terms[0]
+    for term in terms[1:]:
+        expr = BinOp("+", expr, term)
+    return expr
+
+
+def build_kernel(scale: str = "small") -> Kernel:
+    n = iterations_for(scale)
+    rng = rng_for("MG")
+    length = n + 2 * PLANE + 2 * NX + 8
+
+    k = Kernel("MG")
+    k.add_array(ArraySpec("u", length, data=random_values(rng, length)))
+    k.add_array(ArraySpec("v", length, data=random_values(rng, length)))
+    k.add_array(ArraySpec("r", length))
+    k.add_array(ArraySpec("w", length))
+    k.add_array(ArraySpec("bidx", n, data=random_indices(rng, n, BOUNDARY_SIZE)))
+    k.add_array(ArraySpec("boundary", BOUNDARY_SIZE,
+                          data=random_values(rng, BOUNDARY_SIZE), mappable=False))
+    k.add_pointer(PointerSpec("p_boundary", actual_target="boundary",
+                              declared_targets=None))
+    k.scalars["c0"] = -0.25
+    k.scalars["c1"] = 0.125
+
+    center = 1 + NX + PLANE
+    r_center = Ref("r", AffineIndex(1, center))
+    w_center = Ref("w", AffineIndex(1, center))
+    v_center = Ref("v", AffineIndex(1, center))
+    periodic = Ref("p_boundary", IndirectIndex("bidx"))
+
+    loop = Loop("i", 0, n)
+    # r[i+c] = v[i+c] - sum_k w_k * u[i + off_k] + boundary[bidx[i]]
+    # (27 strided refs to u, plus v, r and the potentially incoherent read)
+    loop.body.append(Assign(r_center, BinOp(
+        "+", BinOp("-", Load(v_center), _stencil_sum("u", (0.5, 0.25, 0.125))),
+        Load(periodic))))
+    # w[i+c] = c0 * r[i+c] + c1 * (u-stencil restricted to the first plane)
+    plane_terms = None
+    for dy in (0, 1, 2):
+        for dx in (0, 1, 2):
+            off = dx + dy * NX
+            term = BinOp("*", Load(Ref("u", AffineIndex(1, off))), ScalarVar("c1"))
+            plane_terms = term if plane_terms is None else BinOp("+", plane_terms, term)
+    loop.body.append(Assign(w_center, BinOp(
+        "+", BinOp("*", ScalarVar("c0"), Load(r_center)), plane_terms)))
+    k.add_loop(loop)
+    return k

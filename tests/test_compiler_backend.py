@@ -1,0 +1,174 @@
+"""Tests for the tiling transformation and the code generator."""
+
+import pytest
+
+from repro.compiler.classify import classify_kernel
+from repro.compiler.codegen import CompilationTarget, compile_kernel
+from repro.compiler.ir import (
+    AffineIndex,
+    ArraySpec,
+    Assign,
+    BinOp,
+    Const,
+    IndirectIndex,
+    Kernel,
+    Load,
+    Loop,
+    PointerSpec,
+    Ref,
+)
+from repro.compiler.transform import plan_tiling
+from repro.isa.instructions import Opcode
+
+
+def streaming_kernel(n=512, offsets=(0,), extra_arrays=1):
+    """A simple streaming kernel: out[i] = sum of in_k[i + off]."""
+    k = Kernel("stream")
+    k.add_array(ArraySpec("out", n + max(offsets) + 1))
+    for j in range(extra_arrays):
+        k.add_array(ArraySpec(f"in{j}", n + max(offsets) + 1))
+    loop = Loop("i", 0, n)
+    expr = Load(Ref("in0", AffineIndex(1, offsets[0])))
+    for off in offsets[1:]:
+        expr = BinOp("+", expr, Load(Ref("in0", AffineIndex(1, off))))
+    for j in range(1, extra_arrays):
+        expr = BinOp("+", expr, Load(Ref(f"in{j}", AffineIndex())))
+    loop.body.append(Assign(Ref("out", AffineIndex()), expr))
+    k.add_loop(loop)
+    return k
+
+
+def guarded_kernel(n=512):
+    k = Kernel("guarded")
+    k.add_array(ArraySpec("a", n))
+    k.add_array(ArraySpec("b", n))
+    k.add_array(ArraySpec("idx", n))
+    k.add_pointer(PointerSpec("ptr", actual_target="a", declared_targets=None))
+    loop = Loop("i", 0, n)
+    loop.body.append(Assign(Ref("a", AffineIndex()), Load(Ref("b", AffineIndex()))))
+    ptr_ref = Ref("ptr", IndirectIndex("idx"))
+    loop.body.append(Assign(ptr_ref, BinOp("+", Load(ptr_ref), Const(1.0))))
+    k.add_loop(loop)
+    return k
+
+
+# -------------------------------------------------------------------------- tiling plan
+def test_plan_buffer_size_is_power_of_two_and_fits_lm():
+    k = streaming_kernel(extra_arrays=3)
+    cls = classify_kernel(k).loops[0]
+    plan = plan_tiling(k, cls, lm_size=32 * 1024, max_buffers=32)
+    assert plan is not None
+    assert plan.buffer_words & (plan.buffer_words - 1) == 0
+    assert plan.total_buffers * plan.buffer_bytes <= 32 * 1024
+    assert plan.total_buffers <= 32
+
+
+def test_plan_window_grows_with_offsets():
+    k = streaming_kernel(offsets=(0, 1, 2, 300))
+    cls = classify_kernel(k).loops[0]
+    plan = plan_tiling(k, cls, lm_size=8 * 1024, max_buffers=32)
+    assert plan is not None
+    mapped = plan.mapped["in0"]
+    assert mapped.num_buffers >= 2
+    assert mapped.max_offset == 300
+
+
+def test_plan_respects_directory_budget():
+    # Many arrays with windows must not exceed the number of entries.
+    k = streaming_kernel(extra_arrays=12)
+    cls = classify_kernel(k).loops[0]
+    plan = plan_tiling(k, cls, lm_size=32 * 1024, max_buffers=8)
+    assert plan is not None
+    assert plan.total_buffers <= 8
+
+
+def test_plan_none_when_nothing_mappable():
+    k = Kernel("none")
+    k.add_array(ArraySpec("c", 64, mappable=False))
+    loop = Loop("i", 0, 64)
+    loop.body.append(Assign(Ref("c", AffineIndex()), Const(1.0)))
+    k.add_loop(loop)
+    cls = classify_kernel(k).loops[0]
+    assert plan_tiling(k, cls) is None
+
+
+def test_plan_none_for_non_zero_based_loop():
+    k = streaming_kernel()
+    k.loops[0].start = 4
+    cls = classify_kernel(k).loops[0]
+    assert plan_tiling(k, cls) is None
+
+
+def test_padded_length_covers_all_mapped_chunks():
+    k = streaming_kernel(n=500)
+    cls = classify_kernel(k).loops[0]
+    plan = plan_tiling(k, cls, lm_size=4 * 1024)
+    mapped = plan.mapped["in0"]
+    padded = plan.padded_length(500, mapped)
+    assert padded >= plan.num_chunks * plan.buffer_words
+
+
+# ------------------------------------------------------------------------ code generation
+def test_hybrid_codegen_emits_dma_and_guards():
+    compiled = compile_kernel(guarded_kernel(), mode="hybrid")
+    ops = [i.opcode for i in compiled.program.instructions]
+    assert Opcode.DMA_GET in ops and Opcode.DMA_SYNC in ops
+    assert Opcode.SET_BUFSIZE in ops
+    assert Opcode.GLD in ops and Opcode.GST in ops
+    assert compiled.guarded_references == 1
+
+
+def test_double_store_pairs_are_adjacent_and_marked():
+    compiled = compile_kernel(guarded_kernel(), mode="hybrid")
+    insts = compiled.program.instructions
+    collapse_indices = [i for i, inst in enumerate(insts) if inst.collapse_with_prev]
+    assert collapse_indices, "expected a double store"
+    for idx in collapse_indices:
+        assert insts[idx].opcode is Opcode.ST
+        assert insts[idx - 1].opcode is Opcode.GST
+        # Same operands: same base register and offset.
+        assert insts[idx].srcs[1] == insts[idx - 1].srcs[1]
+        assert insts[idx].imm == insts[idx - 1].imm
+
+
+def test_oracle_codegen_has_no_guards_but_keeps_tiling():
+    compiled = compile_kernel(guarded_kernel(), mode="hybrid-oracle")
+    ops = [i.opcode for i in compiled.program.instructions]
+    assert Opcode.GLD not in ops and Opcode.GST not in ops
+    assert Opcode.DMA_GET in ops
+    assert any(i.oracle_divert for i in compiled.program.instructions)
+    assert compiled.guarded_references == 0
+
+
+def test_cache_codegen_is_flat_and_unguarded():
+    compiled = compile_kernel(guarded_kernel(), mode="cache")
+    ops = [i.opcode for i in compiled.program.instructions]
+    assert Opcode.DMA_GET not in ops and Opcode.GLD not in ops
+    assert Opcode.SET_BUFSIZE not in ops
+    assert not any(i.oracle_divert for i in compiled.program.instructions)
+
+
+def test_naive_codegen_unguarded_but_tiled():
+    compiled = compile_kernel(guarded_kernel(), mode="hybrid-naive")
+    ops = [i.opcode for i in compiled.program.instructions]
+    assert Opcode.DMA_GET in ops
+    assert Opcode.GLD not in ops and Opcode.GST not in ops
+
+
+def test_mapped_arrays_aligned_to_buffer_size():
+    compiled = compile_kernel(guarded_kernel(), mode="hybrid")
+    plan = compiled.plans[0]
+    assert plan is not None
+    for name in plan.mapped:
+        assert compiled.program.arrays[name].base % plan.buffer_bytes == 0
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        CompilationTarget(mode="weird")
+
+
+def test_static_guarded_instruction_count_property():
+    compiled = compile_kernel(guarded_kernel(), mode="hybrid")
+    assert compiled.static_guarded_instructions >= 2  # one gld + one gst
+    assert compiled.static_instructions == len(compiled.program.instructions)

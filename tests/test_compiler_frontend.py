@@ -1,0 +1,199 @@
+"""Tests for the compiler IR, alias analysis and reference classification."""
+
+import pytest
+
+from repro.compiler.alias import AliasAnalysis, AliasResult
+from repro.compiler.classify import RefClass, classify_kernel
+from repro.compiler.ir import (
+    AffineIndex,
+    ArraySpec,
+    Assign,
+    BinOp,
+    Const,
+    IndirectIndex,
+    Kernel,
+    Load,
+    Loop,
+    ModuloIndex,
+    PointerSpec,
+    Ref,
+    Reduce,
+    ScalarVar,
+    refs_of_statement,
+)
+
+
+def figure2_kernel(declared_targets=None):
+    """The running example of Figures 2/3: a, b regular; c irregular; ptr unknown."""
+    k = Kernel("fig2")
+    k.add_array(ArraySpec("a", 256))
+    k.add_array(ArraySpec("b", 256))
+    k.add_array(ArraySpec("c", 256, mappable=False))
+    k.add_array(ArraySpec("idx", 256))
+    k.add_pointer(PointerSpec("ptr", actual_target="a",
+                              declared_targets=declared_targets))
+    loop = Loop("i", 0, 256)
+    loop.body.append(Assign(Ref("a", AffineIndex()), Load(Ref("b", AffineIndex()))))
+    loop.body.append(Assign(Ref("c", ModuloIndex(17, 256)), Const(0.0)))
+    ptr_ref = Ref("ptr", IndirectIndex("idx"))
+    loop.body.append(Assign(ptr_ref, BinOp("+", Load(ptr_ref), Const(1.0))))
+    k.add_loop(loop)
+    return k
+
+
+# ----------------------------------------------------------------------------- IR
+def test_ir_validation_catches_unknown_storage():
+    k = Kernel("bad")
+    k.add_array(ArraySpec("a", 16))
+    loop = Loop("i", 0, 16)
+    loop.body.append(Assign(Ref("missing", AffineIndex()), Const(1.0)))
+    k.add_loop(loop)
+    with pytest.raises(ValueError):
+        k.validate()
+
+
+def test_ir_validation_catches_unknown_scalar():
+    k = Kernel("bad")
+    k.add_array(ArraySpec("a", 16))
+    loop = Loop("i", 0, 16)
+    loop.body.append(Assign(Ref("a", AffineIndex()), ScalarVar("alpha")))
+    k.add_loop(loop)
+    with pytest.raises(ValueError):
+        k.validate()
+
+
+def test_pointer_must_target_declared_array():
+    k = Kernel("bad")
+    with pytest.raises(ValueError):
+        k.add_pointer(PointerSpec("p", actual_target="nope"))
+
+
+def test_refs_of_statement_order_reads_then_write():
+    stmt = Assign(Ref("a", AffineIndex()), Load(Ref("b", AffineIndex())))
+    refs = refs_of_statement(stmt)
+    assert refs[0].array == "b" and refs[-1].array == "a"
+    reduce_stmt = Reduce("s", Load(Ref("b", AffineIndex())))
+    assert [r.array for r in refs_of_statement(reduce_stmt)] == ["b"]
+
+
+def test_all_refs_deduplicates():
+    k = figure2_kernel()
+    refs = k.all_refs()
+    assert len(refs) == len(set(refs))
+
+
+# --------------------------------------------------------------------- alias analysis
+def test_distinct_arrays_never_alias():
+    k = figure2_kernel()
+    analysis = AliasAnalysis(k)
+    a = Ref("a", AffineIndex())
+    c = Ref("c", ModuloIndex(17, 256))
+    assert analysis.alias(a, c) is AliasResult.NO_ALIAS
+
+
+def test_unknown_pointer_may_alias_everything():
+    k = figure2_kernel()
+    analysis = AliasAnalysis(k)
+    ptr = Ref("ptr", IndirectIndex("idx"))
+    assert analysis.alias(ptr, Ref("a", AffineIndex())) is AliasResult.MAY_ALIAS
+    assert analysis.alias(ptr, Ref("b", AffineIndex())) is AliasResult.MAY_ALIAS
+
+
+def test_declared_pointee_set_restricts_aliasing():
+    k = figure2_kernel(declared_targets={"c"})
+    analysis = AliasAnalysis(k)
+    ptr = Ref("ptr", IndirectIndex("idx"))
+    assert analysis.alias(ptr, Ref("a", AffineIndex())) is AliasResult.NO_ALIAS
+    assert analysis.alias(ptr, Ref("c", ModuloIndex(17, 256))) is AliasResult.MAY_ALIAS
+
+
+def test_same_array_affine_disambiguation():
+    k = Kernel("affine")
+    k.add_array(ArraySpec("a", 64))
+    analysis = AliasAnalysis(k)
+    same = Ref("a", AffineIndex(1, 0))
+    assert analysis.alias(same, Ref("a", AffineIndex(1, 0))) is AliasResult.MUST_ALIAS
+    # a[2i] vs a[2i+1]: different parity, never the same element.
+    even = Ref("a", AffineIndex(2, 0))
+    odd = Ref("a", AffineIndex(2, 1))
+    assert analysis.alias(even, odd) is AliasResult.NO_ALIAS
+    # a[i] vs a[i+1]: overlap across iterations.
+    assert analysis.alias(Ref("a", AffineIndex(1, 0)),
+                          Ref("a", AffineIndex(1, 1))) is AliasResult.MAY_ALIAS
+
+
+def test_indirect_into_regular_array_may_alias():
+    k = Kernel("gather")
+    k.add_array(ArraySpec("a", 64))
+    k.add_array(ArraySpec("idx", 64))
+    analysis = AliasAnalysis(k)
+    gather = Ref("a", IndirectIndex("idx"))
+    assert analysis.alias(gather, Ref("a", AffineIndex())) is AliasResult.MAY_ALIAS
+
+
+# --------------------------------------------------------------------- classification
+def test_figure2_classification():
+    k = figure2_kernel()
+    cls = classify_kernel(k).loops[0]
+    by_name = {info.ref.array: info for info in cls.ref_info.values()}
+    assert by_name["a"].ref_class is RefClass.REGULAR
+    assert by_name["b"].ref_class is RefClass.REGULAR
+    assert by_name["idx"].ref_class is RefClass.REGULAR
+    assert by_name["c"].ref_class is RefClass.IRREGULAR
+    assert by_name["ptr"].ref_class is RefClass.POTENTIALLY_INCOHERENT
+    # The potentially incoherent write may alias the read-only array b, so
+    # the double store is required.
+    assert by_name["ptr"].needs_double_store
+    assert cls.guarded_references == 1
+
+
+def test_double_store_not_needed_when_aliased_data_written_back():
+    k = Kernel("wb")
+    k.add_array(ArraySpec("a", 256))
+    k.add_array(ArraySpec("idx", 256))
+    k.add_pointer(PointerSpec("ptr", actual_target="a", declared_targets={"a"}))
+    loop = Loop("i", 0, 256)
+    # a is both read and written with regular accesses -> it will be written
+    # back, so a potentially incoherent store that can only alias a does not
+    # need the double store.
+    loop.body.append(Assign(Ref("a", AffineIndex()),
+                            BinOp("+", Load(Ref("a", AffineIndex())), Const(1.0))))
+    loop.body.append(Assign(Ref("ptr", IndirectIndex("idx")), Const(5.0)))
+    k.add_loop(loop)
+    cls = classify_kernel(k).loops[0]
+    ptr_info = cls.info(Ref("ptr", IndirectIndex("idx")))
+    assert ptr_info.ref_class is RefClass.POTENTIALLY_INCOHERENT
+    assert not ptr_info.needs_double_store
+
+
+def test_guarded_read_does_not_need_double_store():
+    k = figure2_kernel()
+    # Make the pointer read-only by replacing the update with a reduction.
+    k.loops[0].body[-1] = Reduce("s", Load(Ref("ptr", IndirectIndex("idx"))))
+    k.scalars["s"] = 0.0
+    cls = classify_kernel(k).loops[0]
+    ptr_info = cls.info(Ref("ptr", IndirectIndex("idx")))
+    assert ptr_info.ref_class is RefClass.POTENTIALLY_INCOHERENT
+    assert not ptr_info.needs_double_store
+
+
+def test_irregular_access_when_no_regular_refs_exist():
+    k = Kernel("onlyirr")
+    k.add_array(ArraySpec("c", 64))
+    loop = Loop("i", 0, 64)
+    loop.body.append(Assign(Ref("c", ModuloIndex(3, 64)), Const(1.0)))
+    k.add_loop(loop)
+    cls = classify_kernel(k).loops[0]
+    info = cls.info(Ref("c", ModuloIndex(3, 64)))
+    assert info.ref_class is RefClass.IRREGULAR
+    assert cls.guarded_references == 0
+
+
+def test_unmappable_array_is_not_regular():
+    k = Kernel("nomap")
+    k.add_array(ArraySpec("t", 64, mappable=False))
+    loop = Loop("i", 0, 64)
+    loop.body.append(Assign(Ref("t", AffineIndex()), Const(1.0)))
+    k.add_loop(loop)
+    cls = classify_kernel(k).loops[0]
+    assert cls.info(Ref("t", AffineIndex())).ref_class is RefClass.IRREGULAR

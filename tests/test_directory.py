@@ -1,0 +1,147 @@
+"""Unit tests for the coherence directory and the guarded AGU (Section 3.2)."""
+
+import pytest
+
+from repro.core.directory import CoherenceDirectory
+from repro.core.guarded import GuardedAGU
+
+
+BUF = 1024  # LM buffer size used in most tests
+
+
+def configured_directory(entries=32, buffer_size=BUF):
+    d = CoherenceDirectory(entries)
+    d.configure(buffer_size)
+    return d
+
+
+def test_configure_requires_power_of_two():
+    d = CoherenceDirectory()
+    with pytest.raises(ValueError):
+        d.configure(1000)
+    d.configure(1024)
+    assert d.offset_mask == 1023
+    assert d.base_mask & 1023 == 0
+
+
+def test_lookup_before_configure_raises():
+    d = CoherenceDirectory()
+    with pytest.raises(RuntimeError):
+        d.lookup(0x1000)
+
+
+def test_split_address_masks():
+    d = configured_directory()
+    base, offset = d.split_address(0x12345)
+    assert base == 0x12345 & ~(BUF - 1)
+    assert offset == 0x12345 & (BUF - 1)
+    assert base | offset == 0x12345
+
+
+def test_update_requires_chunk_aligned_sm_address():
+    d = configured_directory()
+    with pytest.raises(ValueError):
+        d.update(lm_offset=0, lm_base_vaddr=0x7000, sm_addr=0x12345)
+
+
+def test_update_and_lookup_hit_diverts_to_lm():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000, ready_time=0.0)
+    hit, target, stall = d.lookup(0x4000 + 72)
+    assert hit
+    assert target == 0x70000 + 72
+    assert stall == 0.0
+    assert d.stats.hits == 1
+
+
+def test_lookup_miss_preserves_sm_address():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000)
+    hit, target, _ = d.lookup(0x9000 + 8)
+    assert not hit
+    assert target == 0x9000 + 8
+    assert d.stats.misses == 1
+
+
+def test_presence_bit_stalls_until_dma_completion():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000, ready_time=500.0)
+    hit, _, stall = d.lookup(0x4000, now=100.0)
+    assert hit and stall == pytest.approx(400.0)
+    assert d.stats.presence_stalls == 1
+    # After the transfer completed there is no stall and the bit is set.
+    hit, _, stall = d.lookup(0x4000, now=600.0)
+    assert hit and stall == 0.0
+    assert d.entries[0].present
+
+
+def test_remapping_a_buffer_unmaps_previous_chunk():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000)
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x8000)
+    hit_old, _, _ = d.lookup(0x4000)
+    hit_new, _, _ = d.lookup(0x8000)
+    assert not hit_old and hit_new
+
+
+def test_buffer_index_derived_from_lm_offset():
+    d = configured_directory()
+    assert d.buffer_index(0) == 0
+    assert d.buffer_index(BUF) == 1
+    assert d.buffer_index(5 * BUF) == 5
+    with pytest.raises(ValueError):
+        d.buffer_index(32 * BUF)
+
+
+def test_entry_budget_enforced():
+    d = configured_directory(entries=4)
+    with pytest.raises(ValueError):
+        d.update(lm_offset=4 * BUF, lm_base_vaddr=0x70000, sm_addr=0x4000)
+
+
+def test_reconfigure_invalidates_entries():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000)
+    d.configure(2048)
+    hit, _, _ = d.lookup(0x4000)
+    assert not hit
+
+
+def test_peek_lookup_does_not_touch_stats():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000)
+    lookups_before = d.stats.lookups
+    hit, target = d.peek_lookup(0x4000 + 8)
+    assert hit and target == 0x70000 + 8
+    assert d.stats.lookups == lookups_before
+
+
+def test_mapped_sm_ranges():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000)
+    d.update(lm_offset=BUF, lm_base_vaddr=0x70000 + BUF, sm_addr=0x8000)
+    assert (0x4000, BUF) in d.mapped_sm_ranges()
+    assert (0x8000, BUF) in d.mapped_sm_ranges()
+
+
+def test_directory_reset():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000)
+    d.lookup(0x4000)
+    d.reset()
+    assert d.stats.lookups == 0
+    assert all(not e.valid for e in d.entries)
+
+
+# ------------------------------------------------------------------------ guarded AGU
+def test_agu_counts_loads_and_stores_and_diversions():
+    d = configured_directory()
+    d.update(lm_offset=0, lm_base_vaddr=0x70000, sm_addr=0x4000)
+    agu = GuardedAGU(d)
+    out = agu.generate(0x4000 + 16, is_store=False)
+    assert out.diverted and out.effective_address == 0x70000 + 16
+    out = agu.generate(0x9000, is_store=True)
+    assert not out.diverted and out.effective_address == 0x9000
+    assert agu.guarded_loads == 1 and agu.guarded_stores == 1
+    assert agu.diverted_loads == 1 and agu.diverted_stores == 0
+    assert agu.guarded_accesses == 2 and agu.diverted_accesses == 1

@@ -1,0 +1,148 @@
+"""Unit tests for the functional executor."""
+
+import pytest
+
+from repro.core.hybrid import HybridSystem
+from repro.cpu.executor import ExecutionError, FunctionalExecutor
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.mem.hierarchy import MemoryHierarchyConfig
+
+
+SMALL_MEM = MemoryHierarchyConfig(l1_size=2048, l1_assoc=2, l2_size=8192,
+                                  l2_assoc=4, l3_size=32768, l3_assoc=8,
+                                  prefetch_enabled=False)
+
+
+def make_system():
+    return HybridSystem(memory_config=SMALL_MEM, lm_size=8 * 1024)
+
+
+def run_program(builder, system=None, max_steps=100_000):
+    program = builder.finish()
+    program.assign_addresses()
+    system = system or make_system()
+    executor = FunctionalExecutor(program, system)
+    while executor.current_instruction() is not None and executor.executed < max_steps:
+        executor.execute_at(0.0)
+    return executor, system, program
+
+
+def test_alu_semantics():
+    b = ProgramBuilder()
+    b.li("r1", 6)
+    b.li("r2", 4)
+    b.add("r3", "r1", "r2")
+    b.sub("r4", "r1", "r2")
+    b.mul("r5", "r1", "r2")
+    b.alu(Opcode.DIV, "r6", "r1", "r2")
+    b.alu(Opcode.AND, "r7", "r1", "r2")
+    b.alu(Opcode.MIN, "r8", "r1", "r2")
+    b.shl("r9", "r1", imm=2)
+    b.halt()
+    ex, _, _ = run_program(b)
+    regs = ex.registers
+    assert regs.read("r3") == 10
+    assert regs.read("r4") == 2
+    assert regs.read("r5") == 24
+    assert regs.read("r6") == 1
+    assert regs.read("r7") == 4
+    assert regs.read("r8") == 4
+    assert regs.read("r9") == 24
+
+
+def test_division_by_zero_is_defined():
+    b = ProgramBuilder()
+    b.li("r1", 5)
+    b.li("r2", 0)
+    b.alu(Opcode.DIV, "r3", "r1", "r2")
+    b.fdiv("f1", "r1", "r2")
+    b.halt()
+    ex, _, _ = run_program(b)
+    assert ex.registers.read("r3") == 0
+    assert ex.registers.read("f1") == 0.0
+
+
+def test_loop_branching_and_counting():
+    b = ProgramBuilder()
+    b.li("r_i", 0)
+    b.li("r_n", 10)
+    b.li("r_sum", 0)
+    b.label("loop")
+    b.add("r_sum", "r_sum", "r_i")
+    b.add("r_i", "r_i", imm=1)
+    b.blt("r_i", "r_n", "loop")
+    b.halt()
+    ex, _, _ = run_program(b)
+    assert ex.registers.read("r_sum") == sum(range(10))
+    assert ex.halted
+
+
+def test_memory_round_trip_through_system():
+    b = ProgramBuilder()
+    b.declare_array("a", 8, data=[float(i) for i in range(8)])
+    b.li("r_base", 0)
+    b.ld("f1", "r_base", offset=16)
+    b.fadd("f2", "f1", imm=0.5)
+    b.st("f2", "r_base", offset=24)
+    b.halt()
+    program = b.finish()
+    program.assign_addresses()
+    base = program.arrays["a"].base
+    for inst in program.instructions:
+        if inst.opcode is Opcode.LI and inst.dst == "r_base":
+            inst.imm = base
+    system = make_system()
+    # Load initial data.
+    for i in range(8):
+        system.write_sm_word(base + i * 8, float(i))
+    executor = FunctionalExecutor(program, system)
+    while executor.current_instruction() is not None:
+        executor.execute_at(0.0)
+    assert system.read_sm_word(base + 24) == 2.5
+
+
+def test_dma_instructions_drive_the_dmac():
+    b = ProgramBuilder()
+    b.set_bufsize(1024)
+    b.li("r_lm", 0)       # patched below to the LM virtual base
+    b.li("r_sm", 0x4000)
+    b.li("r_size", 1024)
+    b.dma_get("r_lm", "r_sm", "r_size", tag=1)
+    b.dma_sync(1)
+    b.halt()
+    program = b.finish()
+    program.assign_addresses()
+    system = make_system()
+    for inst in program.instructions:
+        if inst.opcode is Opcode.LI and inst.dst == "r_lm":
+            inst.imm = system.lm_virtual_base
+    system.write_sm_word(0x4000, 9.0)
+    executor = FunctionalExecutor(program, system)
+    dyn_latencies = []
+    while executor.current_instruction() is not None:
+        dyn = executor.execute_at(0.0)
+        dyn_latencies.append((dyn.inst.opcode, dyn.stall_cycles))
+    assert system.lm.peek(0) == 9.0
+    sync_stalls = [s for op, s in dyn_latencies if op is Opcode.DMA_SYNC]
+    assert sync_stalls and sync_stalls[0] > 0
+
+
+def test_runaway_program_hits_instruction_limit():
+    b = ProgramBuilder()
+    b.label("spin")
+    b.jmp("spin")
+    program = b.finish()
+    program.assign_addresses()
+    executor = FunctionalExecutor(program, make_system(), max_instructions=1000)
+    with pytest.raises(ExecutionError):
+        while executor.current_instruction() is not None:
+            executor.execute_at(0.0)
+
+
+def test_unknown_register_reads_zero():
+    b = ProgramBuilder()
+    b.add("r1", "r_never_written", imm=3)
+    b.halt()
+    ex, _, _ = run_program(b)
+    assert ex.registers.read("r1") == 3

@@ -1,0 +1,138 @@
+"""Integration tests for the per-core hybrid memory system (Section 3)."""
+
+import pytest
+
+from repro.core.hybrid import HybridSystem
+from repro.mem.hierarchy import MemoryHierarchyConfig
+
+
+SMALL_MEM = MemoryHierarchyConfig(l1_size=2048, l1_assoc=2, l2_size=8192,
+                                  l2_assoc=4, l3_size=32768, l3_assoc=8,
+                                  prefetch_enabled=False)
+BUF = 1024
+
+
+@pytest.fixture()
+def system():
+    sys_ = HybridSystem(memory_config=SMALL_MEM, lm_size=8 * 1024)
+    sys_.set_buffer_size(BUF)
+    return sys_
+
+
+def test_lm_range_access_served_by_lm(system):
+    lm_addr = system.lm_virtual_base + 64
+    system.store(lm_addr, 2.5)
+    out = system.load(lm_addr)
+    assert out.value == 2.5
+    assert out.served_by == "LM"
+    assert out.latency == system.lm.latency
+
+
+def test_sm_access_served_by_hierarchy(system):
+    system.write_sm_word(0x5000, 7.0)
+    out = system.load(0x5000)
+    assert out.value == 7.0
+    assert out.served_by in ("L1", "L2", "L3", "MEM")
+
+
+def test_dma_get_updates_directory_and_guarded_access_diverts(system):
+    # Put data in SM, map its chunk to the LM, then modify the LM copy.
+    system.write_sm_word(0x4000, 1.0)
+    system.dma_get(system.lm_virtual_base, 0x4000, BUF, now=0.0)
+    system.store(system.lm_virtual_base, 99.0)   # regular LM store
+    # A guarded load with the SM address must see the LM (valid) copy.
+    out = system.load(0x4000, guarded=True, now=10_000.0)
+    assert out.diverted and out.value == 99.0
+    # An unguarded SM load would see the stale copy — the incoherence the
+    # protocol exists to hide.
+    assert system.load(0x4000).value == 1.0
+
+
+def test_guarded_access_miss_goes_to_sm(system):
+    system.write_sm_word(0x9000, 5.0)
+    out = system.load(0x9000, guarded=True)
+    assert not out.diverted and out.value == 5.0
+    assert system.directory.stats.misses >= 1
+
+
+def test_guarded_store_hit_updates_lm_copy(system):
+    system.dma_get(system.lm_virtual_base, 0x4000, BUF, now=0.0)
+    system.store(0x4000 + 8, 3.5, guarded=True, now=10_000.0)
+    assert system.lm.peek(8) == 3.5
+
+
+def test_double_store_collapses_when_guarded_store_missed(system):
+    # Nothing mapped at 0x8000: the guarded store misses and writes the SM;
+    # the second (plain) store to the same address collapses in the LSQ.
+    system.store(0x8000, 1.0, guarded=True)
+    out = system.store(0x8000, 1.0, collapse_with_prev=True)
+    assert out.served_by == "collapsed"
+    assert out.latency == 0.0
+    assert system.collapsed_stores == 1
+    assert system.read_sm_word(0x8000) == 1.0
+
+
+def test_double_store_does_not_collapse_when_guarded_store_diverted(system):
+    system.dma_get(system.lm_virtual_base, 0x4000, BUF, now=0.0)
+    system.store(0x4000, 2.0, guarded=True, now=10_000.0)      # goes to LM
+    out = system.store(0x4000, 2.0, collapse_with_prev=True, now=10_000.0)
+    assert out.served_by != "collapsed"      # must really update the SM copy
+    assert system.read_sm_word(0x4000) == 2.0
+    assert system.lm.peek(0) == 2.0
+
+
+def test_presence_stall_for_in_flight_dma(system):
+    system.dma_get(system.lm_virtual_base, 0x4000, BUF, now=0.0)
+    out = system.load(0x4000, guarded=True, now=1.0)
+    assert out.diverted
+    assert out.stall_cycles > 0
+
+
+def test_dma_put_writes_back_lm_copy(system):
+    system.write_sm_word(0x4000, 1.0)
+    system.dma_get(system.lm_virtual_base, 0x4000, BUF, now=0.0)
+    system.store(system.lm_virtual_base, 42.0)
+    system.dma_put(system.lm_virtual_base, 0x4000, BUF, now=0.0)
+    assert system.read_sm_word(0x4000) == 42.0
+
+
+def test_oracle_divert_serves_valid_copy_without_directory_stats(system):
+    system.dma_get(system.lm_virtual_base, 0x4000, BUF, now=0.0)
+    system.store(system.lm_virtual_base, 7.0)
+    lookups_before = system.directory.stats.lookups
+    out = system.load(0x4000, oracle_divert=True, now=10_000.0)
+    assert out.value == 7.0 and out.diverted
+    assert system.directory.stats.lookups == lookups_before
+
+
+def test_cache_based_system_rejects_lm_operations():
+    cache_sys = HybridSystem(memory_config=SMALL_MEM, use_lm=False)
+    with pytest.raises(RuntimeError):
+        cache_sys.dma_get(0, 0, 64)
+    with pytest.raises(RuntimeError):
+        cache_sys.load(0x1000, guarded=True)
+    with pytest.raises(RuntimeError):
+        _ = cache_sys.lm_virtual_base
+    # Plain accesses still work.
+    cache_sys.write_sm_word(0x1000, 3.0)
+    assert cache_sys.load(0x1000).value == 3.0
+
+
+def test_amat_and_stats_summary(system):
+    system.load(0x6000)
+    system.load(system.lm_virtual_base)
+    assert system.mem_ops == 2
+    assert system.amat > 0
+    summary = system.stats_summary()
+    assert summary["loads"] == 2
+    assert "directory" in summary and "dma" in summary and "hierarchy" in summary
+
+
+def test_protocol_checker_integration():
+    sys_ = HybridSystem(memory_config=SMALL_MEM, lm_size=8 * 1024,
+                        track_protocol=True)
+    sys_.set_buffer_size(BUF)
+    sys_.dma_get(sys_.lm_virtual_base, 0x4000, BUF, now=0.0)
+    sys_.store(0x4000, 5.0, guarded=True, now=10_000.0)
+    sys_.dma_put(sys_.lm_virtual_base, 0x4000, BUF, now=20_000.0)
+    assert sys_.checker.all_invariants_hold()

@@ -1,0 +1,103 @@
+"""Unit tests for the mini-ISA instruction definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ALU_LATENCY,
+    FuClass,
+    Instruction,
+    Opcode,
+    fu_class_for,
+    is_branch_opcode,
+    is_conditional_branch,
+    is_dma_opcode,
+    is_guarded_opcode,
+    is_load_opcode,
+    is_memory_opcode,
+    is_store_opcode,
+)
+
+
+def test_memory_opcode_classification():
+    assert is_memory_opcode(Opcode.LD)
+    assert is_memory_opcode(Opcode.ST)
+    assert is_memory_opcode(Opcode.GLD)
+    assert is_memory_opcode(Opcode.GST)
+    assert not is_memory_opcode(Opcode.ADD)
+    assert not is_memory_opcode(Opcode.DMA_GET)
+
+
+def test_load_store_split():
+    assert is_load_opcode(Opcode.LD) and is_load_opcode(Opcode.GLD)
+    assert not is_load_opcode(Opcode.ST)
+    assert is_store_opcode(Opcode.ST) and is_store_opcode(Opcode.GST)
+    assert not is_store_opcode(Opcode.GLD)
+
+
+def test_guarded_opcodes_are_exactly_gld_gst():
+    guarded = [op for op in Opcode if is_guarded_opcode(op)]
+    assert set(guarded) == {Opcode.GLD, Opcode.GST}
+
+
+def test_branch_classification():
+    assert is_branch_opcode(Opcode.BEQ)
+    assert is_branch_opcode(Opcode.JMP)
+    assert is_conditional_branch(Opcode.BLT)
+    assert not is_conditional_branch(Opcode.JMP)
+    assert not is_branch_opcode(Opcode.HALT)
+
+
+def test_dma_classification():
+    for op in (Opcode.DMA_GET, Opcode.DMA_PUT, Opcode.DMA_SYNC, Opcode.SET_BUFSIZE):
+        assert is_dma_opcode(op)
+    assert not is_dma_opcode(Opcode.LD)
+
+
+def test_fu_class_mapping():
+    assert fu_class_for(Opcode.ADD) is FuClass.INT_ALU
+    assert fu_class_for(Opcode.FMUL) is FuClass.FP_ALU
+    assert fu_class_for(Opcode.LD) is FuClass.LOAD_STORE
+    assert fu_class_for(Opcode.GST) is FuClass.LOAD_STORE
+    assert fu_class_for(Opcode.BEQ) is FuClass.BRANCH
+    assert fu_class_for(Opcode.DMA_GET) is FuClass.LOAD_STORE
+
+
+def test_every_opcode_has_a_latency():
+    for op in Opcode:
+        assert op in ALU_LATENCY, f"missing latency for {op}"
+        assert ALU_LATENCY[op] >= 1
+
+
+def test_long_latency_ops_slower_than_simple_ops():
+    assert ALU_LATENCY[Opcode.DIV] > ALU_LATENCY[Opcode.ADD]
+    assert ALU_LATENCY[Opcode.FDIV] > ALU_LATENCY[Opcode.FADD]
+    assert ALU_LATENCY[Opcode.FSQRT] > ALU_LATENCY[Opcode.FMUL]
+
+
+def test_instruction_precomputed_flags():
+    inst = Instruction(Opcode.GLD, dst="f1", srcs=("r1",), imm=8)
+    assert inst.is_memory and inst.is_load and inst.is_guarded
+    assert not inst.is_store and not inst.is_branch
+    assert inst.fu_class is FuClass.LOAD_STORE
+    assert inst.latency == ALU_LATENCY[Opcode.GLD]
+
+
+def test_instruction_defaults():
+    inst = Instruction(Opcode.ADD, dst="r1", srcs=("r2", "r3"))
+    assert inst.phase == "work"
+    assert inst.size == 8
+    assert not inst.collapse_with_prev
+    assert not inst.oracle_divert
+    assert inst.srcs == ("r2", "r3")
+
+
+def test_instruction_double_store_flag():
+    inst = Instruction(Opcode.ST, srcs=("f1", "r1"), collapse_with_prev=True)
+    assert inst.collapse_with_prev
+    assert inst.is_store and not inst.is_guarded
+
+
+def test_instruction_repr_mentions_opcode():
+    inst = Instruction(Opcode.BLT, srcs=("r1", "r2"), target="loop")
+    text = repr(inst)
+    assert "blt" in text and "loop" in text

@@ -1,0 +1,110 @@
+"""Unit tests for programs, array layout and the program builder."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import ARRAY_ALIGNMENT, ArrayDecl, Program, WORD_SIZE
+
+
+def test_array_decl_validation():
+    with pytest.raises(ValueError):
+        ArrayDecl("a", 0)
+    with pytest.raises(ValueError):
+        ArrayDecl("a", 4, data=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        ArrayDecl("a", 4, alignment=7)
+
+
+def test_array_element_address_requires_layout():
+    decl = ArrayDecl("a", 4)
+    with pytest.raises(RuntimeError):
+        decl.element_address(0)
+
+
+def test_program_layout_alignment_and_separation():
+    program = Program()
+    a = program.declare_array(ArrayDecl("a", 10))
+    b = program.declare_array(ArrayDecl("b", 10, alignment=4096))
+    program.assign_addresses()
+    assert a.base % ARRAY_ALIGNMENT == 0
+    assert b.base % 4096 == 0
+    # Arrays never share a cache line.
+    assert b.base >= a.base + a.size_bytes + ARRAY_ALIGNMENT
+
+
+def test_element_address_bounds_check():
+    program = Program()
+    a = program.declare_array(ArrayDecl("a", 4))
+    program.assign_addresses()
+    assert a.element_address(3) == a.base + 3 * WORD_SIZE
+    with pytest.raises(IndexError):
+        a.element_address(4)
+
+
+def test_duplicate_labels_and_arrays_rejected():
+    program = Program()
+    program.add_label("top")
+    with pytest.raises(ValueError):
+        program.add_label("top")
+    program.declare_array(ArrayDecl("a", 4))
+    with pytest.raises(ValueError):
+        program.declare_array(ArrayDecl("a", 8))
+
+
+def test_validate_rejects_unknown_branch_target():
+    program = Program()
+    program.add(Instruction(Opcode.JMP, target="nowhere"))
+    with pytest.raises(ValueError):
+        program.validate()
+
+
+def test_resolve_label_round_trip():
+    program = Program()
+    program.add(Instruction(Opcode.NOP))
+    program.add_label("loop")
+    program.add(Instruction(Opcode.NOP))
+    assert program.resolve_label("loop") == 1
+    with pytest.raises(KeyError):
+        program.resolve_label("missing")
+
+
+def test_builder_emits_phases_and_flags():
+    b = ProgramBuilder()
+    b.set_phase("control")
+    get = b.dma_get("r1", "r2", "r3", tag=7)
+    b.set_phase("work")
+    ld = b.gld("f0", "r1", offset=16)
+    st = b.st("f0", "r1", offset=16, collapse_with_prev=True)
+    assert get.phase == "control" and get.imm == 7
+    assert ld.phase == "work" and ld.is_guarded and ld.imm == 16
+    assert st.collapse_with_prev
+
+
+def test_builder_register_names_unique():
+    b = ProgramBuilder()
+    names = {b.new_int_reg() for _ in range(100)} | {b.new_fp_reg() for _ in range(100)}
+    assert len(names) == 200
+
+
+def test_builder_rejects_unknown_phase():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError):
+        b.set_phase("warmup")
+
+
+def test_builder_finish_validates():
+    b = ProgramBuilder()
+    b.jmp("missing")
+    with pytest.raises(ValueError):
+        b.finish()
+
+
+def test_program_dump_contains_labels():
+    b = ProgramBuilder()
+    b.label("entry")
+    b.li("r1", 5)
+    b.halt()
+    program = b.finish()
+    dump = program.dump()
+    assert "entry:" in dump and "li" in dump

@@ -1,0 +1,129 @@
+"""Tests of the out-of-order timing model's first-order behaviour."""
+
+import pytest
+
+from repro.core.hybrid import HybridSystem
+from repro.cpu.config import CoreConfig
+from repro.cpu.core import Core
+from repro.isa.builder import ProgramBuilder
+from repro.mem.hierarchy import MemoryHierarchyConfig
+
+
+SMALL_MEM = MemoryHierarchyConfig(l1_size=4096, l1_assoc=2, l2_size=16384,
+                                  l2_assoc=4, l3_size=65536, l3_assoc=8,
+                                  prefetch_enabled=False)
+
+
+def build_independent_alu_program(n=400):
+    b = ProgramBuilder()
+    for i in range(n):
+        b.li(f"r{i}", i)
+    b.halt()
+    p = b.finish()
+    p.assign_addresses()
+    return p
+
+
+def build_dependent_chain_program(n=400):
+    b = ProgramBuilder()
+    b.li("r0", 0)
+    for _ in range(n):
+        b.add("r0", "r0", imm=1)
+    b.halt()
+    p = b.finish()
+    p.assign_addresses()
+    return p
+
+
+def run(program, config=None):
+    system = HybridSystem(memory_config=SMALL_MEM)
+    core = Core(system, config=config or CoreConfig())
+    return core.run(program)
+
+
+def test_independent_work_reaches_superscalar_ipc():
+    result = run(build_independent_alu_program())
+    assert result.ipc > 2.0
+
+
+def test_dependent_chain_limited_to_one_per_cycle():
+    result = run(build_dependent_chain_program())
+    assert result.ipc < 1.2
+
+
+def test_issue_width_bounds_ipc():
+    wide = run(build_independent_alu_program(), CoreConfig(issue_width=4, fetch_width=4))
+    narrow = run(build_independent_alu_program(),
+                 CoreConfig(issue_width=1, fetch_width=1))
+    assert narrow.cycles > wide.cycles * 1.5
+    assert narrow.ipc <= 1.05
+
+
+def test_branch_heavy_code_pays_for_mispredictions():
+    def loop_program(trip):
+        b = ProgramBuilder()
+        b.li("r_i", 0)
+        b.li("r_n", trip)
+        b.label("loop")
+        b.add("r_i", "r_i", imm=1)
+        b.blt("r_i", "r_n", "loop")
+        b.halt()
+        p = b.finish()
+        p.assign_addresses()
+        return p
+
+    result = run(loop_program(500))
+    # The loop branch is learned: very few mispredictions.
+    assert result.mispredictions < 20
+    assert result.branch_predictions >= 500
+
+
+def test_memory_latency_visible_in_cycles():
+    def strided_loads(n, stride):
+        b = ProgramBuilder()
+        b.declare_array("data", n * stride // 8 + 8)
+        b.li("r_base", 0)
+        b.li("r_i", 0)
+        b.li("r_n", n)
+        b.li("r_stride", stride)
+        b.label("loop")
+        b.mul("r_off", "r_i", "r_stride")
+        b.add("r_addr", "r_base", "r_off")
+        b.ld("f0", "r_addr", 0)
+        b.add("r_i", "r_i", imm=1)
+        b.blt("r_i", "r_n", "loop")
+        b.halt()
+        p = b.finish()
+        p.assign_addresses()
+        for inst in p.instructions:
+            if inst.dst == "r_base" and inst.opcode.value == "li":
+                inst.imm = p.arrays["data"].base
+        return p
+
+    # Loads that always miss (one per line, no prefetcher) are much slower
+    # than loads that hit in the same line.
+    miss_heavy = run(strided_loads(200, 64))
+    hit_heavy = run(strided_loads(200, 0))
+    assert miss_heavy.cycles > hit_heavy.cycles * 2
+
+
+def test_phase_attribution_sums_to_total_cycles():
+    b = ProgramBuilder()
+    b.set_phase("control")
+    b.li("r1", 1)
+    b.set_phase("work")
+    for _ in range(50):
+        b.add("r1", "r1", imm=1)
+    b.halt()
+    p = b.finish()
+    p.assign_addresses()
+    result = run(p)
+    assert sum(result.phase_cycles.values()) == pytest.approx(result.cycles, rel=1e-6)
+    assert result.phase_cycles.get("work", 0) > 0
+
+
+def test_simulation_result_reports_core_stats():
+    result = run(build_independent_alu_program(50))
+    assert "fu_op_counts" in result.core_stats
+    assert result.core_stats["fu_op_counts"].get("int_alu", 0) >= 50
+    assert result.instructions == 51

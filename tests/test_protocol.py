@@ -1,0 +1,88 @@
+"""Unit tests for the data-replication state machine (Section 3.4, Figure 6)."""
+
+import pytest
+
+from repro.core.protocol import (
+    DataState,
+    ProtocolAction,
+    ProtocolChecker,
+    ProtocolError,
+    next_state,
+)
+
+
+def test_paths_to_lm_cm_state():
+    # Path 1: MM -> LM -> (double store) -> LM-CM
+    s = next_state(DataState.MM, ProtocolAction.LM_MAP)
+    assert s is DataState.LM
+    assert next_state(s, ProtocolAction.DOUBLE_STORE) is DataState.LM_CM
+    # Path 2: MM -> CM -> (LM-map) -> LM-CM
+    s = next_state(DataState.MM, ProtocolAction.CM_ACCESS)
+    assert s is DataState.CM
+    assert next_state(s, ProtocolAction.LM_MAP) is DataState.LM_CM
+
+
+def test_no_direct_eviction_from_lm_cm():
+    # There is no transition from LM-CM to MM: one replica must go first.
+    with pytest.raises(ProtocolError):
+        next_state(DataState.LM_CM, ProtocolAction.CM_ACCESS)
+    assert next_state(DataState.LM_CM, ProtocolAction.CM_EVICT) is DataState.LM
+    assert next_state(DataState.LM_CM, ProtocolAction.LM_UNMAP) is DataState.CM
+    assert next_state(DataState.LM_CM, ProtocolAction.LM_WRITEBACK) is DataState.LM
+
+
+def test_unguarded_cache_access_illegal_while_mapped():
+    # The compiler never emits an unguarded SM access to data that may be in
+    # the LM, so the state machine treats it as illegal.
+    with pytest.raises(ProtocolError):
+        next_state(DataState.LM, ProtocolAction.CM_ACCESS)
+
+
+def test_writeback_keeps_data_mapped():
+    assert next_state(DataState.LM, ProtocolAction.LM_WRITEBACK) is DataState.LM
+
+
+def test_checker_tracks_valid_copy_location():
+    checker = ProtocolChecker()
+    chunk = 0x4000
+    checker.apply(chunk, ProtocolAction.LM_MAP)
+    assert checker.valid_copy_location(chunk) == "LM"
+    checker.apply(chunk, ProtocolAction.GUARDED_STORE)
+    checker.apply(chunk, ProtocolAction.DOUBLE_STORE)
+    assert checker.state_of(chunk) is DataState.LM_CM
+    assert checker.check_replication_invariant(chunk)
+    checker.apply(chunk, ProtocolAction.LM_WRITEBACK)
+    assert checker.state_of(chunk) is DataState.LM
+    assert checker.check_eviction_allowed(chunk)
+
+
+def test_checker_strict_mode_raises_and_lenient_mode_records():
+    strict = ProtocolChecker(strict=True)
+    strict.apply(0x0, ProtocolAction.LM_MAP)
+    with pytest.raises(ProtocolError):
+        strict.apply(0x0, ProtocolAction.CM_ACCESS)
+    lenient = ProtocolChecker(strict=False)
+    lenient.apply(0x0, ProtocolAction.LM_MAP)
+    lenient.apply(0x0, ProtocolAction.CM_ACCESS)
+    assert lenient.violations
+
+
+def test_replication_invariant_after_guarded_store_in_lm_cm():
+    checker = ProtocolChecker()
+    chunk = 0x8000
+    checker.apply(chunk, ProtocolAction.CM_ACCESS)
+    checker.apply(chunk, ProtocolAction.LM_MAP)       # replicas identical
+    assert checker.check_replication_invariant(chunk)
+    checker.apply(chunk, ProtocolAction.GUARDED_STORE)  # LM copy newer
+    assert checker.check_replication_invariant(chunk)
+    assert checker.valid_copy_location(chunk) == "LM"
+
+
+def test_all_invariants_hold_over_simple_history():
+    checker = ProtocolChecker()
+    for chunk in (0x0, 0x1000, 0x2000):
+        checker.apply(chunk, ProtocolAction.LM_MAP)
+        checker.apply(chunk, ProtocolAction.GUARDED_STORE)
+        checker.apply(chunk, ProtocolAction.LM_WRITEBACK)
+        checker.apply(chunk, ProtocolAction.LM_UNMAP)
+    assert checker.all_invariants_hold()
