@@ -1,19 +1,28 @@
 """Shared fixtures for the benchmark harness.
 
-All paper-evaluation benchmarks share one :class:`ExperimentContext` so each
-(workload, mode) pair is simulated exactly once per session, no matter how
-many tables/figures consume it.  Set ``REPRO_SCALE`` to ``tiny``/``small``/
-``medium`` to trade fidelity for runtime (default ``small``).
+All paper-evaluation benchmarks share one engine-backed
+:class:`~repro.harness.sweep.SweepContext`, so each (workload, mode) cell is
+simulated exactly once per session no matter how many tables/figures consume
+it.  Environment knobs:
+
+* ``REPRO_SCALE``      — ``tiny``/``small``/``medium`` (default ``small``);
+* ``REPRO_CACHE_DIR``  — when set, cells are served from / written to the
+  content-hashed result store at that path (used by CI to reuse results
+  across jobs; unset by default so local runs always simulate fresh);
+* ``REPRO_WORKERS``    — worker processes for uncached cells (default 1).
 """
 
 import os
 
 import pytest
 
-from repro.harness.runner import ExperimentContext
+from repro.harness.sweep import ResultStore, SweepContext
 
 
 @pytest.fixture(scope="session")
 def ctx():
     scale = os.environ.get("REPRO_SCALE", "small")
-    return ExperimentContext(scale=scale)
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    store = ResultStore(cache_dir) if cache_dir else None
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    return SweepContext(scale=scale, store=store, workers=workers)

@@ -1,0 +1,64 @@
+"""Golden regression tests for the reproduction pipeline.
+
+Pins the key metrics of every figure/table cell — cycles, instructions and
+total energy per (workload, mode) — against checked-in golden JSON at
+``scale="small"``.  The simulator is deterministic (inputs are seeded with a
+stable hash, the pipeline model has no randomness), so any drift here is a
+real behaviour change: either a bug, or an intentional model change that
+must be acknowledged by regenerating the goldens.
+
+Regenerate after an intentional change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        benchmarks/test_golden_regression.py -q
+
+and commit the updated ``benchmarks/golden/small.json`` together with the
+change that moved the numbers.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import BENCHMARK_ORDER
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "small.json"
+GOLDEN_MODES = ("hybrid", "hybrid-oracle", "cache")
+#: Exact reproduction is expected; the tolerance only absorbs float printing.
+RTOL = 1e-9
+
+
+def current_metrics(ctx):
+    metrics = {}
+    for name in BENCHMARK_ORDER:
+        for mode in GOLDEN_MODES:
+            record = ctx.run(name, mode)
+            metrics[f"{name}:{mode}"] = {
+                "cycles": record.cycles,
+                "instructions": record.instructions,
+                "total_energy": record.total_energy,
+            }
+    return metrics
+
+
+def test_golden_metrics(ctx):
+    if ctx.scale != "small":
+        pytest.skip(f"golden values are pinned at scale=small, not {ctx.scale}")
+    metrics = current_metrics(ctx)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; regenerate with REPRO_REGEN_GOLDEN=1")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(golden) == sorted(metrics), "cell set changed; regenerate goldens"
+    drifted = []
+    for cell, expected in golden.items():
+        got = metrics[cell]
+        for key, value in expected.items():
+            if got[key] != pytest.approx(value, rel=RTOL):
+                drifted.append(f"{cell}.{key}: golden {value} != current {got[key]}")
+    assert not drifted, "golden drift:\n  " + "\n  ".join(drifted)

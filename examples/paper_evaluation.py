@@ -6,29 +6,65 @@ Figure 7 (microbenchmark overhead sweep), Figure 8 (protocol overhead on the
 NAS-like benchmarks), Table 3 (memory-subsystem activity), Figure 9
 (execution-time reduction) and Figure 10 (energy reduction).
 
-Run:  python examples/paper_evaluation.py [SCALE]
+Built on the sweep engine: every simulation cell is content-hashed and kept
+in the on-disk result store, so a re-run at the same scale is served from
+the cache in seconds, and a cold run can fan the cells out across worker
+processes.
+
+Run:  python examples/paper_evaluation.py [SCALE] [--workers N]
+          [--cache-dir DIR] [--no-cache]
       (default scale: tiny — use "small" for the figures quoted in
-       EXPERIMENTS.md; expect a few minutes of simulation time)
+       EXPERIMENTS.md; expect a few minutes of cold simulation time)
 """
 
-import sys
+import argparse
 import time
 
 from repro.harness import experiments, reporting
-from repro.harness.runner import ExperimentContext
+from repro.harness.sweep import ResultStore, SweepContext
+from repro.workloads import BENCHMARK_ORDER
+
+#: Cells every figure/table below consumes: each benchmark in the coherent
+#: hybrid, oracle-hybrid and cache-based machines.
+EVAL_MODES = ("hybrid", "hybrid-oracle", "cache")
+
+FIG7_PERCENTAGES = (0, 25, 50, 75, 100)
+FIG7_ITERATIONS = 2000
+FIG7_UNROLL = 20
 
 
 def main() -> None:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
-    ctx = ExperimentContext(scale=scale)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scale", nargs="?", default="tiny",
+                        help="tiny (default) / small / medium")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for uncached cells")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-store directory (default $REPRO_CACHE_DIR "
+                             "or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="simulate everything fresh, skip the store")
+    args = parser.parse_args()
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    ctx = SweepContext(scale=args.scale, store=store, workers=args.workers)
     start = time.time()
+
+    # Resolve every kernel and microbenchmark cell up front in one sweep, so
+    # misses run in parallel and the drivers below are pure cache hits.
+    specs = [ctx.micro_spec("baseline", 0.0, FIG7_ITERATIONS, FIG7_UNROLL)]
+    specs += [ctx.micro_spec(mode, pct / 100.0, FIG7_ITERATIONS, FIG7_UNROLL)
+              for mode in ("RD", "WR", "RD/WR") for pct in FIG7_PERCENTAGES]
+    ctx.run_specs(specs, echo=print)
+    ctx.prefetch(BENCHMARK_ORDER, EVAL_MODES, echo=print)
 
     print(reporting.format_table1(experiments.table1()))
     print()
     print(reporting.format_table2(experiments.table2()))
     print()
     print(reporting.format_figure7(experiments.figure7(
-        percentages=(0, 25, 50, 75, 100), iterations=2000)))
+        percentages=FIG7_PERCENTAGES, iterations=FIG7_ITERATIONS,
+        unroll=FIG7_UNROLL, ctx=ctx)))
     print()
     print(reporting.format_figure8(experiments.figure8(ctx)))
     print()
@@ -38,7 +74,12 @@ def main() -> None:
     print()
     print(reporting.format_figure10(experiments.figure10(ctx)))
     print()
-    print(f"(scale={scale}, total simulation time {time.time() - start:.0f}s)")
+    summary = f"(scale={args.scale}, total time {time.time() - start:.1f}s"
+    if store is not None:
+        s = store.stats()
+        summary += (f"; store {store.root}: {s['hits']} hit(s), "
+                    f"{s['writes']} simulated")
+    print(summary + ")")
 
 
 if __name__ == "__main__":

@@ -27,7 +27,7 @@ has actually arrived).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -86,6 +86,11 @@ class CoherenceDirectory:
         self.base_mask: int = 0
         self.offset_mask: int = 0
         self.stats = DirectoryStats()
+        # Tag -> entry-index map mirroring the valid entries.  The hardware
+        # CAM compares all tags in parallel; a Python linear scan over the 32
+        # entries on *every* guarded access was a measured hot path, and the
+        # dict gives the same single-match semantics in O(1).
+        self._tag_index: Dict[int, int] = {}
 
     # -- configuration -----------------------------------------------------------
     def configure(self, buffer_size: int) -> None:
@@ -105,6 +110,7 @@ class CoherenceDirectory:
         # Reconfiguring the buffer size invalidates all previous mappings.
         for entry in self.entries:
             entry.valid = False
+        self._tag_index.clear()
 
     @property
     def is_configured(self) -> bool:
@@ -150,18 +156,29 @@ class CoherenceDirectory:
                 "chunk-aligned data")
         index = self.buffer_index(lm_offset)
         entry = self.entries[index]
+        if entry.valid and self._tag_index.get(entry.tag) == index:
+            del self._tag_index[entry.tag]
+        stale = self._tag_index.get(base)
+        if stale is not None:
+            # The chunk moved to a different buffer: the old mapping is dead
+            # (a chunk lives in at most one LM buffer).
+            self.entries[stale].valid = False
         entry.valid = True
         entry.tag = base
         entry.lm_base = lm_base_vaddr
         entry.present = False
         entry.ready_time = ready_time
+        self._tag_index[base] = index
         self.stats.updates += 1
         return entry
 
     def invalidate_buffer(self, lm_offset: int) -> None:
         """Explicitly unmap the buffer at ``lm_offset`` (used by tests)."""
         index = self.buffer_index(lm_offset)
-        self.entries[index].valid = False
+        entry = self.entries[index]
+        entry.valid = False
+        if self._tag_index.get(entry.tag) == index:
+            del self._tag_index[entry.tag]
 
     def mark_present(self, lm_offset: int) -> None:
         """Set the presence bit of the buffer at ``lm_offset`` (dma-get done)."""
@@ -183,8 +200,10 @@ class CoherenceDirectory:
         """
         base, offset = self.split_address(sm_addr)
         self.stats.lookups += 1
-        for entry in self.entries:
-            if entry.matches(base):
+        index = self._tag_index.get(base)
+        if index is not None:
+            entry = self.entries[index]
+            if entry.valid:
                 self.stats.hits += 1
                 stall = 0.0
                 if not entry.present and now < entry.ready_time:
@@ -208,9 +227,9 @@ class CoherenceDirectory:
             return False, sm_addr
         base = sm_addr & self.base_mask
         offset = sm_addr & self.offset_mask
-        for entry in self.entries:
-            if entry.matches(base):
-                return True, entry.lm_base | offset
+        index = self._tag_index.get(base)
+        if index is not None and self.entries[index].valid:
+            return True, self.entries[index].lm_base | offset
         return False, sm_addr
 
     def mapped_sm_ranges(self) -> List[Tuple[int, int]]:
@@ -224,4 +243,5 @@ class CoherenceDirectory:
         for entry in self.entries:
             entry.valid = False
             entry.present = True
+        self._tag_index.clear()
         self.stats = DirectoryStats()

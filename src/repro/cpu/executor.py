@@ -91,50 +91,54 @@ class FunctionalExecutor:
         dyn = DynamicInstruction(inst=inst, index=index, latency=float(inst.latency),
                                  next_index=index + 1)
         op = inst.opcode
+        registers = self.registers
 
-        if op is Opcode.LI:
-            self.registers.write(inst.dst, inst.imm)
-        elif op is Opcode.MOV:
-            self.registers.write(inst.dst, self._reg(inst.srcs[0]))
-        elif op is Opcode.FCVT:
-            self.registers.write(inst.dst, float(self._reg(inst.srcs[0])))
-        elif op in _ALU_EVAL:
-            a = self._reg(inst.srcs[0])
+        # Dispatch ordered by dynamic frequency (ALU ops, then memory, then
+        # branches); each bucket is entered off a pre-computed instruction
+        # flag or a single dict probe, so the interpreter loop does at most
+        # one enum-keyed lookup per instruction.
+        alu_fn = _ALU_EVAL.get(op)
+        if alu_fn is not None:
+            a = registers.read(inst.srcs[0])
             b = self._src2_value(inst)
-            self.registers.write(inst.dst, _ALU_EVAL[op](a, b))
-        elif op is Opcode.FNEG:
-            self.registers.write(inst.dst, -self._reg(inst.srcs[0]))
-        elif op is Opcode.FSQRT:
-            value = self._reg(inst.srcs[0])
-            self.registers.write(inst.dst, abs(value) ** 0.5)
-        elif op in (Opcode.LD, Opcode.GLD):
-            base = self._reg(inst.srcs[0])
-            addr = int(base) + int(inst.imm or 0)
-            outcome = self.system.load(
-                addr, guarded=(op is Opcode.GLD),
-                oracle_divert=inst.oracle_divert, pc=index, now=now)
-            self.registers.write(inst.dst, outcome.value)
+            registers.write(inst.dst, alu_fn(a, b))
+        elif inst.is_memory:
+            if inst.is_load:
+                base = registers.read(inst.srcs[0])
+                addr = int(base) + int(inst.imm or 0)
+                outcome = self.system.load(
+                    addr, guarded=inst.is_guarded,
+                    oracle_divert=inst.oracle_divert, pc=index, now=now)
+                registers.write(inst.dst, outcome.value)
+            else:
+                value = registers.read(inst.srcs[0])
+                base = registers.read(inst.srcs[1])
+                addr = int(base) + int(inst.imm or 0)
+                outcome = self.system.store(
+                    addr, value, guarded=inst.is_guarded,
+                    oracle_divert=inst.oracle_divert,
+                    collapse_with_prev=inst.collapse_with_prev, pc=index, now=now)
             dyn.address = addr
             dyn.mem_outcome = outcome
             dyn.latency = outcome.latency
-        elif op in (Opcode.ST, Opcode.GST):
-            value = self._reg(inst.srcs[0])
-            base = self._reg(inst.srcs[1])
-            addr = int(base) + int(inst.imm or 0)
-            outcome = self.system.store(
-                addr, value, guarded=(op is Opcode.GST),
-                oracle_divert=inst.oracle_divert,
-                collapse_with_prev=inst.collapse_with_prev, pc=index, now=now)
-            dyn.address = addr
-            dyn.mem_outcome = outcome
-            dyn.latency = outcome.latency
-        elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
-            a = self._reg(inst.srcs[0])
-            b = self._reg(inst.srcs[1])
+        elif inst.is_conditional_branch:
+            a = registers.read(inst.srcs[0])
+            b = registers.read(inst.srcs[1])
             taken = _BRANCH_EVAL[op](a, b)
             dyn.branch_taken = taken
             if taken:
                 dyn.next_index = self.program.resolve_label(inst.target)
+        elif op is Opcode.LI:
+            registers.write(inst.dst, inst.imm)
+        elif op is Opcode.MOV:
+            registers.write(inst.dst, registers.read(inst.srcs[0]))
+        elif op is Opcode.FCVT:
+            registers.write(inst.dst, float(registers.read(inst.srcs[0])))
+        elif op is Opcode.FNEG:
+            registers.write(inst.dst, -registers.read(inst.srcs[0]))
+        elif op is Opcode.FSQRT:
+            value = registers.read(inst.srcs[0])
+            registers.write(inst.dst, abs(value) ** 0.5)
         elif op is Opcode.JMP:
             dyn.branch_taken = True
             dyn.next_index = self.program.resolve_label(inst.target)

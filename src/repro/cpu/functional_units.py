@@ -13,17 +13,20 @@ units and artificially serialise independent work.
 
 Units are pipelined (one new operation per cycle) except the long-latency
 dividers/square roots, which occupy their unit for the full latency.
+
+The reservation tables are list-indexed by the dense
+:data:`~repro.isa.instructions.FU_INDEX` (pre-computed per instruction)
+rather than dict-keyed by the :class:`FuClass` enum — enum hashing on every
+issued instruction was a measured hot path.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-from repro.isa.instructions import FuClass, Opcode
+from repro.isa.instructions import FU_INDEX, UNPIPELINED_OPS, FuClass, Opcode
 
-#: Opcodes that occupy their functional unit for the whole latency
-#: (unpipelined units).
-UNPIPELINED_OPS = {Opcode.DIV, Opcode.MOD, Opcode.FDIV, Opcode.FSQRT}
+__all__ = ["FunctionalUnitPool", "UNPIPELINED_OPS"]
 
 
 class FunctionalUnitPool:
@@ -31,7 +34,7 @@ class FunctionalUnitPool:
 
     def __init__(self, int_alus: int = 3, fp_alus: int = 3,
                  load_store_units: int = 2):
-        self._capacity: Dict[FuClass, int] = {
+        capacity = {
             FuClass.INT_ALU: int_alus,
             FuClass.FP_ALU: fp_alus,
             FuClass.LOAD_STORE: load_store_units,
@@ -39,8 +42,10 @@ class FunctionalUnitPool:
             FuClass.BRANCH: int_alus,
             FuClass.NONE: max(int_alus, 1),
         }
-        self._schedule: Dict[FuClass, Dict[int, int]] = {
-            cls: {} for cls in self._capacity}
+        self._capacity: List[int] = [0] * len(FU_INDEX)
+        for cls, cap in capacity.items():
+            self._capacity[FU_INDEX[cls]] = cap
+        self._schedule: List[Dict[int, int]] = [dict() for _ in FU_INDEX]
         self.contended_cycles = 0.0
 
     def acquire(self, fu_class: FuClass, ready_time: float, opcode: Opcode,
@@ -51,14 +56,23 @@ class FunctionalUnitPool:
         time is the first cycle with a free unit of the class.  Unpipelined
         operations reserve their unit for ``latency`` consecutive cycles.
         """
-        capacity = self._capacity[fu_class]
-        table = self._schedule[fu_class]
+        return self.acquire_index(FU_INDEX[fu_class], ready_time,
+                                  opcode in UNPIPELINED_OPS, latency)
+
+    def acquire_index(self, fu_index: int, ready_time: float,
+                      unpipelined: bool, latency: float) -> float:
+        """Hot-path variant of :meth:`acquire` taking pre-computed values."""
+        capacity = self._capacity[fu_index]
+        table = self._schedule[fu_index]
         cycle = int(ready_time)
         while table.get(cycle, 0) >= capacity:
             cycle += 1
-        start = max(ready_time, float(cycle))
-        self.contended_cycles += max(0.0, start - ready_time)
-        occupancy = int(latency) if opcode in UNPIPELINED_OPS else 1
+        start = float(cycle)
+        if ready_time > start:
+            start = ready_time
+        else:
+            self.contended_cycles += start - ready_time
+        occupancy = int(latency) if unpipelined else 1
         for c in range(cycle, cycle + max(1, occupancy)):
             table[c] = table.get(c, 0) + 1
         return start
@@ -66,11 +80,11 @@ class FunctionalUnitPool:
     def prune(self, horizon: float) -> None:
         """Drop reservations before ``horizon`` (no future op can use them)."""
         h = int(horizon)
-        for cls, table in self._schedule.items():
+        for i, table in enumerate(self._schedule):
             if len(table) > 2048:
-                self._schedule[cls] = {c: n for c, n in table.items() if c >= h}
+                self._schedule[i] = {c: n for c, n in table.items() if c >= h}
 
     def reset(self) -> None:
-        for table in self._schedule.values():
+        for table in self._schedule:
             table.clear()
         self.contended_cycles = 0.0

@@ -137,8 +137,8 @@ class OutOfOrderTimingModel:
         issue_ready = self._find_issue_slot(issue_from)
         # Functional-unit availability.
         self.fu_op_counts[inst.fu_class.value] += 1
-        start = self.fus.acquire(inst.fu_class, issue_ready, inst.opcode,
-                                 dyn.latency)
+        start = self.fus.acquire_index(inst.fu_index, issue_ready,
+                                       inst.unpipelined, dyn.latency)
         self._take_issue_slot(start)
         completion = start + dyn.latency
         # Stores retire into the store buffer as soon as they are sent: the

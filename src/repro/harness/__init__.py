@@ -1,9 +1,26 @@
-"""Experiment harness: machine configurations, runners and the drivers that
-regenerate every table and figure of the paper's evaluation (Section 4)."""
+"""Experiment harness: machine configurations, runners, the parallel sweep
+engine with its content-hashed result store, and the drivers that regenerate
+every table and figure of the paper's evaluation (Section 4).
+
+The sweep engine (:mod:`repro.harness.sweep`) is the main entry point for
+evaluations: declare a :class:`SweepSpec`, resolve it into content-hashed
+:class:`RunSpec` cells, and let :func:`run_sweep` / :class:`SweepContext`
+fan the cells out over worker processes while filling the on-disk
+:class:`ResultStore`.  ``python -m repro.harness.sweep --help`` exposes the
+same engine on the command line."""
 
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG, table1_rows
 from repro.harness.systems import SYSTEM_MODES, build_system, core_config_for
 from repro.harness.runner import RunResult, run_program, run_workload, ExperimentContext
+from repro.harness.sweep import (
+    ResultStore,
+    RunRecord,
+    RunSpec,
+    SweepContext,
+    SweepSpec,
+    execute_spec,
+    run_sweep,
+)
 from repro.harness.metrics import Table3Row, table3_row
 from repro.harness import experiments
 from repro.harness import reporting
@@ -19,6 +36,13 @@ __all__ = [
     "run_program",
     "run_workload",
     "ExperimentContext",
+    "ResultStore",
+    "RunRecord",
+    "RunSpec",
+    "SweepContext",
+    "SweepSpec",
+    "execute_spec",
+    "run_sweep",
     "Table3Row",
     "table3_row",
     "experiments",

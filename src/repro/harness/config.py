@@ -9,8 +9,9 @@ fairness.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Any, List, Mapping, Tuple
 
 from repro.cpu.config import CoreConfig
 from repro.energy.parameters import EnergyParameters
@@ -30,6 +31,19 @@ class MachineConfig:
     dma_setup_latency: int = 100
     dma_per_line_latency: int = 4
 
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "MachineConfig":
+        """Return a copy with some fields replaced.
+
+        Keys are :class:`MachineConfig` field names; dotted paths reach into
+        the nested config dataclasses (``"memory.prefetch_enabled"``,
+        ``"core.issue_width"``, ``"energy.l1_per_access"``).  Used by the
+        sweep engine to resolve declarative machine-axis overrides.
+        """
+        machine = self
+        for key, value in overrides.items():
+            machine = _replace_path(machine, key.split("."), value)
+        return machine
+
     def cache_based(self) -> "MachineConfig":
         """The cache-based baseline: no LM, L1 doubled to match capacity."""
         return MachineConfig(
@@ -42,6 +56,19 @@ class MachineConfig:
             dma_setup_latency=self.dma_setup_latency,
             dma_per_line_latency=self.dma_per_line_latency,
         )
+
+
+def _replace_path(obj, parts: List[str], value):
+    """Replace a (possibly nested) dataclass field along a dotted path."""
+    name = parts[0]
+    if not any(f.name == name for f in dataclasses.fields(obj)):
+        raise KeyError(
+            f"unknown config field {name!r} on {type(obj).__name__}; "
+            f"valid fields: {sorted(f.name for f in dataclasses.fields(obj))}")
+    if len(parts) == 1:
+        return dataclasses.replace(obj, **{name: value})
+    return dataclasses.replace(
+        obj, **{name: _replace_path(getattr(obj, name), parts[1:], value)})
 
 
 #: The simulated machine of Table 1.

@@ -6,6 +6,12 @@ The ``PAPER_*`` constants record the values reported in the paper, used by
 ``EXPERIMENTS.md`` and by the shape-checking tests (we do not expect to match
 absolute numbers — the substrate is a different simulator — but the shape:
 who wins, by roughly what factor, and where the overheads appear).
+
+The drivers are written against the sweep engine's accessor surface: the
+``ctx`` argument accepts either a :class:`~repro.harness.sweep.SweepContext`
+(disk-cached, parallel) or the legacy in-process
+:class:`~repro.harness.runner.ExperimentContext`; both expose
+``run(workload, mode)`` and ``run_micro(...)``.
 """
 
 from __future__ import annotations
@@ -22,7 +28,8 @@ from repro.harness.metrics import (
     speedup,
     table3_row,
 )
-from repro.harness.runner import ExperimentContext, RunResult, run_program
+from repro.harness.runner import ExperimentContext
+from repro.harness.sweep import RunSpec, run_sweep
 from repro.workloads import BENCHMARK_ORDER
 from repro.workloads.microbenchmark import MICRO_MODES, build_microbenchmark
 
@@ -110,20 +117,22 @@ class Figure7Point:
 
 def figure7(percentages: Sequence[int] = (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
             iterations: int = 4000,
-            unroll: int = 20) -> Dict[str, List[Figure7Point]]:
+            unroll: int = 20,
+            ctx=None) -> Dict[str, List[Figure7Point]]:
     """Figure 7: microbenchmark overhead vs. the fraction of guarded accesses.
 
     Returns, per non-baseline mode, the overhead (cycles relative to the
-    baseline mode) at each guarded percentage.
+    baseline mode) at each guarded percentage.  With a ``ctx`` the points go
+    through the sweep engine (memoized, and disk-cached/parallel for a
+    :class:`~repro.harness.sweep.SweepContext`).
     """
-    baseline_program = build_microbenchmark("baseline", 0.0, iterations, unroll)
-    baseline = run_program(baseline_program, mode="hybrid", workload="micro-baseline")
+    ctx = ctx or ExperimentContext()
+    baseline = ctx.run_micro("baseline", 0.0, iterations, unroll)
     results: Dict[str, List[Figure7Point]] = {}
     for mode in ("RD", "WR", "RD/WR"):
         points = []
         for pct in percentages:
-            program = build_microbenchmark(mode, pct / 100.0, iterations, unroll)
-            run = run_program(program, mode="hybrid", workload=f"micro-{mode}")
+            run = ctx.run_micro(mode, pct / 100.0, iterations, unroll)
             points.append(Figure7Point(
                 mode=mode, guarded_pct=pct, cycles=run.cycles,
                 overhead=run.cycles / baseline.cycles))
@@ -141,7 +150,7 @@ class Figure8Row:
     paper_energy_overhead: float
 
 
-def figure8(ctx: Optional[ExperimentContext] = None,
+def figure8(ctx=None,
             benchmarks: Optional[Sequence[str]] = None) -> List[Figure8Row]:
     """Figure 8: overhead of the coherence protocol vs. the oracle baseline."""
     ctx = ctx or ExperimentContext()
@@ -166,7 +175,7 @@ def figure8(ctx: Optional[ExperimentContext] = None,
 
 
 # ---------------------------------------------------------------------------- Table 3
-def table3(ctx: Optional[ExperimentContext] = None,
+def table3(ctx=None,
            benchmarks: Optional[Sequence[str]] = None) -> List[Table3Row]:
     """Table 3: memory-subsystem activity, hybrid coherent vs. cache-based."""
     ctx = ctx or ExperimentContext()
@@ -192,7 +201,7 @@ class Figure9Row:
     paper_time_reduction: float
 
 
-def figure9(ctx: Optional[ExperimentContext] = None,
+def figure9(ctx=None,
             benchmarks: Optional[Sequence[str]] = None) -> List[Figure9Row]:
     """Figure 9: execution-time reduction and its phase breakdown."""
     ctx = ctx or ExperimentContext()
@@ -201,7 +210,7 @@ def figure9(ctx: Optional[ExperimentContext] = None,
     for name in benchmarks:
         hybrid = ctx.run(name, "hybrid")
         cache = ctx.run(name, "cache")
-        phases = hybrid.sim.phase_cycles
+        phases = hybrid.phase_cycles
         total_hybrid = max(hybrid.cycles, 1e-9)
         norm = cache.cycles if cache.cycles > 0 else 1.0
         work = phases.get("work", 0.0) + phases.get("other", 0.0)
@@ -237,7 +246,7 @@ class Figure10Row:
     paper_energy_reduction: float
 
 
-def figure10(ctx: Optional[ExperimentContext] = None,
+def figure10(ctx=None,
              benchmarks: Optional[Sequence[str]] = None) -> List[Figure10Row]:
     """Figure 10: energy reduction and its component breakdown."""
     ctx = ctx or ExperimentContext()
@@ -251,8 +260,8 @@ def figure10(ctx: Optional[ExperimentContext] = None,
             benchmark=name,
             cache_energy=cache.total_energy,
             hybrid_energy=hybrid.total_energy,
-            cache_groups={k: v / cache_total for k, v in cache.energy.groups().items()},
-            hybrid_groups={k: v / cache_total for k, v in hybrid.energy.groups().items()},
+            cache_groups={k: v / cache_total for k, v in cache.energy_groups.items()},
+            hybrid_groups={k: v / cache_total for k, v in hybrid.energy_groups.items()},
             energy_reduction=energy_reduction(cache, hybrid),
             paper_energy_reduction=PAPER_FIG10_ENERGY_REDUCTION.get(name, 0.0)))
     avg = sum(r.energy_reduction for r in rows) / len(rows)
@@ -272,33 +281,33 @@ class AblationPoint:
 
 
 def ablation_directory_size(workload: str = "CG", scale: str = "small",
-                            sizes: Sequence[int] = (4, 8, 16, 32, 64)) -> List[AblationPoint]:
-    """Sweep the number of directory entries (the paper fixes 32)."""
-    from repro.harness.config import MachineConfig
-    from repro.harness.runner import run_workload
-    points = []
-    for entries in sizes:
-        machine = MachineConfig(directory_entries=entries)
-        result = run_workload(workload, mode="hybrid", scale=scale, machine=machine)
-        points.append(AblationPoint(label=f"{entries} entries",
-                                    cycles=result.cycles,
-                                    energy=result.total_energy))
-    return points
+                            sizes: Sequence[int] = (4, 8, 16, 32, 64),
+                            store=None, workers: int = 1) -> List[AblationPoint]:
+    """Sweep the number of directory entries (the paper fixes 32).
+
+    Expressed as a machine-axis sweep: one cell per directory size, sharing
+    the engine's result store when one is passed in.
+    """
+    specs = [RunSpec.create(workload, "hybrid", scale,
+                            machine={"directory_entries": entries})
+             for entries in sizes]
+    records = run_sweep(specs, workers=workers, store=store)
+    return [AblationPoint(label=f"{entries} entries", cycles=record.cycles,
+                          energy=record.total_energy)
+            for entries, record in zip(sizes, records)]
 
 
-def ablation_prefetcher(workload: str = "MG", scale: str = "small") -> List[AblationPoint]:
+def ablation_prefetcher(workload: str = "MG", scale: str = "small",
+                        store=None, workers: int = 1) -> List[AblationPoint]:
     """Cache-based baseline with and without the stream prefetcher."""
-    from repro.harness.config import MachineConfig
-    from repro.harness.runner import run_workload
-    points = []
-    for enabled in (True, False):
-        machine = MachineConfig()
-        machine.memory = machine.memory.copy_with(prefetch_enabled=enabled)
-        result = run_workload(workload, mode="cache", scale=scale, machine=machine)
-        points.append(AblationPoint(
-            label="prefetcher on" if enabled else "prefetcher off",
-            cycles=result.cycles, energy=result.total_energy))
-    return points
+    specs = [RunSpec.create(workload, "cache", scale,
+                            machine={"memory.prefetch_enabled": enabled})
+             for enabled in (True, False)]
+    records = run_sweep(specs, workers=workers, store=store)
+    return [AblationPoint(
+        label="prefetcher on" if enabled else "prefetcher off",
+        cycles=record.cycles, energy=record.total_energy)
+        for enabled, record in zip((True, False), records)]
 
 
 def ablation_double_store(iterations: int = 4000) -> Dict[str, float]:

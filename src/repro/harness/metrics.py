@@ -1,10 +1,14 @@
-"""Derived metrics: the rows of Table 3 and helper ratios."""
+"""Derived metrics: the rows of Table 3 and helper ratios.
+
+Every helper works off the plain accessor surface shared by the live
+:class:`~repro.harness.runner.RunResult` and the sweep engine's
+:class:`~repro.harness.sweep.RunRecord` (``cycles``, ``total_energy``,
+``memory_stats``, guarded-reference counters), so the drivers can consume
+either live simulations or disk-cached records."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-from repro.harness.runner import RunResult
 
 
 @dataclass
@@ -28,20 +32,19 @@ class Table3Row:
                 self.l3_accesses, self.lm_accesses, self.directory_accesses)
 
 
-def guarded_refs_label(result: RunResult) -> str:
+def guarded_refs_label(result) -> str:
     """The "Guarded References" column: guarded/total (ratio%)."""
-    compiled = result.compiled
-    if compiled is None or not compiled.target.emits_guards:
+    if not result.emits_guards:
         return "0"
-    guarded = compiled.guarded_references
-    total = compiled.total_references
+    guarded = result.guarded_references
+    total = result.total_references
     pct = 100.0 * guarded / total if total else 0.0
     return f"{guarded}/{total} ({pct:.0f}%)"
 
 
-def table3_row(result: RunResult) -> Table3Row:
-    """Extract the Table 3 row from one run."""
-    mem = result.sim.memory_stats
+def table3_row(result) -> Table3Row:
+    """Extract the Table 3 row from one run (live result or sweep record)."""
+    mem = result.memory_stats
     hier = mem["hierarchy"]
     mode_label = "Hybrid coherent" if result.mode == "hybrid" else (
         "Cache-based" if result.mode == "cache" else result.mode)
@@ -62,28 +65,28 @@ def table3_row(result: RunResult) -> Table3Row:
     )
 
 
-def speedup(baseline: RunResult, improved: RunResult) -> float:
+def speedup(baseline, improved) -> float:
     """Speedup of ``improved`` over ``baseline`` (>1 means faster)."""
     if improved.cycles <= 0:
         return 0.0
     return baseline.cycles / improved.cycles
 
 
-def overhead(reference: RunResult, measured: RunResult) -> float:
+def overhead(reference, measured) -> float:
     """Relative execution-time overhead of ``measured`` vs ``reference``."""
     if reference.cycles <= 0:
         return 0.0
     return measured.cycles / reference.cycles - 1.0
 
 
-def energy_overhead(reference: RunResult, measured: RunResult) -> float:
+def energy_overhead(reference, measured) -> float:
     """Relative energy overhead of ``measured`` vs ``reference``."""
     if reference.total_energy <= 0:
         return 0.0
     return measured.total_energy / reference.total_energy - 1.0
 
 
-def energy_reduction(baseline: RunResult, improved: RunResult) -> float:
+def energy_reduction(baseline, improved) -> float:
     """Fractional energy saved by ``improved`` relative to ``baseline``."""
     if baseline.total_energy <= 0:
         return 0.0

@@ -5,15 +5,24 @@ for a given mode, builds the matching system, runs it on the simulated core
 and returns a :class:`RunResult` bundling the compiled kernel, the simulation
 result and the energy breakdown.
 
-Several experiments (Figure 8, Table 3, Figures 9 and 10) need the *same*
-runs; :class:`ExperimentContext` memoizes them so a full evaluation sweep
-simulates each (workload, mode) pair exactly once per process.
+:class:`RunResult` exposes the same plain accessor surface as the sweep
+engine's :class:`~repro.harness.sweep.RunRecord` (``cycles``, ``phase_cycles``,
+``memory_stats``, ``energy_groups``, guarded-reference counters, ...), so the
+figure/table drivers in :mod:`repro.harness.experiments` accept either, and
+:meth:`RunResult.to_record` converts a live result into the JSON-serialisable
+record the on-disk result store holds.
+
+:class:`ExperimentContext` is the legacy in-process memoizing runner, kept as
+a thin compatibility shim for callers that need the *live* simulation objects
+(``result.sim``, ``result.system``).  New code — and everything that wants
+disk caching or parallel fan-out — should use
+:class:`~repro.harness.sweep.SweepContext` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.compiler.codegen import CompiledKernel, compile_kernel
 from repro.compiler.ir import Kernel
@@ -48,6 +57,60 @@ class RunResult:
     @property
     def total_energy(self) -> float:
         return self.energy.total
+
+    # -- unified accessor surface (shared with sweep.RunRecord) --------------------
+    @property
+    def ipc(self) -> float:
+        return self.sim.ipc
+
+    @property
+    def phase_cycles(self) -> Dict[str, float]:
+        return self.sim.phase_cycles
+
+    @property
+    def memory_stats(self) -> Dict[str, Any]:
+        return self.sim.memory_stats
+
+    @property
+    def energy_groups(self) -> Dict[str, float]:
+        return self.energy.groups()
+
+    @property
+    def emits_guards(self) -> bool:
+        return self.compiled is not None and self.compiled.target.emits_guards
+
+    @property
+    def guarded_references(self) -> int:
+        return self.compiled.guarded_references if self.compiled else 0
+
+    @property
+    def total_references(self) -> int:
+        return self.compiled.total_references if self.compiled else 0
+
+    def to_record(self, spec=None, sim_wall_seconds: float = 0.0):
+        """Flatten this live result into a plain-data sweep record."""
+        from repro.harness.sweep import RunRecord
+        return RunRecord(
+            workload=spec.workload if spec else self.workload,
+            mode=spec.mode if spec else self.mode,
+            scale=spec.scale if spec else "",
+            kind=spec.kind if spec else "kernel",
+            spec_hash=spec.spec_hash if spec else "",
+            machine_overrides=dict(spec.machine) if spec else {},
+            params=dict(spec.params) if spec else {},
+            cycles=self.sim.cycles,
+            instructions=self.sim.instructions,
+            phase_cycles=dict(self.sim.phase_cycles),
+            mispredictions=self.sim.mispredictions,
+            branch_predictions=self.sim.branch_predictions,
+            memory_stats=self.sim.memory_stats,
+            core_stats=self.sim.core_stats,
+            energy=self.energy.as_dict(),
+            guarded_references=self.guarded_references,
+            total_references=self.total_references,
+            emits_guards=self.emits_guards,
+            sim_wall_seconds=sim_wall_seconds,
+        )
 
 
 def run_program(program: Program, mode: str = "hybrid",
@@ -89,25 +152,51 @@ def run_workload(name: str, mode: str = "hybrid", scale: str = "small",
 
 
 class ExperimentContext:
-    """Memoizing runner shared by the experiment drivers.
+    """Legacy in-process memoizing runner (thin compatibility shim).
 
-    Keyed by (workload, mode, scale); a full evaluation sweep therefore
-    simulates each configuration once even though several tables/figures
-    consume the same runs.
+    Keyed by the *normalised* (workload, mode, scale) triple — every part is
+    case- and whitespace-normalised, so ``run("cg", "Hybrid")`` and
+    ``run("CG", "hybrid")`` share one simulation.  Unlike
+    :class:`~repro.harness.sweep.SweepContext` this context returns live
+    :class:`RunResult` objects (with ``.sim`` and ``.system``) and never
+    touches the disk store; use it when a test needs the simulation objects
+    themselves.
     """
 
     def __init__(self, scale: str = "small",
                  machine: Optional[MachineConfig] = None):
-        self.scale = scale
+        self.scale = scale.strip().lower()
         self.machine = machine or PTLSIM_CONFIG
         self._cache: Dict[Tuple[str, str, str], RunResult] = {}
+        self._micro_cache: Dict[Tuple[str, float, int, int, str], RunResult] = {}
+
+    @staticmethod
+    def normalize_key(workload: str, mode: str, scale: str) -> Tuple[str, str, str]:
+        """Canonical cache key: every part normalised, not just the workload."""
+        return (workload.strip().upper(), mode.strip().lower(),
+                scale.strip().lower())
 
     def run(self, workload: str, mode: str) -> RunResult:
-        key = (workload.upper(), mode, self.scale)
+        key = self.normalize_key(workload, mode, self.scale)
         if key not in self._cache:
             self._cache[key] = run_workload(
-                workload, mode=mode, scale=self.scale, machine=self.machine)
+                key[0], mode=key[1], scale=key[2], machine=self.machine)
         return self._cache[key]
+
+    def run_micro(self, micro_mode: str, guarded_fraction: float = 1.0,
+                  iterations: int = 200, unroll: int = 1,
+                  system_mode: str = "hybrid") -> RunResult:
+        """Memoized microbenchmark run (same interface as SweepContext)."""
+        from repro.workloads.microbenchmark import build_microbenchmark
+        key = (micro_mode, float(guarded_fraction), int(iterations),
+               int(unroll), system_mode.strip().lower())
+        if key not in self._micro_cache:
+            program = build_microbenchmark(micro_mode, float(guarded_fraction),
+                                           int(iterations), int(unroll))
+            self._micro_cache[key] = run_program(
+                program, mode=key[4], machine=self.machine,
+                workload=f"micro-{micro_mode}")
+        return self._micro_cache[key]
 
     def cached_runs(self) -> Dict[Tuple[str, str, str], RunResult]:
         return dict(self._cache)

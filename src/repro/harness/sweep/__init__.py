@@ -1,0 +1,582 @@
+"""Parallel experiment-sweep engine with a content-hashed on-disk result store.
+
+The paper's evaluation is a matrix of (workload x mode x scale x machine
+config) simulations.  This module turns that matrix into first-class objects:
+
+* :class:`RunSpec` — one fully-resolved cell of the matrix, frozen and
+  content-hashed (the hash is a SHA-256 over the canonical JSON of the spec,
+  so identical specs always produce identical hashes regardless of how the
+  spec was constructed or how dicts were ordered);
+* :class:`SweepSpec` — a declarative cartesian product of workloads, modes,
+  scales and machine-config overrides that resolves into a list of
+  :class:`RunSpec` cells;
+* :class:`RunRecord` — the plain-data result of one cell: cycles,
+  instructions, phase breakdown, memory-system activity and the energy
+  breakdown.  Records are JSON-serialisable, so they can cross process
+  boundaries and live in the on-disk store;
+* :class:`ResultStore` — the content-addressed disk cache.  Layout:
+  ``<root>/<hash[:2]>/<hash>.json``, one file per cell, written atomically.
+  Corrupted or schema-incompatible entries are treated as misses and
+  removed;
+* :func:`run_sweep` — the executor: resolves store hits, fans cell misses
+  out over a :class:`concurrent.futures.ProcessPoolExecutor` (``workers > 1``)
+  or runs them inline, and fills the store;
+* :class:`SweepContext` — the engine-backed replacement for the legacy
+  :class:`~repro.harness.runner.ExperimentContext`: same ``run(workload,
+  mode)`` interface, but store-backed and able to prefetch a whole sweep in
+  parallel.  The figure/table drivers in
+  :mod:`repro.harness.experiments` accept either context.
+
+Command line::
+
+    python -m repro.harness.sweep --workloads CG,IS --modes hybrid,cache \
+        --scales tiny --workers 2 --cache-dir .repro-cache
+
+The store assumes the simulator is deterministic: a record is valid for as
+long as the simulator code that produced it.  Bump :data:`STORE_SCHEMA`
+when a simulator change invalidates old results, or key any cross-run cache
+(e.g. the CI cache) on a hash of ``src/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.harness.config import MachineConfig, PTLSIM_CONFIG
+from repro.harness.systems import SYSTEM_MODES
+
+#: Version of the store schema; a mismatch turns a disk entry into a miss.
+STORE_SCHEMA = 1
+
+#: Default result-store location (overridable with ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_OverrideItems = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_mapping(mapping: Optional[Mapping[str, Any]]) -> _OverrideItems:
+    """Canonicalise a mapping into a sorted, hashable tuple of items."""
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+# ------------------------------------------------------------------------ RunSpec
+@dataclass(frozen=True)
+class RunSpec:
+    """One frozen, content-hashed cell of the evaluation matrix.
+
+    ``kind`` selects the workload family: ``"kernel"`` runs a NAS-like
+    kernel through the compiler (``workload`` names it), ``"micro"`` runs
+    the Table 2 / Figure 7 microbenchmark (``params`` carries ``micro_mode``,
+    ``guarded_fraction``, ``iterations`` and ``unroll``).
+    """
+
+    workload: str
+    mode: str
+    scale: str = "small"
+    machine: _OverrideItems = ()
+    kind: str = "kernel"
+    params: _OverrideItems = ()
+
+    @classmethod
+    def create(cls, workload: str, mode: str, scale: str = "small",
+               machine: Optional[Mapping[str, Any]] = None,
+               kind: str = "kernel",
+               params: Optional[Mapping[str, Any]] = None) -> "RunSpec":
+        """Build a spec with every key part normalised (case, whitespace)."""
+        return cls(
+            workload=workload.strip().upper() if kind == "kernel" else workload.strip(),
+            mode=mode.strip().lower(),
+            scale=scale.strip().lower(),
+            machine=_freeze_mapping(machine),
+            kind=kind,
+            params=_freeze_mapping(params),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "scale": self.scale,
+            "machine": dict(self.machine),
+            "kind": self.kind,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        return cls.create(
+            workload=data["workload"], mode=data["mode"], scale=data["scale"],
+            machine=data.get("machine"), kind=data.get("kind", "kernel"),
+            params=data.get("params"))
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash: SHA-256 of the canonical JSON of the spec."""
+        payload = json.dumps(
+            {"schema": STORE_SCHEMA, **self.as_dict()},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @property
+    def label(self) -> str:
+        parts = [self.workload, self.mode, self.scale]
+        if self.machine:
+            parts.append(",".join(f"{k}={v}" for k, v in self.machine))
+        if self.params:
+            parts.append(",".join(f"{k}={v}" for k, v in self.params))
+        return ":".join(parts)
+
+    def resolve_machine(self, base: Optional[MachineConfig] = None) -> MachineConfig:
+        """Apply this spec's overrides to ``base`` (default: Table 1)."""
+        machine = base or PTLSIM_CONFIG
+        if self.machine:
+            machine = machine.with_overrides(dict(self.machine))
+        return machine
+
+
+# ----------------------------------------------------------------------- SweepSpec
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: the cartesian product of its four axes.
+
+    ``machines`` is a tuple of override sets (each a frozen items-tuple of
+    :class:`~repro.harness.config.MachineConfig` field overrides, with dotted
+    paths such as ``memory.prefetch_enabled`` reaching into sub-configs).  An
+    empty override set is the Table 1 machine.
+    """
+
+    workloads: Tuple[str, ...]
+    modes: Tuple[str, ...]
+    scales: Tuple[str, ...] = ("small",)
+    machines: Tuple[_OverrideItems, ...] = ((),)
+
+    @classmethod
+    def create(cls, workloads: Sequence[str], modes: Sequence[str],
+               scales: Sequence[str] = ("small",),
+               machines: Optional[Sequence[Mapping[str, Any]]] = None) -> "SweepSpec":
+        return cls(
+            workloads=tuple(w.strip().upper() for w in workloads),
+            modes=tuple(m.strip().lower() for m in modes),
+            scales=tuple(s.strip().lower() for s in scales),
+            machines=tuple(_freeze_mapping(m) for m in machines) if machines else ((),),
+        )
+
+    def cells(self) -> List[RunSpec]:
+        """Resolve the product into frozen specs, in deterministic order."""
+        out = []
+        for machine in self.machines:
+            for scale in self.scales:
+                for workload in self.workloads:
+                    for mode in self.modes:
+                        out.append(RunSpec.create(
+                            workload, mode, scale, machine=dict(machine)))
+        return out
+
+
+# ----------------------------------------------------------------------- RunRecord
+@dataclass
+class RunRecord:
+    """Plain-data result of one cell — everything the drivers consume.
+
+    The record intentionally mirrors the accessor surface of the legacy
+    :class:`~repro.harness.runner.RunResult` (``cycles``, ``instructions``,
+    ``total_energy``, ``phase_cycles``, ``memory_stats``, ``energy_groups``,
+    guarded-reference counters), so the figure/table drivers work with
+    either.
+    """
+
+    workload: str
+    mode: str
+    scale: str
+    kind: str
+    spec_hash: str
+    machine_overrides: Dict[str, Any]
+    params: Dict[str, Any]
+    cycles: float
+    instructions: int
+    phase_cycles: Dict[str, float]
+    mispredictions: int
+    branch_predictions: int
+    memory_stats: Dict[str, Any]
+    core_stats: Dict[str, Any]
+    energy: Dict[str, float]
+    guarded_references: int = 0
+    total_references: int = 0
+    emits_guards: bool = False
+    sim_wall_seconds: float = 0.0
+
+    # -- derived -----------------------------------------------------------------
+    @property
+    def total_energy(self) -> float:
+        return self.energy.get("total", 0.0)
+
+    @property
+    def energy_groups(self) -> Dict[str, float]:
+        """The Figure 10 component grouping (CPU / Caches / LM / Others)."""
+        return {
+            "CPU": self.energy.get("cpu", 0.0),
+            "Caches": self.energy.get("caches", 0.0),
+            "LM": self.energy.get("lm", 0.0),
+            "Others": self.energy.get("others", 0.0),
+        }
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    # -- serialisation ------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+# --------------------------------------------------------------------- ResultStore
+class ResultStore:
+    """Content-addressed disk cache of :class:`RunRecord` objects.
+
+    Layout: ``<root>/<hash[:2]>/<hash>.json``; each file holds the schema
+    version, the spec (for debuggability) and the record.  Writes are atomic
+    (temp file + ``os.replace``).  A file that cannot be parsed, fails the
+    schema check, or does not round-trip into a record is treated as a cache
+    miss, removed, and counted in :attr:`corrupted`.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root if root is not None
+                         else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+        self.hits = 0
+        self.misses = 0
+        self.corrupted = 0
+        self.writes = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        h = spec.spec_hash
+        return self.root / h[:2] / f"{h}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunRecord]:
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != STORE_SCHEMA:
+                raise ValueError(f"schema {payload.get('schema')!r} != {STORE_SCHEMA}")
+            record = RunRecord.from_dict(payload["record"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, TypeError, KeyError):
+            # Corrupted / stale entry: drop it and treat as a miss.
+            self.corrupted += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, spec: RunSpec, record: RunRecord) -> Path:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": STORE_SCHEMA, "spec": spec.as_dict(),
+                   "record": record.as_dict()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupted": self.corrupted, "writes": self.writes}
+
+
+# ----------------------------------------------------------------------- execution
+def execute_spec(spec: RunSpec,
+                 base_machine: Optional[MachineConfig] = None) -> RunRecord:
+    """Simulate one cell in-process and return its plain-data record."""
+    # Imported here (not at module top) to keep worker-process start cheap
+    # and to avoid an import cycle with repro.harness.runner.
+    from repro.harness.runner import run_program, run_workload
+    from repro.workloads.microbenchmark import build_microbenchmark
+
+    machine = spec.resolve_machine(base_machine)
+    start = time.perf_counter()
+    if spec.kind == "micro":
+        params = dict(spec.params)
+        program = build_microbenchmark(
+            mode=params.get("micro_mode", "baseline"),
+            guarded_fraction=float(params.get("guarded_fraction", 0.0)),
+            iterations=int(params.get("iterations", 200)),
+            unroll=int(params.get("unroll", 1)))
+        result = run_program(program, mode=spec.mode, machine=machine,
+                             workload=spec.workload)
+    elif spec.kind == "kernel":
+        result = run_workload(spec.workload, mode=spec.mode, scale=spec.scale,
+                              machine=machine)
+    else:
+        raise ValueError(f"unknown spec kind {spec.kind!r}")
+    wall = time.perf_counter() - start
+    return result.to_record(spec, sim_wall_seconds=wall)
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point: spec dict in, record dict out (picklable)."""
+    spec = RunSpec.from_dict(payload)
+    return execute_spec(spec).as_dict()
+
+
+def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
+              store: Optional[ResultStore] = None,
+              base_machine: Optional[MachineConfig] = None,
+              echo=None) -> List[RunRecord]:
+    """Execute ``specs``, serving store hits and fanning misses out.
+
+    Returns one record per spec, in input order.  ``workers > 1`` runs the
+    misses on a process pool (falling back to inline execution if the
+    platform cannot spawn worker processes).  ``echo`` is an optional
+    ``callable(str)`` for progress lines.
+    """
+    say = echo or (lambda msg: None)
+    records: Dict[RunSpec, RunRecord] = {}
+    misses: List[RunSpec] = []
+    for spec in specs:
+        if spec in records or spec in misses:
+            continue
+        cached = store.get(spec) if store is not None else None
+        if cached is not None:
+            records[spec] = cached
+        else:
+            misses.append(spec)
+
+    def finish(spec: RunSpec, record: RunRecord) -> None:
+        # Persist each cell as soon as it completes, so an interrupted sweep
+        # keeps the work already done.
+        records[spec] = record
+        if store is not None:
+            store.put(spec, record)
+        say(f"  done {spec.label}")
+    # A live base_machine cannot cross the process boundary (workers rebuild
+    # the machine from the spec's overrides), so it forces inline execution.
+    use_pool = workers > 1 and base_machine is None
+    if misses:
+        say(f"sweep: {len(records)} cached, simulating {len(misses)} cell(s) "
+            f"with {workers if use_pool else 1} worker(s)"
+            + (" (inline: custom base machine)"
+               if workers > 1 and not use_pool else ""))
+    if misses and use_pool:
+        import concurrent.futures as cf
+        try:
+            with cf.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute_payload, spec.as_dict()): spec
+                           for spec in misses}
+                for future in cf.as_completed(futures):
+                    spec = futures[future]
+                    finish(spec, RunRecord.from_dict(future.result()))
+            misses = []
+        except (OSError, cf.BrokenExecutor) as exc:  # pragma: no cover - platform-specific
+            # Pool could not start, or a worker died mid-sweep (e.g. OOM
+            # kill -> BrokenProcessPool): finish the remaining cells inline.
+            say(f"sweep: process pool failed ({exc!r}); finishing inline")
+    for spec in misses:  # serial path (workers==1, custom machine, or fallback)
+        if spec not in records:  # skip cells a failed pool already finished
+            finish(spec, execute_spec(spec, base_machine))
+    return [records[spec] for spec in specs]
+
+
+# -------------------------------------------------------------------- SweepContext
+class SweepContext:
+    """Engine-backed experiment context shared by the figure/table drivers.
+
+    Drop-in for the legacy :class:`~repro.harness.runner.ExperimentContext`
+    interface (``run(workload, mode)``), but returns plain
+    :class:`RunRecord` data, consults the on-disk :class:`ResultStore`, and
+    can :meth:`prefetch` a whole sweep across worker processes before the
+    drivers consume individual cells.
+    """
+
+    def __init__(self, scale: str = "small",
+                 machine_overrides: Optional[Mapping[str, Any]] = None,
+                 store: Optional[ResultStore] = None,
+                 workers: int = 1):
+        self.scale = scale.strip().lower()
+        self.machine_overrides = dict(machine_overrides or {})
+        self.store = store
+        self.workers = max(1, workers)
+        self._records: Dict[RunSpec, RunRecord] = {}
+
+    # -- spec helpers --------------------------------------------------------------
+    def _kernel_spec(self, workload: str, mode: str) -> RunSpec:
+        return RunSpec.create(workload, mode, self.scale,
+                              machine=self.machine_overrides)
+
+    def micro_spec(self, micro_mode: str, guarded_fraction: float,
+                   iterations: int, unroll: int,
+                   system_mode: str = "hybrid") -> RunSpec:
+        # Microbenchmark cells are fully described by their params and never
+        # read the kernel scale; pinning the scale axis keeps the content
+        # hash — and therefore the store entry — shared across contexts.
+        return RunSpec.create(
+            workload=f"micro-{micro_mode}", mode=system_mode, scale="-",
+            machine=self.machine_overrides, kind="micro",
+            params={"micro_mode": micro_mode,
+                    "guarded_fraction": float(guarded_fraction),
+                    "iterations": int(iterations), "unroll": int(unroll)})
+
+    # -- execution -----------------------------------------------------------------
+    def run_specs(self, specs: Sequence[RunSpec], echo=None) -> List[RunRecord]:
+        todo = [s for s in specs if s not in self._records]
+        if todo:
+            for spec, record in zip(todo, run_sweep(
+                    todo, workers=self.workers, store=self.store, echo=echo)):
+                self._records[spec] = record
+        return [self._records[s] for s in specs]
+
+    def run(self, workload: str, mode: str) -> RunRecord:
+        return self.run_specs([self._kernel_spec(workload, mode)])[0]
+
+    def run_micro(self, micro_mode: str, guarded_fraction: float = 1.0,
+                  iterations: int = 200, unroll: int = 1,
+                  system_mode: str = "hybrid") -> RunRecord:
+        return self.run_specs([self.micro_spec(
+            micro_mode, guarded_fraction, iterations, unroll, system_mode)])[0]
+
+    def prefetch(self, workloads: Sequence[str], modes: Sequence[str],
+                 echo=None) -> List[RunRecord]:
+        """Resolve the (workloads x modes) block up front, in parallel."""
+        sweep = SweepSpec.create(workloads, modes, (self.scale,),
+                                 machines=[self.machine_overrides])
+        return self.run_specs(sweep.cells(), echo=echo)
+
+    def cached_runs(self) -> Dict[Tuple[str, str, str], RunRecord]:
+        """Resolved cells keyed by (workload, mode, scale), legacy-shaped."""
+        return {(s.workload, s.mode, s.scale): r
+                for s, r in self._records.items()}
+
+
+# ------------------------------------------------------------------------- CLI
+def _parse_value(text: str):
+    """Parse a CLI override value: bool / int / float / string."""
+    low = text.strip().lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_overrides(items: Iterable[str]) -> Dict[str, Any]:
+    overrides = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--set expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        overrides[key.strip()] = _parse_value(value)
+    return overrides
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.workloads import BENCHMARK_ORDER
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.sweep",
+        description="Run a (workload x mode x scale x machine) simulation "
+                    "sweep with the content-hashed result store.")
+    parser.add_argument("--workloads", default=",".join(BENCHMARK_ORDER),
+                        help="comma-separated NAS kernels (default: all six)")
+    parser.add_argument("--modes", default="hybrid,cache",
+                        help=f"comma-separated system modes from {SYSTEM_MODES}")
+    parser.add_argument("--scales", default="small",
+                        help="comma-separated scales (tiny/small/medium)")
+    parser.add_argument("--set", dest="overrides", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="machine-config override, dotted paths allowed "
+                             "(e.g. --set directory_entries=16 "
+                             "--set memory.prefetch_enabled=false)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for cache misses (default 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"result-store directory (default "
+                             f"$REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result store")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="empty the result store before running")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="also dump the records to this JSON file")
+    args = parser.parse_args(argv)
+
+    overrides = _parse_overrides(args.overrides)
+    sweep = SweepSpec.create(
+        workloads=args.workloads.split(","), modes=args.modes.split(","),
+        scales=args.scales.split(","), machines=[overrides])
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    if store is not None and args.clear_cache:
+        print(f"cleared {store.clear()} store entries under {store.root}")
+
+    cells = sweep.cells()
+    start = time.perf_counter()
+    try:
+        records = run_sweep(cells, workers=args.workers, store=store, echo=print)
+    except (KeyError, ValueError) as exc:
+        # Unknown workload / mode / config field: show the message, not a
+        # worker-process traceback.
+        raise SystemExit(f"error: {exc}")
+    wall = time.perf_counter() - start
+
+    print(f"\n{'Workload':<10s} {'Mode':<14s} {'Scale':<7s} {'Cycles':>14s} "
+          f"{'Instr':>10s} {'IPC':>6s} {'Energy (nJ)':>14s}  {'Hash':<16s}")
+    print("-" * 98)
+    for record in records:
+        print(f"{record.workload:<10s} {record.mode:<14s} {record.scale:<7s} "
+              f"{record.cycles:>14.0f} {record.instructions:>10d} "
+              f"{record.ipc:>6.2f} {record.total_energy:>14.0f}  "
+              f"{record.spec_hash:<16s}")
+    summary = f"\n{len(cells)} cell(s) in {wall:.2f}s"
+    if store is not None:
+        s = store.stats()
+        summary += (f" — store: {s['hits']} hit(s), {s['writes']} new, "
+                    f"{s['corrupted']} corrupted, root={store.root}")
+    print(summary)
+
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump([r.as_dict() for r in records], fh, indent=2)
+        print(f"records written to {args.json_path}")
+    return 0

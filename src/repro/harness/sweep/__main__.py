@@ -1,0 +1,12 @@
+"""CLI entry point: ``python -m repro.harness.sweep``."""
+
+import sys
+
+from repro.harness.sweep import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. ``| head``).
+        sys.exit(0)

@@ -74,6 +74,17 @@ class FuClass(enum.Enum):
     NONE = "none"
 
 
+#: Dense index per functional-unit class.  The timing model's reservation
+#: tables are list-indexed by this instead of dict-keyed by the enum: enum
+#: hashing on every issued instruction was a measured hot path.
+FU_INDEX = {cls: i for i, cls in enumerate(FuClass)}
+
+#: Opcodes that occupy their functional unit for the whole latency
+#: (unpipelined dividers / square roots).
+UNPIPELINED_OPS = frozenset(
+    {Opcode.DIV, Opcode.MOD, Opcode.FDIV, Opcode.FSQRT})
+
+
 #: Execution latency (cycles) of non-memory instructions, indexed by opcode.
 #: Memory instruction latency is determined by the memory subsystem.
 ALU_LATENCY = {
@@ -228,7 +239,8 @@ class Instruction:
         # Pre-computed classification (static instructions are interpreted
         # millions of times; property lookups would dominate the profile).
         "is_memory", "is_load", "is_store", "is_guarded", "is_branch",
-        "is_conditional_branch", "is_dma", "fu_class", "latency",
+        "is_conditional_branch", "is_dma", "fu_class", "fu_index",
+        "unpipelined", "latency",
     )
 
     def __init__(
@@ -263,6 +275,8 @@ class Instruction:
         self.is_conditional_branch = is_conditional_branch(opcode)
         self.is_dma = is_dma_opcode(opcode)
         self.fu_class = fu_class_for(opcode)
+        self.fu_index = FU_INDEX[self.fu_class]
+        self.unpipelined = opcode in UNPIPELINED_OPS
         #: Fixed execution latency; memory latency is resolved dynamically.
         self.latency = ALU_LATENCY.get(opcode, 1)
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict
 
 import numpy as np
@@ -25,8 +26,14 @@ def iterations_for(scale: str) -> int:
 
 
 def rng_for(name: str) -> np.random.Generator:
-    """Deterministic per-benchmark random generator (reproducible inputs)."""
-    seed = abs(hash(name)) % (2 ** 32)
+    """Deterministic per-benchmark random generator (reproducible inputs).
+
+    Seeded with a *stable* hash: ``hash(str)`` is randomised per process
+    (PYTHONHASHSEED), which made benchmark inputs — and therefore cycle
+    counts — vary from run to run and would poison the content-hashed
+    result store.
+    """
+    seed = zlib.crc32(name.encode("utf-8"))
     return np.random.default_rng(seed)
 
 

@@ -1,0 +1,205 @@
+"""Property-based tests of the coherence protocol (Section 3.4, Figure 6).
+
+Two levels, per the paper's correctness argument:
+
+* **State machine** (:mod:`repro.core.protocol`): arbitrary action sequences
+  — legal or not — never drive a chunk into an undefined state; illegal
+  actions are rejected and leave the state unchanged.
+
+* **System** (:class:`repro.core.hybrid.HybridSystem` with
+  ``track_protocol=True``): random interleavings of guarded/plain
+  loads/stores and DMA transfers that respect the programming model (plain
+  SM accesses only to unmapped chunks, write-back before remapping a dirty
+  buffer) always satisfy read-your-writes — every load returns the last
+  value stored to that address, wherever the valid copy lives — and never
+  trip the strict protocol checker or its replication invariants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hybrid import HybridSystem
+from repro.core.protocol import (
+    DataState,
+    ProtocolAction,
+    ProtocolChecker,
+    TRANSITIONS,
+    next_state,
+)
+
+# ------------------------------------------------------------- state machine level
+ACTIONS = list(ProtocolAction)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(ACTIONS), min_size=1, max_size=60))
+def test_arbitrary_action_sequences_never_reach_invalid_state(actions):
+    """Illegal actions are rejected; the state always stays a DataState."""
+    checker = ProtocolChecker(strict=False)
+    chunk = 0x4000
+    for action in actions:
+        before = checker.state_of(chunk)
+        legal = (before, action) in TRANSITIONS
+        after = checker.apply(chunk, action)
+        assert isinstance(after, DataState)
+        if legal:
+            assert after == next_state(before, action)
+        else:
+            assert after == before                  # rejected, state unchanged
+            assert checker.violations[-1][1] == before
+        assert checker.check_replication_invariant(chunk)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(ACTIONS), min_size=1, max_size=60))
+def test_lenient_checker_tracks_newest_copy(actions):
+    """The reported valid-copy location always matches the tracked state."""
+    checker = ProtocolChecker(strict=False)
+    chunk = 0x8000
+    for action in actions:
+        state = checker.apply(chunk, action)
+        where = checker.valid_copy_location(chunk)
+        if state in (DataState.LM, DataState.LM_CM):
+            assert where == "LM"
+        elif state is DataState.CM:
+            assert where == "CM"
+        else:
+            assert where == "MM"
+
+
+# ------------------------------------------------------------------- system level
+BUF = 256                 # LM buffer size (power of two)
+N_BUFFERS = 4             # directory entries / LM buffers exercised
+N_CHUNKS = 8              # SM chunks the interleavings touch
+SM_BASE = 0x10_0000       # chunk-aligned SM base address
+WORDS_PER_CHUNK = BUF // 8
+
+op_strategy = st.one_of(
+    st.tuples(st.just("dma_get"), st.integers(0, N_BUFFERS - 1),
+              st.integers(0, N_CHUNKS - 1)),
+    st.tuples(st.just("dma_put"), st.integers(0, N_BUFFERS - 1),
+              st.just(0)),
+    st.tuples(st.just("guarded_load"), st.integers(0, N_CHUNKS - 1),
+              st.integers(0, WORDS_PER_CHUNK - 1)),
+    st.tuples(st.just("guarded_store"), st.integers(0, N_CHUNKS - 1),
+              st.integers(0, WORDS_PER_CHUNK - 1)),
+    st.tuples(st.just("plain_load"), st.integers(0, N_CHUNKS - 1),
+              st.integers(0, WORDS_PER_CHUNK - 1)),
+    st.tuples(st.just("plain_store"), st.integers(0, N_CHUNKS - 1),
+              st.integers(0, WORDS_PER_CHUNK - 1)),
+)
+
+
+class _ModelState:
+    """Shadow model: last value written per address, plus the LM mapping."""
+
+    def __init__(self):
+        self.values = {}                 # SM word address -> last written value
+        self.buffer_chunk = {}           # buffer index -> mapped chunk index
+        self.buffer_dirty = {}           # buffer index -> wrote since last put
+        self.now = 1000.0
+
+    def chunk_of(self, addr):
+        return (addr - SM_BASE) // BUF
+
+    def mapped_chunks(self):
+        return set(self.buffer_chunk.values())
+
+
+def _chunk_addr(chunk):
+    return SM_BASE + chunk * BUF
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=80))
+def test_random_interleavings_read_last_write(ops):
+    system = HybridSystem(lm_size=N_BUFFERS * BUF, directory_entries=N_BUFFERS,
+                          track_protocol=True)
+    system.set_buffer_size(BUF)
+    lm_base = system.lm_virtual_base
+    model = _ModelState()
+    counter = 0
+
+    def advance():
+        model.now += 50.0
+        return model.now
+
+    def writeback(buf):
+        """dma-put a buffer's chunk back to the SM (programming model)."""
+        chunk = model.buffer_chunk[buf]
+        system.dma_put(lm_base + buf * BUF, _chunk_addr(chunk), BUF,
+                       tag=buf, now=advance())
+        system.dma_sync(None, now=advance())
+        model.buffer_dirty[buf] = False
+
+    for op in ops:
+        kind = op[0]
+        if kind == "dma_get":
+            _, buf, chunk = op
+            if chunk in model.mapped_chunks():
+                continue  # a chunk lives in at most one buffer
+            if model.buffer_dirty.get(buf):
+                writeback(buf)       # never drop a dirty LM copy
+            system.dma_get(lm_base + buf * BUF, _chunk_addr(chunk), BUF,
+                           tag=buf, now=advance())
+            system.dma_sync(None, now=advance())
+            model.buffer_chunk[buf] = chunk
+            model.buffer_dirty[buf] = False
+        elif kind == "dma_put":
+            _, buf, _ = op
+            if buf in model.buffer_chunk:
+                writeback(buf)
+        else:
+            _, chunk, word = op
+            addr = _chunk_addr(chunk) + word * 8
+            mapped = chunk in model.mapped_chunks()
+            if kind.startswith("plain") and mapped:
+                # The compiler only emits plain SM accesses when it has
+                # proved there is no aliasing with mapped data.
+                continue
+            guarded = kind.startswith("guarded")
+            if kind.endswith("store"):
+                counter += 1
+                value = float(counter)
+                system.store(addr, value, guarded=guarded, now=advance())
+                model.values[addr] = value
+                if guarded and mapped:
+                    for buf, mapped_chunk in model.buffer_chunk.items():
+                        if mapped_chunk == chunk:
+                            model.buffer_dirty[buf] = True
+            else:
+                outcome = system.load(addr, guarded=guarded, now=advance())
+                expected = model.values.get(addr, 0.0)
+                assert outcome.value == expected, (
+                    f"{kind} at {addr:#x} returned {outcome.value}, "
+                    f"last write was {expected} (served by {outcome.served_by})")
+                if guarded and mapped:
+                    assert outcome.diverted, "guarded access missed the LM copy"
+        # The strict checker raised on any illegal transition already; the
+        # replication invariant must also hold after every step.
+        assert system.checker.all_invariants_hold()
+        assert not system.checker.violations
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, N_CHUNKS - 1),
+                          st.integers(0, WORDS_PER_CHUNK - 1)),
+                min_size=1, max_size=40))
+def test_writeback_makes_lm_writes_visible_in_sm(writes):
+    """Guarded stores into a mapped chunk become SM-visible after dma-put."""
+    system = HybridSystem(lm_size=N_BUFFERS * BUF, directory_entries=N_BUFFERS,
+                          track_protocol=True)
+    system.set_buffer_size(BUF)
+    lm_base = system.lm_virtual_base
+    chunk = writes[0][0]
+    system.dma_get(lm_base, _chunk_addr(chunk), BUF, tag=0, now=100.0)
+    system.dma_sync(None, now=200.0)
+    expected = {}
+    for i, (_, word) in enumerate(writes):
+        addr = _chunk_addr(chunk) + word * 8
+        system.store(addr, float(i + 1), guarded=True, now=300.0 + i)
+        expected[addr] = float(i + 1)
+    system.dma_put(lm_base, _chunk_addr(chunk), BUF, tag=0, now=1000.0)
+    system.dma_sync(None, now=2000.0)
+    for addr, value in expected.items():
+        assert system.read_sm_word(addr) == value
+    assert system.checker.all_invariants_hold()

@@ -1,0 +1,256 @@
+"""Tests of the sweep engine: spec hashing, the on-disk result store,
+serial-vs-parallel equivalence, machine overrides and the legacy
+ExperimentContext shim (cache-key normalization regression)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.harness.config import PTLSIM_CONFIG
+from repro.harness.runner import ExperimentContext
+from repro.harness.sweep import (
+    STORE_SCHEMA,
+    ResultStore,
+    RunRecord,
+    RunSpec,
+    SweepContext,
+    SweepSpec,
+    execute_spec,
+    main as sweep_main,
+    run_sweep,
+)
+
+
+# ------------------------------------------------------------------ spec hashing
+def test_spec_hash_stable_across_dict_ordering_and_case():
+    a = RunSpec.create("cg", "Hybrid", "TINY",
+                       machine={"directory_entries": 16, "lm_latency": 2})
+    b = RunSpec.create("CG", " hybrid ", "tiny",
+                       machine={"lm_latency": 2, "directory_entries": 16})
+    assert a == b
+    assert a.spec_hash == b.spec_hash
+
+
+def test_spec_hash_distinguishes_every_axis():
+    base = RunSpec.create("CG", "hybrid", "tiny")
+    assert base.spec_hash != RunSpec.create("IS", "hybrid", "tiny").spec_hash
+    assert base.spec_hash != RunSpec.create("CG", "cache", "tiny").spec_hash
+    assert base.spec_hash != RunSpec.create("CG", "hybrid", "small").spec_hash
+    assert base.spec_hash != RunSpec.create(
+        "CG", "hybrid", "tiny", machine={"directory_entries": 8}).spec_hash
+
+
+def test_spec_roundtrips_through_dict():
+    spec = RunSpec.create("CG", "hybrid", "tiny",
+                          machine={"memory.prefetch_enabled": False})
+    again = RunSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+    assert again == spec and again.spec_hash == spec.spec_hash
+
+
+def test_sweep_spec_cells_cartesian_product():
+    sweep = SweepSpec.create(["CG", "IS"], ["hybrid", "cache"],
+                             ["tiny"], machines=[{}, {"directory_entries": 8}])
+    cells = sweep.cells()
+    assert len(cells) == 2 * 2 * 1 * 2
+    assert len({c.spec_hash for c in cells}) == len(cells)
+
+
+# ------------------------------------------------------------- machine overrides
+def test_machine_overrides_dotted_paths():
+    machine = PTLSIM_CONFIG.with_overrides(
+        {"directory_entries": 8, "memory.prefetch_enabled": False,
+         "core.issue_width": 2})
+    assert machine.directory_entries == 8
+    assert machine.memory.prefetch_enabled is False
+    assert machine.core.issue_width == 2
+    # The base config is untouched (dataclasses.replace copies).
+    assert PTLSIM_CONFIG.directory_entries == 32
+    assert PTLSIM_CONFIG.memory.prefetch_enabled is True
+
+
+def test_machine_overrides_unknown_key_raises():
+    with pytest.raises(KeyError):
+        PTLSIM_CONFIG.with_overrides({"no_such_field": 1})
+    with pytest.raises(KeyError):
+        PTLSIM_CONFIG.with_overrides({"memory.no_such_field": 1})
+
+
+# ------------------------------------------------------------------ result store
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+def test_store_miss_then_hit(store):
+    spec = RunSpec.create("CG", "hybrid", "tiny")
+    assert store.get(spec) is None
+    record = execute_spec(spec)
+    store.put(spec, record)
+    fresh = ResultStore(store.root)
+    cached = fresh.get(spec)
+    assert cached is not None
+    assert cached.cycles == record.cycles
+    assert cached.energy == record.energy
+    assert cached.memory_stats == record.memory_stats
+    assert fresh.hits == 1 and fresh.misses == 0
+
+
+def test_store_corrupted_entry_recovers(store):
+    spec = RunSpec.create("CG", "hybrid", "tiny")
+    record = execute_spec(spec)
+    store.put(spec, record)
+    path = store.path_for(spec)
+    path.write_text("{ this is not json")
+    fresh = ResultStore(store.root)
+    assert fresh.get(spec) is None
+    assert fresh.corrupted == 1
+    assert not path.exists()  # the bad entry was dropped
+    # The engine transparently re-simulates and refills the store.
+    records = run_sweep([spec], store=fresh)
+    assert records[0].cycles == record.cycles
+    assert fresh.get(spec) is not None
+
+
+def test_store_schema_mismatch_is_a_miss(store):
+    spec = RunSpec.create("CG", "hybrid", "tiny")
+    store.put(spec, execute_spec(spec))
+    path = store.path_for(spec)
+    payload = json.loads(path.read_text())
+    payload["schema"] = STORE_SCHEMA + 1
+    path.write_text(json.dumps(payload))
+    fresh = ResultStore(store.root)
+    assert fresh.get(spec) is None
+    assert fresh.corrupted == 1
+
+
+def test_run_sweep_uses_store_across_contexts(store):
+    ctx = SweepContext(scale="tiny", store=store)
+    first = ctx.run("CG", "hybrid")
+    ctx2 = SweepContext(scale="tiny", store=ResultStore(store.root))
+    second = ctx2.run("cg", "HYBRID")  # normalized to the same cell
+    assert second.cycles == first.cycles
+    assert ctx2.store.hits == 1 and ctx2.store.writes == 0
+
+
+# ------------------------------------------------------- serial vs parallel
+def test_parallel_results_match_serial(tmp_path):
+    cells = SweepSpec.create(["CG", "IS"], ["hybrid", "cache"], ["tiny"]).cells()
+    parallel = run_sweep(cells, workers=2, store=ResultStore(tmp_path / "p"))
+    serial = run_sweep(cells, workers=1)
+    for par, ser in zip(parallel, serial):
+        assert par.cycles == ser.cycles
+        assert par.instructions == ser.instructions
+        assert par.energy == ser.energy
+        assert par.memory_stats == ser.memory_stats
+
+
+def _die_worker(payload):  # module-level: must be picklable for the pool
+    os._exit(13)  # hard-kill the worker -> BrokenProcessPool in parent
+
+
+def test_broken_pool_falls_back_to_inline(monkeypatch, tmp_path):
+    """A worker dying mid-sweep (BrokenProcessPool) must not abort the
+    sweep: the remaining cells are finished inline and stored."""
+    import repro.harness.sweep as sweep_mod
+
+    monkeypatch.setattr(sweep_mod, "_execute_payload", _die_worker)
+    store = ResultStore(tmp_path / "broken")
+    spec = RunSpec.create("CG", "hybrid", "tiny")
+    records = run_sweep([spec], workers=2, store=store)
+    assert records[0].cycles > 0
+    assert store.get(spec) is not None
+
+
+def test_cross_process_determinism():
+    """Identical results under different hash seeds (regression: benchmark
+    input data used to be seeded with the randomised ``hash(str)``)."""
+    script = ("from repro.harness.runner import run_workload;"
+              "r = run_workload('CG', mode='hybrid', scale='tiny');"
+              "print(r.cycles, r.total_energy)")
+    outputs = set()
+    for seed in ("1", "27"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.path.dirname(__file__), os.pardir, "src"),
+                        env.get("PYTHONPATH")) if p)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, f"nondeterministic across processes: {outputs}"
+
+
+# ------------------------------------------------------------------ record surface
+def test_record_matches_live_result_surface():
+    spec = RunSpec.create("CG", "hybrid", "tiny")
+    record = execute_spec(spec)
+    live = runner_mod.run_workload("CG", mode="hybrid", scale="tiny")
+    assert record.cycles == live.cycles
+    assert record.instructions == live.instructions
+    assert record.total_energy == pytest.approx(live.total_energy)
+    assert record.phase_cycles == live.phase_cycles
+    assert record.energy_groups == pytest.approx(live.energy_groups)
+    assert record.guarded_references == live.guarded_references
+    assert record.total_references == live.total_references
+    assert record.emits_guards == live.emits_guards
+    assert record.memory_stats == live.memory_stats
+
+
+# ------------------------------------------------------- ExperimentContext shim
+def test_experiment_context_normalizes_all_key_parts(monkeypatch):
+    """Regression: only the workload used to be normalized, so
+    ``run("cg", "Hybrid")`` silently re-simulated ``run("CG", "hybrid")``."""
+    calls = []
+    real = runner_mod.run_workload
+
+    def counting(workload, mode="hybrid", scale="small", **kwargs):
+        calls.append((workload, mode, scale))
+        return real(workload, mode=mode, scale=scale, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "run_workload", counting)
+    ctx = ExperimentContext(scale="Tiny")
+    first = ctx.run("CG", "hybrid")
+    second = ctx.run("cg", "Hybrid")
+    third = ctx.run(" CG ", " HYBRID ")
+    assert len(calls) == 1, f"expected one simulation, got {calls}"
+    assert first is second is third
+    assert ("CG", "hybrid", "tiny") in ctx.cached_runs()
+
+
+def test_experiment_context_passes_normalized_mode_down(monkeypatch):
+    seen = []
+    real = runner_mod.run_workload
+
+    def recording(workload, mode="hybrid", scale="small", **kwargs):
+        seen.append((workload, mode, scale))
+        return real(workload, mode=mode, scale=scale, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "run_workload", recording)
+    ExperimentContext(scale="tiny").run("cg", "CACHE")
+    assert seen == [("CG", "cache", "tiny")]
+
+
+# -------------------------------------------------------------------------- CLI
+def test_cli_smoke_and_cache_reuse(tmp_path, capsys):
+    argv = ["--workloads", "CG", "--modes", "hybrid", "--scales", "tiny",
+            "--cache-dir", str(tmp_path / "cli-cache")]
+    assert sweep_main(argv) == 0
+    out_cold = capsys.readouterr().out
+    assert "1 new" in out_cold and "CG" in out_cold
+    assert sweep_main(argv) == 0
+    out_warm = capsys.readouterr().out
+    assert "1 hit(s)" in out_warm and "0 new" in out_warm
+
+
+def test_cli_machine_override_changes_cell(tmp_path, capsys):
+    cache = str(tmp_path / "cli-cache")
+    base = ["--workloads", "CG", "--modes", "hybrid", "--scales", "tiny",
+            "--cache-dir", cache]
+    assert sweep_main(base) == 0
+    capsys.readouterr()
+    assert sweep_main(base + ["--set", "directory_entries=4"]) == 0
+    out = capsys.readouterr().out
+    assert "1 new" in out  # the override is a different content hash
