@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Benchmark the trace replay subsystem against execution-driven simulation.
+
+Measures, for every NAS workload on the hybrid machine at scale=small:
+
+* a 6-point machine-config ablation sweep run execution-driven (each point
+  builds, compiles and simulates the workload from scratch);
+* the same sweep run through trace replay (the dynamic stream is captured
+  once, then re-timed under each machine config);
+* cycle/energy identity of replay at the capture config for all NAS
+  workloads x {hybrid, cache} (the acceptance gate).
+
+Writes the numbers to ``BENCH_trace.json`` at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_trace_replay.py [--scale small]
+"""
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.harness.config import PTLSIM_CONFIG
+from repro.harness.runner import run_workload
+from repro.trace import capture_workload, replay_trace
+from repro.workloads import BENCHMARK_ORDER
+
+#: The 6-point ablation: timing-only machine parameters (cache geometry,
+#: latencies, core width/ROB, prefetching) — exactly the kind of sweep the
+#: paper's sensitivity analysis re-runs the same dynamic stream under.
+ABLATION_POINTS = [
+    {"memory.l2_size": 128 * 1024},
+    {"memory.l1_latency": 4},
+    {"memory.memory_latency": 300},
+    {"core.issue_width": 2},
+    {"core.rob_size": 64},
+    {"memory.prefetch_enabled": False},
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--output", default=None,
+                        help="output JSON path (default: BENCH_trace.json "
+                             "next to the repo root)")
+    args = parser.parse_args()
+    scale = args.scale
+    machines = [PTLSIM_CONFIG.with_overrides(point)
+                for point in ABLATION_POINTS]
+
+    report = {
+        "description": "6-point machine-config ablation sweep: "
+                       "execution-driven vs trace replay",
+        "scale": scale,
+        "mode": "hybrid",
+        "ablation_points": ABLATION_POINTS,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {},
+        "identity": {},
+    }
+
+    # -- capture (once per workload; also the identity baseline) ---------------
+    traces = {}
+    for workload in BENCHMARK_ORDER:
+        for mode in ("hybrid", "cache"):
+            start = time.perf_counter()
+            executed, trace = capture_workload(workload, mode, scale)
+            capture_wall = time.perf_counter() - start
+            replayed = replay_trace(trace)
+            identical = (
+                replayed.cycles == executed.cycles and
+                replayed.energy.as_dict() == executed.energy.as_dict() and
+                replayed.sim.memory_stats == executed.sim.memory_stats and
+                replayed.sim.core_stats == executed.sim.core_stats and
+                replayed.sim.phase_cycles == executed.sim.phase_cycles)
+            report["identity"][f"{workload}:{mode}"] = {
+                "cycle_and_energy_identical": identical,
+                "instructions": trace.instructions,
+                "capture_seconds": round(capture_wall, 3),
+                "trace_bytes": len(trace.to_bytes()),
+            }
+            print(f"capture {workload:3s} {mode:6s}: "
+                  f"{trace.instructions:>8d} instr, {capture_wall:5.2f}s, "
+                  f"identical={identical}")
+            if mode == "hybrid":
+                traces[workload] = trace
+    if not all(v["cycle_and_energy_identical"]
+               for v in report["identity"].values()):
+        print("IDENTITY FAILURE — aborting benchmark")
+        return 1
+
+    # -- execution-driven ablation sweep ---------------------------------------
+    total_exec = 0.0
+    exec_seconds = {}
+    for workload in BENCHMARK_ORDER:
+        start = time.perf_counter()
+        for machine in machines:
+            run_workload(workload, mode="hybrid", scale=scale,
+                         machine=machine)
+        wall = time.perf_counter() - start
+        exec_seconds[workload] = wall
+        total_exec += wall
+        print(f"execute {workload:3s}: 6-point sweep in {wall:6.2f}s")
+
+    # -- replay ablation sweep (fresh per-point, shared decoded trace) ----------
+    total_replay = 0.0
+    for workload in BENCHMARK_ORDER:
+        trace = traces[workload]
+        start = time.perf_counter()
+        for machine in machines:
+            replay_trace(trace, machine)
+        wall = time.perf_counter() - start
+        total_replay += wall
+        speedup = exec_seconds[workload] / wall
+        report["workloads"][workload] = {
+            "instructions": trace.instructions,
+            "exec_sweep_seconds": round(exec_seconds[workload], 3),
+            "replay_sweep_seconds": round(wall, 3),
+            "speedup": round(speedup, 2),
+        }
+        print(f"replay  {workload:3s}: 6-point sweep in {wall:6.2f}s "
+              f"({speedup:4.1f}x)")
+
+    report["total"] = {
+        "exec_sweep_seconds": round(total_exec, 3),
+        "replay_sweep_seconds": round(total_replay, 3),
+        "speedup": round(total_exec / total_replay, 2),
+    }
+    print(f"\nTOTAL: execution {total_exec:.2f}s, replay {total_replay:.2f}s "
+          f"-> {total_exec / total_replay:.1f}x")
+
+    out = Path(args.output) if args.output else \
+        Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,9 +36,10 @@ from repro.lm.local_memory import LocalMemory
 from repro.mem.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryOutcome:
-    """Result of one memory operation issued by the core."""
+    """Result of one memory operation issued by the core (allocated once per
+    memory op — slots keep it cheap)."""
 
     value: Optional[float]   # loaded value (None for stores)
     latency: float           # access latency in cycles
@@ -93,12 +94,16 @@ class HybridSystem:
                 per_line_latency=dma_per_line_latency)
             self.directory = CoherenceDirectory(directory_entries)
             self.agu = GuardedAGU(self.directory)
+            # LM range bounds, flattened for the per-access range check.
+            self._lm_lo = self.address_map.virtual_base
+            self._lm_hi = self._lm_lo + self.address_map.size
         else:
             self.address_map = None
             self.lm = None
             self.dmac = None
             self.directory = None
             self.agu = None
+            self._lm_lo = self._lm_hi = -1
         self.checker = ProtocolChecker(strict=True) if track_protocol else None
         # Activity counters
         self.loads = 0
@@ -121,7 +126,7 @@ class HybridSystem:
         return self.address_map.virtual_base
 
     def _is_lm_address(self, vaddr: int) -> bool:
-        return self.use_lm and self.address_map.contains(vaddr)
+        return self._lm_lo <= vaddr < self._lm_hi
 
     def _account(self, outcome: MemoryOutcome) -> MemoryOutcome:
         self.mem_ops += 1
@@ -134,6 +139,8 @@ class HybridSystem:
         return sm_addr & self.directory.base_mask
 
     def _apply_protocol(self, sm_addr: int, action: ProtocolAction) -> None:
+        if self.checker is None:   # the common, untracked case
+            return
         chunk = self._protocol_chunk(sm_addr)
         if chunk is not None:
             self.checker.apply(chunk, action)
@@ -143,8 +150,9 @@ class HybridSystem:
              pc: int = 0, now: float = 0.0) -> MemoryOutcome:
         """Execute a load at virtual address ``vaddr``."""
         self.loads += 1
-        # Regular access whose address already points into the LM range.
-        if self._is_lm_address(vaddr):
+        # Regular access whose address already points into the LM range
+        # (_is_lm_address, inlined on this per-instruction path).
+        if self._lm_lo <= vaddr < self._lm_hi:
             offset = self.address_map.translate(vaddr)
             value = self.lm.read(offset)
             return self._account(MemoryOutcome(value, float(self.lm.latency), "LM"))
@@ -183,7 +191,7 @@ class HybridSystem:
               pc: int = 0, now: float = 0.0) -> MemoryOutcome:
         """Execute a store of ``value`` to virtual address ``vaddr``."""
         self.stores += 1
-        if self._is_lm_address(vaddr):
+        if self._lm_lo <= vaddr < self._lm_hi:
             offset = self.address_map.translate(vaddr)
             self.lm.write(offset, value)
             self._last_store_addr = vaddr
@@ -234,6 +242,31 @@ class HybridSystem:
             # replicas).
             self._apply_protocol(vaddr, ProtocolAction.DOUBLE_STORE)
         return result
+
+    def lm_timing_access(self, vaddr: int, is_store: bool) -> float:
+        """Stat-identical LM-range access without data movement.
+
+        Reference implementation of the fast path the trace-replay engine
+        inlines (:mod:`repro.trace.replay` keeps a hand-fused copy in its hot
+        loop): updates exactly the counters the LM branches of :meth:`load` /
+        :meth:`store` update (including the double-store bookkeeping) and
+        returns the same latency, but skips reading/writing the scratchpad
+        word — data values never influence timing or activity statistics.
+        Kept callable so tests can pin the inline copy against it
+        (``tests/test_trace_replay.py``).
+        """
+        latency = float(self.lm.latency)
+        if is_store:
+            self.stores += 1
+            self.lm.count_write()
+            self._last_store_addr = vaddr
+            self._last_store_to_sm = False
+        else:
+            self.loads += 1
+            self.lm.count_read()
+        self.mem_ops += 1
+        self.total_mem_latency += latency
+        return latency
 
     def _sm_store(self, vaddr: int, value, pc: int, now: float) -> MemoryOutcome:
         result = self.hierarchy.access(vaddr, is_write=True, pc=pc, now=now)

@@ -75,8 +75,15 @@ class Core:
         return [self.system.read_sm_word(decl.base + i * WORD_SIZE)
                 for i in range(decl.length)]
 
-    def run(self, program: Program, load_data: bool = True) -> SimulationResult:
-        """Execute ``program`` to completion and return the simulation result."""
+    def run(self, program: Program, load_data: bool = True,
+            recorder=None) -> SimulationResult:
+        """Execute ``program`` to completion and return the simulation result.
+
+        ``recorder`` is an optional :class:`~repro.trace.capture.TraceRecorder`
+        that observes every retired dynamic instruction, capturing the
+        machine-config-independent stream (branch outcomes, memory addresses,
+        DMA operands) for later timing replay under other machine configs.
+        """
         if not program.is_laid_out:
             program.assign_addresses()
         if load_data:
@@ -84,6 +91,7 @@ class Core:
         executor = FunctionalExecutor(program, self.system,
                                       max_instructions=self.max_instructions)
         timing = OutOfOrderTimingModel(self.config, hierarchy=self.system.hierarchy)
+        record = recorder.record if recorder is not None else None
         while True:
             inst = executor.current_instruction()
             if inst is None:
@@ -93,6 +101,8 @@ class Core:
             if dyn is None:  # pragma: no cover - defensive
                 break
             timing.retire(dyn, now)
+            if record is not None:
+                record(dyn)
         return SimulationResult(
             cycles=timing.cycles,
             instructions=timing.committed,

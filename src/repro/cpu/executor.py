@@ -15,7 +15,7 @@ completion, directory presence stalls) sees a consistent clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.hybrid import HybridSystem, MemoryOutcome
 from repro.isa.instructions import Instruction, Opcode
@@ -40,6 +40,9 @@ class DynamicInstruction:
     branch_taken: bool = False
     next_index: int = 0             # index of the next instruction to execute
     serializing: bool = False       # drains the pipeline (dma-synch, halt)
+    #: Resolved (lm_vaddr, sm_addr, size) of a dma-get/dma-put; the trace
+    #: recorder needs the register values the command was issued with.
+    dma_args: Optional[Tuple[int, int, int]] = None
 
 
 class FunctionalExecutor:
@@ -151,12 +154,14 @@ class FunctionalExecutor:
             lm_addr = int(self._reg(inst.srcs[0]))
             sm_addr = int(self._reg(inst.srcs[1]))
             size = int(self._reg(inst.srcs[2]))
+            dyn.dma_args = (lm_addr, sm_addr, size)
             dyn.latency = self.system.dma_get(lm_addr, sm_addr, size,
                                               tag=inst.imm or 0, now=now)
         elif op is Opcode.DMA_PUT:
             lm_addr = int(self._reg(inst.srcs[0]))
             sm_addr = int(self._reg(inst.srcs[1]))
             size = int(self._reg(inst.srcs[2]))
+            dyn.dma_args = (lm_addr, sm_addr, size)
             dyn.latency = self.system.dma_put(lm_addr, sm_addr, size,
                                               tag=inst.imm or 0, now=now)
         elif op is Opcode.DMA_SYNC:

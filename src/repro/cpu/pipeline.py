@@ -20,6 +20,14 @@ exhibits on these kernels: independent instructions overlap (which is how the
 double store usually hides, Section 4.2), dependence chains and cache misses
 expose their latency, and extra instructions consume issue bandwidth (which
 is why the double store costs up to 28% in the microbenchmark's tight loop).
+
+.. note::
+   The trace-replay engine (:mod:`repro.trace.replay`) inlines a
+   line-by-line transcription of :meth:`OutOfOrderTimingModel.issue_estimate`
+   and :meth:`OutOfOrderTimingModel.retire` over the same component state;
+   replay must stay cycle-identical to this model (enforced by
+   ``tests/test_trace_replay.py``), so any change here must be mirrored
+   there.
 """
 
 from __future__ import annotations

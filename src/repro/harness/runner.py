@@ -45,6 +45,10 @@ class RunResult:
     sim: SimulationResult
     energy: EnergyBreakdown
     system: HybridSystem
+    #: Scale the workload was built at ("-" for raw programs, which have no
+    #: scale axis); kept so :meth:`to_record` can emit a normalised record
+    #: even when no :class:`~repro.harness.sweep.RunSpec` is supplied.
+    scale: str = "-"
 
     @property
     def cycles(self) -> float:
@@ -88,16 +92,35 @@ class RunResult:
         return self.compiled.total_references if self.compiled else 0
 
     def to_record(self, spec=None, sim_wall_seconds: float = 0.0):
-        """Flatten this live result into a plain-data sweep record."""
-        from repro.harness.sweep import RunRecord
+        """Flatten this live result into a plain-data sweep record.
+
+        Without an explicit ``spec`` a normalised one is synthesised from the
+        result's own (workload, mode, scale) via
+        :meth:`ExperimentContext.normalize_key`, so stand-alone records carry
+        a real scale and spec hash instead of empty placeholders.
+        """
+        from repro.harness.sweep import RunRecord, RunSpec
+        if spec is None:
+            if self.compiled is not None:
+                workload, mode, scale = ExperimentContext.normalize_key(
+                    self.workload, self.mode, self.scale or "-")
+                kind = "kernel"
+            else:
+                # Raw programs (microbenchmarks, hand-built tests) keep their
+                # label's case; they are not cells of the kernel matrix.
+                workload = self.workload.strip()
+                mode = self.mode.strip().lower()
+                scale = (self.scale or "-").strip().lower()
+                kind = "program"
+            spec = RunSpec.create(workload, mode, scale, kind=kind)
         return RunRecord(
-            workload=spec.workload if spec else self.workload,
-            mode=spec.mode if spec else self.mode,
-            scale=spec.scale if spec else "",
-            kind=spec.kind if spec else "kernel",
-            spec_hash=spec.spec_hash if spec else "",
-            machine_overrides=dict(spec.machine) if spec else {},
-            params=dict(spec.params) if spec else {},
+            workload=spec.workload,
+            mode=spec.mode,
+            scale=spec.scale,
+            kind=spec.kind,
+            spec_hash=spec.spec_hash,
+            machine_overrides=dict(spec.machine),
+            params=dict(spec.params),
             cycles=self.sim.cycles,
             instructions=self.sim.instructions,
             phase_cycles=dict(self.sim.phase_cycles),
@@ -116,12 +139,13 @@ class RunResult:
 def run_program(program: Program, mode: str = "hybrid",
                 machine: Optional[MachineConfig] = None,
                 workload: str = "program",
-                track_protocol: bool = False) -> RunResult:
+                track_protocol: bool = False,
+                recorder=None) -> RunResult:
     """Run an already-built program on the system for ``mode``."""
     machine = machine or PTLSIM_CONFIG
     system = build_system(mode, machine, track_protocol=track_protocol)
     core = Core(system, config=core_config_for(machine))
-    sim = core.run(program)
+    sim = core.run(program, recorder=recorder)
     energy = EnergyModel(machine.energy).compute(sim)
     return RunResult(workload=workload, mode=mode, compiled=None, sim=sim,
                      energy=energy, system=system)
@@ -129,26 +153,37 @@ def run_program(program: Program, mode: str = "hybrid",
 
 def run_kernel(kernel: Kernel, mode: str = "hybrid",
                machine: Optional[MachineConfig] = None,
-               track_protocol: bool = False) -> RunResult:
+               track_protocol: bool = False,
+               scale: str = "-",
+               recorder=None) -> RunResult:
     """Compile ``kernel`` for ``mode`` and run it."""
     machine = machine or PTLSIM_CONFIG
     compiled = compile_kernel(kernel, mode=mode, lm_size=machine.lm_size,
                               max_buffers=machine.directory_entries)
     system = build_system(mode, machine, track_protocol=track_protocol)
     core = Core(system, config=core_config_for(machine))
-    sim = core.run(compiled.program)
+    sim = core.run(compiled.program, recorder=recorder)
     energy = EnergyModel(machine.energy).compute(sim)
     return RunResult(workload=kernel.name, mode=mode, compiled=compiled, sim=sim,
-                     energy=energy, system=system)
+                     energy=energy, system=system, scale=scale)
 
 
 def run_workload(name: str, mode: str = "hybrid", scale: str = "small",
                  machine: Optional[MachineConfig] = None,
-                 track_protocol: bool = False) -> RunResult:
-    """Build, compile and run the NAS-like kernel ``name``."""
+                 track_protocol: bool = False,
+                 recorder=None) -> RunResult:
+    """Build, compile and run the NAS-like kernel ``name``.
+
+    Mode and scale are normalised here (the workload registry already
+    normalises the name), so ``run_workload("cg", "Hybrid", "TINY")`` is the
+    same run as ``run_workload("CG", "hybrid", "tiny")``.
+    """
+    mode = mode.strip().lower()
+    scale = scale.strip().lower()
     kernel = get_workload(name, scale)
     return run_kernel(kernel, mode=mode, machine=machine,
-                      track_protocol=track_protocol)
+                      track_protocol=track_protocol, scale=scale,
+                      recorder=recorder)
 
 
 class ExperimentContext:

@@ -87,6 +87,12 @@ class RunSpec:
     kind: str = "kernel"
     params: _OverrideItems = ()
 
+    #: Spec kinds the executor understands.  ``"replay"`` is a kernel cell
+    #: resolved through the trace subsystem: the dynamic stream is captured
+    #: once per (workload, mode, scale, functional machine parameters) and
+    #: re-timed under this cell's machine overrides (see :mod:`repro.trace`).
+    KINDS = ("kernel", "micro", "replay")
+
     @classmethod
     def create(cls, workload: str, mode: str, scale: str = "small",
                machine: Optional[Mapping[str, Any]] = None,
@@ -94,7 +100,10 @@ class RunSpec:
                params: Optional[Mapping[str, Any]] = None) -> "RunSpec":
         """Build a spec with every key part normalised (case, whitespace)."""
         return cls(
-            workload=workload.strip().upper() if kind == "kernel" else workload.strip(),
+            # Replay cells are kernel cells resolved through the trace
+            # subsystem, so they normalise (and hash) identically.
+            workload=(workload.strip().upper() if kind in ("kernel", "replay")
+                      else workload.strip()),
             mode=mode.strip().lower(),
             scale=scale.strip().lower(),
             machine=_freeze_mapping(machine),
@@ -319,6 +328,45 @@ class ResultStore:
                     pass
         return removed
 
+    def prune(self) -> int:
+        """Delete entries whose on-disk schema is stale (or unreadable).
+
+        Bumping :data:`STORE_SCHEMA` turns old entries into permanent misses
+        that :meth:`get` never touches again (their hashes embed the old
+        schema); this sweeps those dead files out.  Returns the number of
+        files removed.
+        """
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    with open(entry, "r", encoding="utf-8") as fh:
+                        stale = json.load(fh).get("schema") != STORE_SCHEMA
+                except (OSError, ValueError):
+                    stale = True
+                if stale:
+                    try:
+                        entry.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def disk_stats(self) -> Dict[str, int]:
+        """On-disk shape of the store: entries, bytes, stale-schema files."""
+        entries = stale = total = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    total += entry.stat().st_size
+                    with open(entry, "r", encoding="utf-8") as fh:
+                        if json.load(fh).get("schema") != STORE_SCHEMA:
+                            stale += 1
+                except (OSError, ValueError):
+                    stale += 1
+                entries += 1
+        return {"entries": entries, "bytes": total, "stale_schema": stale}
+
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "corrupted": self.corrupted, "writes": self.writes}
@@ -326,8 +374,14 @@ class ResultStore:
 
 # ----------------------------------------------------------------------- execution
 def execute_spec(spec: RunSpec,
-                 base_machine: Optional[MachineConfig] = None) -> RunRecord:
-    """Simulate one cell in-process and return its plain-data record."""
+                 base_machine: Optional[MachineConfig] = None,
+                 trace_root: Optional[str] = None) -> RunRecord:
+    """Simulate one cell in-process and return its plain-data record.
+
+    ``trace_root`` points replay cells at the trace store living under a
+    specific cache root; with ``trace_root=None`` (e.g. a ``--no-cache``
+    sweep) captured traces stay in memory and nothing touches the disk.
+    """
     # Imported here (not at module top) to keep worker-process start cheap
     # and to avoid an import cycle with repro.harness.runner.
     from repro.harness.runner import run_program, run_workload
@@ -347,6 +401,16 @@ def execute_spec(spec: RunSpec,
     elif spec.kind == "kernel":
         result = run_workload(spec.workload, mode=spec.mode, scale=spec.scale,
                               machine=machine)
+    elif spec.kind == "replay":
+        # Capture-then-replay through the trace store that lives alongside
+        # this result store: the first cell of a (workload, mode, scale)
+        # family pays one execution-driven capture, every other machine
+        # config re-times the shared trace.
+        from repro.trace import run_replay_spec
+        from repro.trace.store import EphemeralTraceStore, TraceStore
+        tstore = (TraceStore(trace_root) if trace_root is not None
+                  else EphemeralTraceStore())
+        result = run_replay_spec(spec, base_machine=base_machine, store=tstore)
     else:
         raise ValueError(f"unknown spec kind {spec.kind!r}")
     wall = time.perf_counter() - start
@@ -355,8 +419,8 @@ def execute_spec(spec: RunSpec,
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool entry point: spec dict in, record dict out (picklable)."""
-    spec = RunSpec.from_dict(payload)
-    return execute_spec(spec).as_dict()
+    spec = RunSpec.from_dict(payload["spec"])
+    return execute_spec(spec, trace_root=payload.get("trace_root")).as_dict()
 
 
 def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
@@ -397,11 +461,14 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
             f"with {workers if use_pool else 1} worker(s)"
             + (" (inline: custom base machine)"
                if workers > 1 and not use_pool else ""))
+    trace_root = str(store.root) if store is not None else None
     if misses and use_pool:
         import concurrent.futures as cf
         try:
             with cf.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_execute_payload, spec.as_dict()): spec
+                futures = {pool.submit(_execute_payload,
+                                       {"spec": spec.as_dict(),
+                                        "trace_root": trace_root}): spec
                            for spec in misses}
                 for future in cf.as_completed(futures):
                     spec = futures[future]
@@ -413,7 +480,7 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
             say(f"sweep: process pool failed ({exc!r}); finishing inline")
     for spec in misses:  # serial path (workers==1, custom machine, or fallback)
         if spec not in records:  # skip cells a failed pool already finished
-            finish(spec, execute_spec(spec, base_machine))
+            finish(spec, execute_spec(spec, base_machine, trace_root=trace_root))
     return [records[spec] for spec in specs]
 
 
@@ -431,17 +498,24 @@ class SweepContext:
     def __init__(self, scale: str = "small",
                  machine_overrides: Optional[Mapping[str, Any]] = None,
                  store: Optional[ResultStore] = None,
-                 workers: int = 1):
+                 workers: int = 1,
+                 replay: bool = False):
         self.scale = scale.strip().lower()
         self.machine_overrides = dict(machine_overrides or {})
         self.store = store
         self.workers = max(1, workers)
+        #: With ``replay=True`` kernel cells resolve through the trace
+        #: subsystem (capture once, re-time per machine config) — the results
+        #: are cycle-identical to execution-driven simulation, so this is a
+        #: pure speed knob for machine-override sweeps.
+        self.replay = bool(replay)
         self._records: Dict[RunSpec, RunRecord] = {}
 
     # -- spec helpers --------------------------------------------------------------
     def _kernel_spec(self, workload: str, mode: str) -> RunSpec:
         return RunSpec.create(workload, mode, self.scale,
-                              machine=self.machine_overrides)
+                              machine=self.machine_overrides,
+                              kind="replay" if self.replay else "kernel")
 
     def micro_spec(self, micro_mode: str, guarded_fraction: float,
                    iterations: int, unroll: int,
@@ -477,9 +551,9 @@ class SweepContext:
     def prefetch(self, workloads: Sequence[str], modes: Sequence[str],
                  echo=None) -> List[RunRecord]:
         """Resolve the (workloads x modes) block up front, in parallel."""
-        sweep = SweepSpec.create(workloads, modes, (self.scale,),
-                                 machines=[self.machine_overrides])
-        return self.run_specs(sweep.cells(), echo=echo)
+        specs = [self._kernel_spec(workload, mode)
+                 for workload in workloads for mode in modes]
+        return self.run_specs(specs, echo=echo)
 
     def cached_runs(self) -> Dict[Tuple[str, str, str], RunRecord]:
         """Resolved cells keyed by (workload, mode, scale), legacy-shaped."""
@@ -531,6 +605,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "--set memory.prefetch_enabled=false)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for cache misses (default 1)")
+    parser.add_argument("--replay", action="store_true",
+                        help="resolve kernel cells through the trace "
+                             "subsystem: capture each (workload, mode, "
+                             "scale) stream once, re-time it per machine "
+                             "config (cycle-identical, several times faster)")
     parser.add_argument("--cache-dir", default=None,
                         help=f"result-store directory (default "
                              f"$REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})")
@@ -538,6 +617,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="do not read or write the result store")
     parser.add_argument("--clear-cache", action="store_true",
                         help="empty the result store before running")
+    parser.add_argument("--prune", action="store_true",
+                        help="delete stale-schema store entries before running")
+    parser.add_argument("--stats", action="store_true",
+                        help="print result-store statistics and exit")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="also dump the records to this JSON file")
     args = parser.parse_args(argv)
@@ -547,10 +630,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workloads=args.workloads.split(","), modes=args.modes.split(","),
         scales=args.scales.split(","), machines=[overrides])
     store = None if args.no_cache else ResultStore(args.cache_dir)
+    if args.stats:
+        if store is None:
+            raise SystemExit("--stats is meaningless with --no-cache")
+        disk = store.disk_stats()
+        print(f"result store at {store.root}: {disk['entries']} entr"
+              f"{'y' if disk['entries'] == 1 else 'ies'}, {disk['bytes']} "
+              f"bytes, {disk['stale_schema']} stale-schema file(s) "
+              f"(schema {STORE_SCHEMA})")
+        from repro.trace import TraceStore
+        traces = TraceStore(store.root)
+        tdisk = traces.disk_stats()
+        print(f"trace store at {traces.root}: {tdisk['entries']} trace(s), "
+              f"{tdisk['bytes']} bytes")
+        return 0
     if store is not None and args.clear_cache:
         print(f"cleared {store.clear()} store entries under {store.root}")
+    if store is not None and args.prune:
+        print(f"pruned {store.prune()} stale store entries under {store.root}")
 
     cells = sweep.cells()
+    if args.replay:
+        cells = [RunSpec.create(c.workload, c.mode, c.scale,
+                                machine=dict(c.machine), kind="replay")
+                 for c in cells]
     start = time.perf_counter()
     try:
         records = run_sweep(cells, workers=args.workers, store=store, echo=print)

@@ -25,9 +25,10 @@ from repro.mem.mshr import MSHRFile
 from repro.mem.prefetcher import StreamPrefetcher
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
-    """Outcome of a demand access."""
+    """Outcome of a demand access (allocated once per access — slots keep it
+    cheap)."""
 
     latency: float
     level: str  # "L1", "L2", "L3" or "MEM"
@@ -93,18 +94,20 @@ class MemoryHierarchy:
         self.demand_accesses = 0
         self.total_latency = 0.0
         self.icache_accesses = 0
+        # Flattened per-access constants (the demand path runs per retired
+        # memory instruction).
+        self._prefetch_enabled = c.prefetch_enabled
+        self._l1_latency = float(c.l1_latency)
 
     # -- demand path -----------------------------------------------------------
     def access(self, addr: int, is_write: bool, pc: int = 0,
                now: float = 0.0) -> AccessResult:
         """Demand access from the core.  Returns latency and serving level."""
         self.demand_accesses += 1
-        c = self.config
-        line = self.l1.line_address(addr)
 
         hit_l1 = self.l1.access(addr, is_write)
         if hit_l1:
-            result = AccessResult(latency=float(c.l1_latency), level="L1")
+            result = AccessResult(latency=self._l1_latency, level="L1")
             if is_write:
                 # Write-through L1: propagate the write to L2 off the critical
                 # path (write buffer), updating L2 state if the line is there.
@@ -113,7 +116,7 @@ class MemoryHierarchy:
             result = self._miss_path(addr, is_write, now)
         # Train the prefetcher on every demand access to the L1D, like an
         # IP-based stream prefetcher observing the load/store stream.
-        if c.prefetch_enabled:
+        if self._prefetch_enabled:
             for pf_line in self.prefetcher.train(pc, addr):
                 self._prefetch_fill(pf_line)
         self.total_latency += result.latency

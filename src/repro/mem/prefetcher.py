@@ -15,7 +15,7 @@ prefetcher (Section 4.3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
 
 
 class _StreamEntry:
@@ -51,42 +51,38 @@ class StreamPrefetcher:
         self.degree = degree
         self.distance = distance
         self.line_size = line_size
-        self._table: Dict[int, _StreamEntry] = {}
-        self._lru: List[int] = []
+        # PC -> entry, ordered LRU-first (the dict doubles as the LRU list;
+        # the separate O(n) recency list was a measured hot path).
+        self._table: "OrderedDict[int, _StreamEntry]" = OrderedDict()
         self.trainings = 0
         self.issued = 0
         self.collisions = 0
 
-    def _touch(self, pc: int) -> None:
-        if pc in self._lru:
-            self._lru.remove(pc)
-        self._lru.append(pc)
-
-    def train(self, pc: int, addr: int) -> List[int]:
-        """Observe a demand access and return line addresses to prefetch.
+    def train(self, pc: int, addr: int):
+        """Observe a demand access; returns line addresses to prefetch.
 
         The detector works at cache-line granularity (like hardware stream
         prefetchers): repeated accesses inside the same line keep the stream
         alive without perturbing the detected stride, and once two identical
         line-to-line strides are seen the stream prefetches ``degree`` lines
-        starting ``distance`` strides ahead of the demand access.
+        starting ``distance`` strides ahead of the demand access.  The
+        no-prefetch paths return an empty tuple (not a fresh list): this runs
+        once per demand access and the allocation was measurable.
         """
         self.trainings += 1
         line_addr = addr - (addr % self.line_size)
-        entry = self._table.get(pc)
+        table = self._table
+        entry = table.get(pc)
         if entry is None:
-            if len(self._table) >= self.table_size:
-                victim = self._lru.pop(0)
-                del self._table[victim]
+            if len(table) >= self.table_size:
+                table.popitem(last=False)
                 self.collisions += 1
-            entry = _StreamEntry(line_addr)
-            self._table[pc] = entry
-            self._touch(pc)
-            return []
-        self._touch(pc)
+            table[pc] = _StreamEntry(line_addr)
+            return ()
+        table.move_to_end(pc)
         stride = line_addr - entry.last_addr
         if stride == 0:
-            return []
+            return ()
         if stride == entry.stride:
             entry.confidence = min(entry.confidence + 1, 3)
         else:
@@ -94,7 +90,7 @@ class StreamPrefetcher:
             entry.confidence = 0
         entry.last_addr = line_addr
         if entry.confidence < 1:
-            return []
+            return ()
         prefetches = []
         base = line_addr + entry.stride * self.distance
         for i in range(1, self.degree + 1):
@@ -107,7 +103,6 @@ class StreamPrefetcher:
 
     def reset(self) -> None:
         self._table.clear()
-        self._lru.clear()
         self.trainings = 0
         self.issued = 0
         self.collisions = 0

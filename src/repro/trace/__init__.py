@@ -1,0 +1,119 @@
+"""Trace capture & timing replay for the evaluation matrix.
+
+The paper's evaluation re-runs the *same* dynamic instruction/memory stream
+under many machine parameters: the compiled kernel and its retired stream
+depend only on (workload, mode, scale) plus the two functional machine
+parameters (``lm_size``, ``directory_entries``) — never on cache sizes,
+latencies or functional-unit counts.  This package exploits that:
+
+* :mod:`repro.trace.capture` records the stream once, during an ordinary
+  execution-driven run (``Core.run(recorder=...)``);
+* :mod:`repro.trace.format` defines the compact, versioned,
+  machine-config-independent artifact (branch outcomes + memory addresses +
+  DMA operands) and its content hashing;
+* :mod:`repro.trace.store` keeps traces content-addressed on disk alongside
+  the sweep engine's result store;
+* :mod:`repro.trace.replay` re-times a trace under any machine configuration
+  by driving the real memory hierarchy, directory and FU/ROB/LSQ/predictor
+  models from the recorded stream — cycle-identical at the capture config,
+  several times faster than execution because the whole functional frontend
+  (fetch/decode/register file/ALU evaluation/compile) is skipped.
+
+``RunSpec(kind="replay")`` cells in :mod:`repro.harness.sweep` resolve
+through :func:`run_replay_spec` (capture-then-replay, both stores consulted),
+and ``python -m repro.trace`` offers ``capture`` / ``replay`` / ``ls``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.trace.format import (
+    TRACE_SCHEMA,
+    Trace,
+    TraceError,
+    TraceKey,
+    program_fingerprint,
+)
+from repro.trace.capture import TraceRecorder, capture_micro, capture_workload
+from repro.trace.replay import (
+    ReplayValidityError,
+    check_replay_machine,
+    replay_trace,
+)
+from repro.trace.store import TraceStore
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Trace",
+    "TraceError",
+    "TraceKey",
+    "TraceRecorder",
+    "TraceStore",
+    "ReplayValidityError",
+    "capture_micro",
+    "capture_workload",
+    "check_replay_machine",
+    "ensure_trace",
+    "program_fingerprint",
+    "replay_trace",
+    "run_replay_spec",
+]
+
+
+def ensure_trace(key: TraceKey, store: Optional[TraceStore] = None,
+                 capture_machine=None) -> Tuple[Trace, Optional[object]]:
+    """Fetch the trace for ``key`` from the store, capturing it if missing.
+
+    Returns ``(trace, capture_result)`` where ``capture_result`` is the live
+    :class:`~repro.harness.runner.RunResult` of the capture run when one had
+    to happen now (``None`` on a store hit).  Only kernel-family keys can be
+    captured on demand; micro traces come from :func:`capture_micro`.
+    """
+    from repro.harness.config import PTLSIM_CONFIG
+    store = store if store is not None else TraceStore()
+    trace = store.get(key)
+    if trace is not None:
+        return trace, None
+    if key.kind != "kernel":
+        raise TraceError(
+            f"no stored trace for {key.label} and only kernel traces can be "
+            "captured on demand")
+    base = capture_machine or PTLSIM_CONFIG
+    machine = dataclasses.replace(base, lm_size=key.lm_size,
+                                  directory_entries=key.directory_entries)
+    result, trace = capture_workload(key.workload, key.mode, key.scale,
+                                     machine=machine)
+    store.put(trace)
+    return trace, result
+
+
+def run_replay_spec(spec, base_machine=None, store: Optional[TraceStore] = None):
+    """Resolve a ``RunSpec(kind="replay")`` cell: capture once, then replay.
+
+    The trace is keyed by the cell's (workload, mode, scale) and the
+    *functional* parameters of its resolved machine; the capture run uses the
+    base machine with exactly those functional parameters, so any
+    timing-parameter override replays against the shared trace.  When the
+    capture configuration already equals the requested machine the capture
+    result is returned directly (replaying it would reproduce the same
+    numbers cycle for cycle).
+
+    Returns a live :class:`~repro.harness.runner.RunResult`.
+    """
+    from repro.harness.config import PTLSIM_CONFIG
+    machine = spec.resolve_machine(base_machine)
+    key = TraceKey.create(spec.workload, spec.mode, spec.scale, kind="kernel",
+                          lm_size=machine.lm_size,
+                          directory_entries=machine.directory_entries)
+    check_replay_machine(key, machine)
+    trace, captured = ensure_trace(key, store=store,
+                                   capture_machine=base_machine or PTLSIM_CONFIG)
+    if captured is not None:
+        capture_machine = dataclasses.replace(
+            base_machine or PTLSIM_CONFIG, lm_size=key.lm_size,
+            directory_entries=key.directory_entries)
+        if capture_machine == machine:
+            return captured
+    return replay_trace(trace, machine)

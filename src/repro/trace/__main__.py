@@ -1,0 +1,173 @@
+"""Command line for the trace subsystem: ``python -m repro.trace``.
+
+Subcommands::
+
+    capture   record the dynamic stream of one (workload, mode, scale) cell
+    replay    re-time a captured stream under machine-config overrides
+    ls        list the traces held in the store
+
+Examples::
+
+    python -m repro.trace capture --workload CG --mode hybrid --scale small
+    python -m repro.trace replay --workload CG --mode hybrid --scale small \\
+        --set memory.l2_size=131072 --set core.issue_width=2
+    python -m repro.trace ls
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.harness.config import PTLSIM_CONFIG
+from repro.harness.sweep import _parse_overrides
+from repro.trace import (
+    ReplayValidityError,
+    TraceError,
+    TraceKey,
+    TraceStore,
+    capture_workload,
+    ensure_trace,
+    replay_trace,
+)
+
+
+def _add_cell_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="CG", help="NAS kernel name")
+    parser.add_argument("--mode", default="hybrid",
+                        help="system mode (hybrid/hybrid-oracle/hybrid-naive/cache)")
+    parser.add_argument("--scale", default="small", help="tiny/small/medium")
+    parser.add_argument("--set", dest="overrides", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="machine-config override (dotted paths allowed)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root holding the trace store "
+                             "(default $REPRO_CACHE_DIR or .repro-cache)")
+
+
+def _summary(label: str, result) -> str:
+    return (f"{label:<10s} cycles={result.cycles:>12.0f} "
+            f"instr={result.instructions:>9d} ipc={result.sim.ipc:>5.2f} "
+            f"energy={result.total_energy:>12.0f} nJ")
+
+
+def _cmd_capture(args) -> int:
+    machine = PTLSIM_CONFIG.with_overrides(_parse_overrides(args.overrides))
+    store = TraceStore(args.cache_dir)
+    key = TraceKey.create(args.workload, args.mode, args.scale, kind="kernel",
+                          lm_size=machine.lm_size,
+                          directory_entries=machine.directory_entries)
+    if not args.force:
+        existing = store.get(key)
+        if existing is not None:
+            print(f"trace {key.label} already captured "
+                  f"({existing.instructions} instructions, "
+                  f"hash {existing.content_hash}); use --force to re-capture")
+            return 0
+    start = time.perf_counter()
+    result, trace = capture_workload(args.workload, args.mode, args.scale,
+                                     machine=machine)
+    wall = time.perf_counter() - start
+    path = store.put(trace)
+    print(_summary("capture", result))
+    print(f"trace      {key.label}: {trace.instructions} instructions, "
+          f"{trace.branch_count} branches, {trace.mem_count} memory ops, "
+          f"{trace.dma_count} DMA commands")
+    print(f"artifact   {path} ({path.stat().st_size} bytes, "
+          f"hash {trace.content_hash}, captured in {wall:.2f}s)")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    overrides = _parse_overrides(args.overrides)
+    machine = PTLSIM_CONFIG.with_overrides(overrides)
+    store = TraceStore(args.cache_dir)
+    key = TraceKey.create(args.workload, args.mode, args.scale, kind="kernel",
+                          lm_size=machine.lm_size,
+                          directory_entries=machine.directory_entries)
+    trace, captured = ensure_trace(key, store=store)
+    if captured is not None:
+        print(f"captured {key.label} first (no stored trace)")
+    start = time.perf_counter()
+    result = replay_trace(trace, machine)
+    wall = time.perf_counter() - start
+    print(_summary("replay", result))
+    if overrides:
+        print(f"overrides  {', '.join(f'{k}={v}' for k, v in sorted(overrides.items()))}")
+    print(f"replayed   {trace.instructions} instructions in {wall:.2f}s")
+    if args.verify:
+        start = time.perf_counter()
+        executed, _ = capture_workload(args.workload, args.mode, args.scale,
+                                       machine=machine)
+        exec_wall = time.perf_counter() - start
+        print(_summary("execute", executed))
+        identical = (executed.cycles == result.cycles and
+                     executed.total_energy == result.total_energy and
+                     executed.sim.memory_stats == result.sim.memory_stats)
+        print(f"verify     execution-driven run took {exec_wall:.2f}s "
+              f"({exec_wall / wall:.1f}x replay); "
+              f"{'cycle- and energy-identical' if identical else 'MISMATCH'}")
+        if not identical:
+            return 1
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    store = TraceStore(args.cache_dir)
+    rows = list(store.entries())
+    if not rows:
+        print(f"no traces under {store.root}")
+        return 0
+    print(f"{'Workload':<10s} {'Mode':<14s} {'Scale':<7s} {'LM':>7s} "
+          f"{'Dir':>4s} {'Instr':>10s} {'Branches':>9s} {'MemOps':>9s} "
+          f"{'Bytes':>10s}  {'Hash':<16s}")
+    print("-" * 104)
+    for path, trace in rows:
+        k = trace.key
+        print(f"{k.workload:<10s} {k.mode:<14s} {k.scale:<7s} "
+              f"{k.lm_size // 1024:>6d}K {k.directory_entries:>4d} "
+              f"{trace.instructions:>10d} {trace.branch_count:>9d} "
+              f"{trace.mem_count:>9d} {path.stat().st_size:>10d}  "
+              f"{trace.content_hash:<16s}")
+    stats = store.disk_stats()
+    print(f"\n{stats['entries']} trace(s), {stats['bytes']} bytes under {store.root}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Capture, replay and inspect dynamic-stream traces.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_capture = sub.add_parser("capture", help="record one cell's trace")
+    _add_cell_args(p_capture)
+    p_capture.add_argument("--force", action="store_true",
+                           help="re-capture even if the trace exists")
+    p_capture.set_defaults(func=_cmd_capture)
+
+    p_replay = sub.add_parser("replay", help="re-time a captured trace")
+    _add_cell_args(p_replay)
+    p_replay.add_argument("--verify", action="store_true",
+                          help="also run execution-driven and check identity")
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_ls = sub.add_parser("ls", help="list stored traces")
+    p_ls.add_argument("--cache-dir", default=None,
+                      help="cache root (default $REPRO_CACHE_DIR or .repro-cache)")
+    p_ls.set_defaults(func=_cmd_ls)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (TraceError, ReplayValidityError, KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,94 @@
+"""Trace capture: record the dynamic stream of one execution-driven run.
+
+:class:`TraceRecorder` hangs off :meth:`repro.cpu.core.Core.run` and records,
+per retired dynamic instruction, only what the functional frontend resolved
+and the machine configuration cannot change: conditional-branch outcomes,
+memory addresses and DMA operands (see :mod:`repro.trace.format`).
+
+:func:`capture_workload` / :func:`capture_micro` run a cell execution-driven
+*once* with a recorder attached and return both the live result and the
+finished :class:`~repro.trace.format.Trace`; the result is exactly what the
+un-instrumented run would have produced, so capture doubles as a normal
+simulation of the capture configuration.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Tuple
+
+from repro.harness.config import MachineConfig, PTLSIM_CONFIG
+from repro.harness.runner import RunResult, run_program, run_workload
+from repro.trace.format import Trace, TraceKey, pack_bits, program_fingerprint
+
+
+class TraceRecorder:
+    """Accumulates the machine-config-independent event stream of one run."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.branches: list = []      # bool per executed conditional branch
+        self.addresses: list = []     # vaddr per executed load/store
+        self.dma: list = []           # flattened (lm_vaddr, sm_addr, size)
+
+    def record(self, dyn) -> None:
+        """Observe one retired dynamic instruction (called from ``Core.run``)."""
+        inst = dyn.inst
+        if inst.is_memory:
+            self.addresses.append(dyn.address)
+        elif inst.is_conditional_branch:
+            self.branches.append(dyn.branch_taken)
+        elif dyn.dma_args is not None:
+            self.dma.extend(dyn.dma_args)
+        self.count += 1
+
+    def finish(self, key: TraceKey, fingerprint: str) -> Trace:
+        """Freeze the recorded stream into a :class:`Trace`."""
+        return Trace(
+            key=key,
+            program_fingerprint=fingerprint,
+            instructions=self.count,
+            branch_count=len(self.branches),
+            branch_bits=pack_bits(self.branches),
+            mem_addrs=array("Q", self.addresses),
+            dma_words=array("q", self.dma),
+        )
+
+
+def capture_workload(workload: str, mode: str = "hybrid",
+                     scale: str = "small",
+                     machine: Optional[MachineConfig] = None
+                     ) -> Tuple[RunResult, Trace]:
+    """Run a NAS-like kernel execution-driven and capture its trace."""
+    machine = machine or PTLSIM_CONFIG
+    recorder = TraceRecorder()
+    result = run_workload(workload, mode=mode, scale=scale, machine=machine,
+                          recorder=recorder)
+    key = TraceKey.create(workload, mode, scale, kind="kernel",
+                          lm_size=machine.lm_size,
+                          directory_entries=machine.directory_entries)
+    fingerprint = program_fingerprint(result.compiled.program)
+    return result, recorder.finish(key, fingerprint)
+
+
+def capture_micro(micro_mode: str, guarded_fraction: float = 1.0,
+                  iterations: int = 200, unroll: int = 1,
+                  system_mode: str = "hybrid",
+                  machine: Optional[MachineConfig] = None
+                  ) -> Tuple[RunResult, Trace]:
+    """Run the Table 2 microbenchmark execution-driven and capture its trace."""
+    from repro.workloads.microbenchmark import build_microbenchmark
+    machine = machine or PTLSIM_CONFIG
+    params = {"micro_mode": micro_mode,
+              "guarded_fraction": float(guarded_fraction),
+              "iterations": int(iterations), "unroll": int(unroll)}
+    program = build_microbenchmark(micro_mode, float(guarded_fraction),
+                                   int(iterations), int(unroll))
+    recorder = TraceRecorder()
+    result = run_program(program, mode=system_mode, machine=machine,
+                         workload=f"micro-{micro_mode}", recorder=recorder)
+    key = TraceKey.create(f"micro-{micro_mode}", system_mode, "-",
+                          kind="micro", params=params,
+                          lm_size=machine.lm_size,
+                          directory_entries=machine.directory_entries)
+    return result, recorder.finish(key, program_fingerprint(program))

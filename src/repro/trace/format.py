@@ -1,0 +1,260 @@
+"""The on-disk trace format: versioned, compact, machine-config-independent.
+
+A trace records the *dynamic functional stream* of one simulation — exactly
+the information the execution frontend produces and the timing models
+consume, and nothing the machine configuration influences:
+
+* **branch outcomes** — one bit per executed conditional branch, in
+  program order (unconditional jumps are static and not recorded);
+* **memory addresses** — one 64-bit virtual address per executed load or
+  store (guardedness, collapse marks and oracle hints are static
+  instruction attributes and therefore not recorded);
+* **DMA operands** — the ``(lm_vaddr, sm_addr, size)`` register triple of
+  every executed ``dma-get``/``dma-put`` (tags are static immediates).
+
+Everything else about the dynamic stream — the instruction sequence itself,
+phases, functional-unit classes, guard flags — is reconstructed at replay
+time by walking the *static* program with the recorded branch outcomes, so
+traces stay small (a few bits/bytes per retired instruction).
+
+The stream is independent of cache sizes, latencies, functional-unit counts
+and every other *timing* parameter, but it does depend on the *functional*
+machine parameters that shape compilation and divert behaviour: the local
+memory size and the number of directory entries.  Those two values are part
+of :class:`TraceKey` and replay refuses machine configurations that change
+them (see :mod:`repro.trace.replay`).
+
+Serialisation is a little-endian binary layout::
+
+    b"RPTR" | u16 schema | u32 header_len | header JSON | branch bits
+            | mem addresses (u64 array) | dma operands (i64 array)
+
+The header JSON is canonical (sorted keys), so the content hash of a trace
+— SHA-256 over the serialised bytes — is deterministic across processes and
+platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import sys
+from array import array
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+#: Version of the trace format; a mismatch turns a stored trace into a miss.
+TRACE_SCHEMA = 1
+
+#: File magic of serialised traces.
+TRACE_MAGIC = b"RPTR"
+
+
+class TraceError(RuntimeError):
+    """Raised when a trace cannot be parsed or does not match its program."""
+
+
+def _freeze_params(params) -> Tuple[Tuple[str, Any], ...]:
+    if not params:
+        return ()
+    if isinstance(params, Mapping):
+        return tuple(sorted(params.items()))
+    return tuple(sorted(tuple(item) for item in params))
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Identity of a trace: the cell it was recorded from plus the
+    *functional* machine parameters the dynamic stream depends on."""
+
+    workload: str
+    mode: str
+    scale: str
+    kind: str = "kernel"            # "kernel" or "micro"
+    params: Tuple[Tuple[str, Any], ...] = ()
+    lm_size: int = 32 * 1024
+    directory_entries: int = 32
+
+    @classmethod
+    def create(cls, workload: str, mode: str, scale: str, kind: str = "kernel",
+               params=None, lm_size: int = 32 * 1024,
+               directory_entries: int = 32) -> "TraceKey":
+        """Build a key with the same normalisation as ``RunSpec.create``."""
+        return cls(
+            workload=workload.strip().upper() if kind == "kernel" else workload.strip(),
+            mode=mode.strip().lower(),
+            scale=scale.strip().lower(),
+            kind=kind,
+            params=_freeze_params(params),
+            lm_size=int(lm_size),
+            directory_entries=int(directory_entries),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "scale": self.scale,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "lm_size": self.lm_size,
+            "directory_entries": self.directory_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceKey":
+        return cls.create(
+            workload=data["workload"], mode=data["mode"], scale=data["scale"],
+            kind=data.get("kind", "kernel"), params=data.get("params"),
+            lm_size=data.get("lm_size", 32 * 1024),
+            directory_entries=data.get("directory_entries", 32))
+
+    @property
+    def key_hash(self) -> str:
+        """Content hash of the key (addresses the trace in the store)."""
+        payload = json.dumps({"schema": TRACE_SCHEMA, **self.as_dict()},
+                             sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @property
+    def label(self) -> str:
+        parts = [self.workload, self.mode, self.scale]
+        if self.params:
+            parts.append(",".join(f"{k}={v}" for k, v in self.params))
+        return ":".join(parts)
+
+
+def pack_bits(bits: Sequence[bool]) -> bytes:
+    """Pack booleans into bytes, LSB first."""
+    out = bytearray((len(bits) + 7) // 8)
+    for i, bit in enumerate(bits):
+        if bit:
+            out[i >> 3] |= 1 << (i & 7)
+    return bytes(out)
+
+
+def unpack_bits(data: bytes, count: int) -> List[bool]:
+    """Inverse of :func:`pack_bits`."""
+    return [bool(data[i >> 3] >> (i & 7) & 1) for i in range(count)]
+
+
+def _le_bytes(arr: array) -> bytes:
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        arr = array(arr.typecode, arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _le_array(typecode: str, data: bytes) -> array:
+    arr = array(typecode)
+    arr.frombytes(data)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        arr.byteswap()
+    return arr
+
+
+def program_fingerprint(program) -> str:
+    """Stable hash of a laid-out program's static code and data layout.
+
+    Array *contents* are deliberately excluded: data values never influence
+    replay timing (branch outcomes and addresses are baked into the trace),
+    so the fingerprint only has to detect changes to the instruction stream,
+    the labels or the address layout.
+    """
+    h = hashlib.sha256()
+    for inst in program.instructions:
+        h.update((f"{inst.opcode.value}|{inst.dst}|{','.join(inst.srcs)}|"
+                  f"{inst.imm}|{inst.target}|{inst.size}|{inst.phase}|"
+                  f"{int(inst.collapse_with_prev)}|{int(inst.oracle_divert)}\n")
+                 .encode())
+    for name in sorted(program.labels):
+        h.update(f"L|{name}|{program.labels[name]}\n".encode())
+    for name, decl in program.arrays.items():
+        h.update(f"A|{name}|{decl.length}|{decl.base}\n".encode())
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class Trace:
+    """One captured dynamic stream (see the module docstring for contents)."""
+
+    key: TraceKey
+    program_fingerprint: str
+    instructions: int               # retired dynamic instructions
+    branch_count: int               # executed conditional branches
+    branch_bits: bytes = b""
+    mem_addrs: array = field(default_factory=lambda: array("Q"))
+    dma_words: array = field(default_factory=lambda: array("q"))
+
+    # -- derived -----------------------------------------------------------------
+    def branch_outcomes(self) -> List[bool]:
+        return unpack_bits(self.branch_bits, self.branch_count)
+
+    @property
+    def mem_count(self) -> int:
+        return len(self.mem_addrs)
+
+    @property
+    def dma_count(self) -> int:
+        return len(self.dma_words) // 3
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 of the serialised trace (deterministic across processes)."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()[:16]
+
+    # -- serialisation ------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = json.dumps({
+            "schema": TRACE_SCHEMA,
+            "key": self.key.as_dict(),
+            "fingerprint": self.program_fingerprint,
+            "instructions": self.instructions,
+            "branch_count": self.branch_count,
+            "mem_count": len(self.mem_addrs),
+            "dma_count": len(self.dma_words),
+        }, sort_keys=True, separators=(",", ":")).encode()
+        parts = [TRACE_MAGIC, struct.pack("<HI", TRACE_SCHEMA, len(header)),
+                 header, self.branch_bits,
+                 _le_bytes(self.mem_addrs), _le_bytes(self.dma_words)]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Trace":
+        try:
+            if data[:4] != TRACE_MAGIC:
+                raise TraceError("bad magic (not a trace file)")
+            schema, header_len = struct.unpack_from("<HI", data, 4)
+            if schema != TRACE_SCHEMA:
+                raise TraceError(f"trace schema {schema} != {TRACE_SCHEMA}")
+            pos = 10
+            header = json.loads(data[pos:pos + header_len].decode())
+            pos += header_len
+            branch_count = header["branch_count"]
+            nbits = (branch_count + 7) // 8
+            branch_bits = data[pos:pos + nbits]
+            pos += nbits
+            mem_count = header["mem_count"]
+            mem_addrs = _le_array("Q", data[pos:pos + 8 * mem_count])
+            pos += 8 * mem_count
+            dma_count = header["dma_count"]
+            dma_words = _le_array("q", data[pos:pos + 8 * dma_count])
+            pos += 8 * dma_count
+            if (len(branch_bits) != nbits or len(mem_addrs) != mem_count or
+                    len(dma_words) != dma_count or pos != len(data)):
+                raise TraceError("truncated or oversized trace payload")
+            return cls(
+                key=TraceKey.from_dict(header["key"]),
+                program_fingerprint=header["fingerprint"],
+                instructions=header["instructions"],
+                branch_count=branch_count,
+                branch_bits=branch_bits,
+                mem_addrs=mem_addrs,
+                dma_words=dma_words,
+            )
+        except TraceError:
+            raise
+        except (KeyError, ValueError, TypeError, struct.error,
+                UnicodeDecodeError) as exc:
+            raise TraceError(f"corrupted trace: {exc}") from exc

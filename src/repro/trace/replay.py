@@ -1,0 +1,678 @@
+"""Timing replay: re-time a captured dynamic stream under any machine config.
+
+The replay engine rebuilds the static program (compilation is deterministic
+given the trace key), instantiates a *fresh* memory system, coherence
+directory and branch predictor for the requested machine configuration, and
+drives them with the recorded stream instead of the execution frontend:
+
+* the instruction sequence is re-derived once per trace by walking the
+  static program with the recorded conditional-branch outcomes (cached, so
+  an ablation sweep over one trace pays for the walk once);
+* loads/stores are issued to the real :class:`~repro.core.hybrid.HybridSystem`
+  at their recorded addresses — LM-range accesses take a stat-identical
+  inlined fast path (mirroring
+  :meth:`~repro.core.hybrid.HybridSystem.lm_timing_access`), everything else
+  goes through the unmodified ``load``/``store`` code;
+* DMA commands are issued with their recorded operands;
+* register reads, ALU evaluation, branch condition evaluation and data
+  movement are skipped entirely — they are what the trace replaces.
+
+**Cycle identity.**  At the capture machine configuration replay produces
+bit-identical cycles, phase breakdowns, activity counters and energy to
+execution-driven simulation: the memory system receives the identical call
+sequence with identical clock estimates, and the timing math below is a
+line-by-line transcription of
+:meth:`~repro.cpu.pipeline.OutOfOrderTimingModel.issue_estimate` /
+:meth:`~repro.cpu.pipeline.OutOfOrderTimingModel.retire` operating on the
+same component state (ROB/LSQ deques, predictor tables).  Two mechanical
+substitutions keep the math identical while making it much faster:
+
+* the per-cycle issue-slot and functional-unit reservation *dicts* become
+  flat lists indexed by cycle (a pruned dict entry is never consulted again
+  — dispatch time is monotonic — so ``get(cycle, 0)`` and ``list[cycle]``
+  see exactly the same counts);
+* trace-static aggregates (retired-instruction count, per-class FU op
+  counts, LSQ occupancy) are precomputed from the decoded stream instead of
+  incremented per instruction.
+
+That, plus skipping the frontend, is where the >=5x replay speedup comes
+from.  ``tests/test_trace_replay.py`` enforces the identity for every NAS
+workload; any change to ``pipeline.py`` or to the LM branches of
+``hybrid.py`` must be mirrored here.
+
+**Validity.**  The recorded stream depends on the *functional* machine
+parameters (``lm_size``, ``directory_entries`` — they shape compilation and
+divert behaviour) but on no timing parameter.  Replay therefore refuses a
+machine configuration whose functional parameters differ from the capture's
+(:class:`ReplayValidityError`); cache geometry, latencies, FU counts, issue
+widths, predictor sizes, DMA costs and energy parameters are all fair game.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cpu.core import SimulationResult
+from repro.cpu.pipeline import CODE_BASE, CODE_INSTR_SIZE, OutOfOrderTimingModel
+from repro.harness.config import MachineConfig, PTLSIM_CONFIG
+from repro.harness.runner import RunResult
+from repro.harness.systems import build_system, core_config_for
+from repro.energy.model import EnergyModel
+from repro.isa.instructions import Opcode
+from repro.trace.format import Trace, TraceError, TraceKey, program_fingerprint
+
+__all__ = ["ReplayValidityError", "check_replay_machine", "replay_trace"]
+
+
+class ReplayValidityError(ValueError):
+    """A machine config changes functional parameters the trace depends on."""
+
+
+# Dense per-instruction kinds driving the replay dispatch.
+_K_ALU, _K_LOAD, _K_STORE, _K_CBR, _K_JMP, _K_HALT = 0, 1, 2, 3, 4, 5
+_K_DGET, _K_DPUT, _K_DSYNC, _K_SETBUF = 6, 7, 8, 9
+
+#: Extension chunk for the cycle-indexed reservation lists.
+_ZEROS = [0] * 8192
+
+
+def check_replay_machine(key: TraceKey, machine: MachineConfig) -> None:
+    """Raise :class:`ReplayValidityError` unless ``machine`` is replay-valid."""
+    problems = []
+    if machine.lm_size != key.lm_size:
+        problems.append(f"lm_size {machine.lm_size} != capture {key.lm_size}")
+    if machine.directory_entries != key.directory_entries:
+        problems.append(f"directory_entries {machine.directory_entries} "
+                        f"!= capture {key.directory_entries}")
+    if problems:
+        raise ReplayValidityError(
+            f"trace {key.label} cannot be replayed on this machine: "
+            + "; ".join(problems)
+            + " (these parameters change the compiled program / dynamic "
+              "stream; capture a new trace instead)")
+
+
+def _rebuild_program(key: TraceKey):
+    """Deterministically rebuild the program a trace was captured from."""
+    if key.kind == "kernel":
+        from repro.compiler.codegen import compile_kernel
+        from repro.workloads import get_workload
+        kernel = get_workload(key.workload, key.scale)
+        compiled = compile_kernel(kernel, mode=key.mode, lm_size=key.lm_size,
+                                  max_buffers=key.directory_entries)
+        program = compiled.program
+    elif key.kind == "micro":
+        from repro.workloads.microbenchmark import build_microbenchmark
+        params = dict(key.params)
+        program = build_microbenchmark(
+            mode=params.get("micro_mode", "baseline"),
+            guarded_fraction=float(params.get("guarded_fraction", 0.0)),
+            iterations=int(params.get("iterations", 200)),
+            unroll=int(params.get("unroll", 1)))
+        compiled = None
+    else:
+        raise TraceError(f"unknown trace kind {key.kind!r}")
+    if not program.is_laid_out:
+        program.assign_addresses()
+    return program, compiled
+
+
+def _program_meta(program):
+    """Flatten static instructions into plain per-pc tuples for replay.
+
+    Returns ``(hot, cold, fu_values, phase_names)``: ``hot[pc]`` carries the
+    fields every retired instruction touches (with the phase as an index
+    into ``phase_names`` so the loop can accumulate into a flat list),
+    ``cold[pc]`` the ones only memory, branch and DMA instructions need,
+    ``fu_values[pc]`` the FU-class string for the precomputed op counts.
+    """
+    hot, cold, fu_values = [], [], []
+    phase_index: dict = {}
+    for pc, inst in enumerate(program.instructions):
+        op = inst.opcode
+        if inst.is_memory:
+            kind = _K_LOAD if inst.is_load else _K_STORE
+        elif inst.is_conditional_branch:
+            kind = _K_CBR
+        elif op is Opcode.JMP:
+            kind = _K_JMP
+        elif op is Opcode.HALT:
+            kind = _K_HALT
+        elif op is Opcode.DMA_GET:
+            kind = _K_DGET
+        elif op is Opcode.DMA_PUT:
+            kind = _K_DPUT
+        elif op is Opcode.DMA_SYNC:
+            kind = _K_DSYNC
+        elif op is Opcode.SET_BUFSIZE:
+            kind = _K_SETBUF
+        else:
+            kind = _K_ALU
+        if kind in (_K_CBR, _K_JMP) and inst.target is not None:
+            target = program.resolve_label(inst.target)
+        else:
+            target = 0
+        imm = (inst.imm or 0) if kind in (_K_DGET, _K_DPUT) else inst.imm
+        phase = phase_index.setdefault(inst.phase, len(phase_index))
+        hot.append((kind, inst.fu_index, float(inst.latency), inst.dst,
+                    inst.srcs, phase, inst.unpipelined, pc))
+        cold.append((target, imm, inst.is_guarded, inst.oracle_divert,
+                     inst.collapse_with_prev))
+        fu_values.append(inst.fu_class.value)
+    phase_names = [None] * len(phase_index)
+    for name, idx in phase_index.items():
+        phase_names[idx] = name
+    return hot, cold, fu_values, phase_names
+
+
+def _decode_trace(trace: Trace, hot, cold, fu_values):
+    """Expand the trace into the retired dynamic sequence (one walk).
+
+    Returns ``(seq, branches, mem_addrs, dma_words, fu_counts)`` where
+    ``seq`` references the per-pc hot tuples in retirement order.  The walk
+    also validates that the trace matches the rebuilt program exactly.
+    """
+    branches = trace.branch_outcomes()
+    mem_addrs = list(trace.mem_addrs)
+    dma_words = list(trace.dma_words)
+    prog_len = len(hot)
+    seq = []
+    append = seq.append
+    visits = [0] * prog_len
+    pc = 0
+    bi = mi = di = 0
+    try:
+        for _ in range(trace.instructions):
+            if pc >= prog_len:
+                raise IndexError
+            h = hot[pc]
+            append(h)
+            visits[pc] += 1
+            kind = h[0]
+            if kind == _K_LOAD or kind == _K_STORE:
+                mi += 1
+                pc += 1
+            elif kind == _K_CBR:
+                taken = branches[bi]
+                bi += 1
+                pc = cold[pc][0] if taken else pc + 1
+            elif kind == _K_JMP:
+                pc = cold[pc][0]
+            elif kind == _K_DGET or kind == _K_DPUT:
+                di += 3
+                pc += 1
+            else:
+                pc += 1
+    except IndexError:
+        raise TraceError(
+            f"trace {trace.key.label} ran off its program or event streams "
+            f"at pc={pc} (event {len(seq)} of {trace.instructions}); the "
+            "trace does not match the rebuilt program") from None
+    if bi != len(branches) or mi != len(mem_addrs) or di != len(dma_words):
+        raise TraceError(
+            f"trace {trace.key.label} left unconsumed events "
+            f"(branches {bi}/{len(branches)}, mem {mi}/{len(mem_addrs)}, "
+            f"dma {di}/{len(dma_words)}); the trace does not match the "
+            "rebuilt program")
+    fu_counts: dict = {}
+    for pc, count in enumerate(visits):
+        if count:
+            fu_value = fu_values[pc]
+            fu_counts[fu_value] = fu_counts.get(fu_value, 0) + count
+    return seq, branches, mem_addrs, dma_words, fu_counts
+
+
+# Rebuilt programs, decoded dynamic sequences and instruction-fetch cache
+# simulations are cached in-process so an ablation sweep replaying one trace
+# under many machine configs pays each cost once.  Keyed by trace identity
+# (plus the relevant machine parameters for the L1I), capped LRU.
+_PROGRAM_CACHE: "OrderedDict[str, tuple]" = OrderedDict()
+_DECODE_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_L1I_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_CACHE_CAP = 8
+
+
+def _cached_program(key: TraceKey):
+    entry = _PROGRAM_CACHE.get(key.key_hash)
+    if entry is None:
+        program, compiled = _rebuild_program(key)
+        hot, cold, fu_values, phase_names = _program_meta(program)
+        entry = (program, compiled, hot, cold, fu_values, phase_names,
+                 program_fingerprint(program))
+        _PROGRAM_CACHE[key.key_hash] = entry
+        while len(_PROGRAM_CACHE) > _CACHE_CAP:
+            _PROGRAM_CACHE.popitem(last=False)
+    else:
+        _PROGRAM_CACHE.move_to_end(key.key_hash)
+    return entry
+
+
+def _cached_decode(trace: Trace, hot, cold, fu_values):
+    cache_key = (trace.key.key_hash, trace.program_fingerprint,
+                 trace.instructions, trace.branch_count,
+                 trace.mem_count, trace.dma_count)
+    entry = _DECODE_CACHE.get(cache_key)
+    if entry is None:
+        entry = _decode_trace(trace, hot, cold, fu_values)
+        _DECODE_CACHE[cache_key] = entry
+        while len(_DECODE_CACHE) > _CACHE_CAP:
+            _DECODE_CACHE.popitem(last=False)
+    else:
+        _DECODE_CACHE.move_to_end(cache_key)
+    return entry
+
+
+def _l1i_stats(trace: Trace, seq, config, mem_config):
+    """Instruction-fetch activity of a replay, simulated stand-alone.
+
+    The L1I is completely decoupled from the rest of the machine: only
+    ``fetch_access`` touches it, its return latency is ignored by the
+    front-end model, and no data-path or DMA event ever invalidates it.  Its
+    activity is therefore a pure function of the retired index stream,
+    ``fetch_width`` and the L1I geometry — so replay simulates it here, once,
+    through the real :class:`~repro.mem.cache.Cache` model, and memoizes the
+    resulting counters across ablation points that keep these parameters.
+
+    Returns ``(stats, icache_accesses)`` where ``stats`` is a
+    :class:`~repro.mem.cache.CacheStats` to install on the hierarchy's L1I.
+    """
+    import dataclasses as _dc
+    from repro.mem.cache import Cache
+    cache_key = (trace.key.key_hash, trace.program_fingerprint,
+                 trace.instructions, config.fetch_width, mem_config.l1i_size,
+                 mem_config.l1i_assoc, mem_config.line_size)
+    entry = _L1I_CACHE.get(cache_key)
+    if entry is None:
+        l1i = Cache("L1I", mem_config.l1i_size, mem_config.l1i_assoc,
+                    mem_config.line_size, mem_config.l1i_latency,
+                    write_back=False)
+        access = l1i.access
+        fill = l1i.fill
+        fetch_width = config.fetch_width
+        accesses = 0
+        for h in seq:
+            index = h[7]
+            if index % fetch_width:
+                continue
+            addr = CODE_BASE + index * CODE_INSTR_SIZE
+            accesses += 1
+            if not access(addr, False):
+                fill(addr)
+        entry = (l1i.stats, accesses)
+        _L1I_CACHE[cache_key] = entry
+        while len(_L1I_CACHE) > _CACHE_CAP:
+            _L1I_CACHE.popitem(last=False)
+    else:
+        _L1I_CACHE.move_to_end(cache_key)
+    stats, accesses = entry
+    return _dc.replace(stats), accesses
+
+
+def replay_trace(trace: Trace,
+                 machine: Optional[MachineConfig] = None) -> RunResult:
+    """Replay ``trace`` under ``machine`` and return a full :class:`RunResult`.
+
+    At the capture machine configuration the result is cycle- and
+    energy-identical to execution-driven simulation; under a different
+    (timing-parameter) configuration it is the re-timed run.
+    """
+    machine = machine or PTLSIM_CONFIG
+    check_replay_machine(trace.key, machine)
+    program, compiled, hot, cold, fu_values, phase_names, fingerprint = \
+        _cached_program(trace.key)
+    if fingerprint != trace.program_fingerprint:
+        raise TraceError(
+            f"trace {trace.key.label} is stale: program fingerprint "
+            f"{trace.program_fingerprint} != rebuilt {fingerprint} "
+            "(the compiler or workload changed since capture)")
+    decoded = _cached_decode(trace, hot, cold, fu_values)
+    system = build_system(trace.key.mode, machine)
+    sim = _replay_timing(program, cold, phase_names, decoded, trace, system,
+                         core_config_for(machine))
+    energy = EnergyModel(machine.energy).compute(sim)
+    return RunResult(workload=trace.key.workload, mode=trace.key.mode,
+                     compiled=compiled, sim=sim, energy=energy,
+                     system=system, scale=trace.key.scale)
+
+
+def _replay_timing(program, cold, phase_names, decoded, trace, system,
+                   config) -> SimulationResult:
+    """The fused replay loop (transcribed from ``OutOfOrderTimingModel``)."""
+    seq, branches, mem_addrs, dma_words, fu_counts = decoded
+    timing = OutOfOrderTimingModel(config, hierarchy=system.hierarchy)
+    c = config
+
+    # -- cached component state (the same objects execution-driven runs use) --
+    issue_width = c.issue_width
+    inv_fetch = 1.0 / c.fetch_width
+    mispredict_penalty = c.mispredict_penalty
+    predictor = timing.predictor
+    predictor_update = predictor.update
+    btb = predictor.btb
+    btb_lookup = btb.lookup
+    btb_update = btb.update
+    fus = timing.fus
+    fu_capacity = fus._capacity
+    rob = timing.rob
+    rob_size = rob.size
+    rob_times = rob._commit_times
+    rob_append = rob_times.append
+    inv_commit = 1.0 / rob.commit_width
+    lsq_size = timing.lsq.size
+    lsq_times = timing.lsq._completion_times
+    lsq_append = lsq_times.append
+    reg_ready = timing.reg_ready
+    phase_acc = [0.0] * len(phase_names)
+    sys_load = system.load
+    sys_store = system.store
+    dma_get = system.dma_get if system.use_lm else None
+    dma_put = system.dma_put if system.use_lm else None
+    dma_sync = system.dma_sync if system.use_lm else None
+    set_bufsize = system.set_buffer_size if system.use_lm else None
+    if system.use_lm:
+        lm = system.lm
+        lm_lo = system.address_map.virtual_base
+        lm_hi = lm_lo + system.address_map.size
+        lm_lat = float(lm.latency)
+    else:
+        lm = None
+        lm_lo = lm_hi = -1
+        lm_lat = 0.0
+
+    # Pre-seed every register name so the hot loop can use direct indexing
+    # (missing keys read as 0.0 in the original, which this reproduces).
+    for inst in program.instructions:
+        for src in inst.srcs:
+            reg_ready.setdefault(src, 0.0)
+
+    # Per-cycle reservation state as flat lists (see module docstring).
+    issue_slots = [0] * 8192
+    slots_len = 8192
+    fu_tables = [[0] * 8192 for _ in fu_capacity]
+    fu_lens = [8192] * len(fu_capacity)
+
+    # -- scalar timing state (written back to the model objects at the end) --
+    fetch_time = 0.0
+    mispredictions = 0
+    last_commit = 0.0      # == rob._last_commit_time == timing.last_commit_time
+    rob_bw = 0.0           # rob._commit_bandwidth_time
+    rob_stalls = 0.0
+    lsq_stalls = 0.0
+    lsq_collapsed = 0
+    contended = 0.0        # fus.contended_cycles
+
+    # LM fast-path accumulators.  ``total_lat`` mirrors the system's
+    # ``total_mem_latency`` and is synchronised around real load/store calls
+    # so the float additions happen in exactly the execution order (float
+    # addition is not associative); the integer counters are exact and are
+    # added back once at the end.
+    total_lat = system.total_mem_latency
+    lm_loads = lm_stores = lm_reads = lm_writes = lm_mem_ops = 0
+    last_store_addr = system._last_store_addr
+    last_store_to_sm = system._last_store_to_sm
+
+    # The instruction-fetch stream never interacts with the rest of the
+    # machine (see _l1i_stats), so it is simulated out-of-band and the
+    # fetch_access call disappears from this loop entirely.
+    bi = mi = di = 0
+    for h in seq:
+        (kind, fu_index, latency, dst, srcs, phase, unpipelined, index) = h
+
+        # ---- issue estimate (pipeline.dispatch_time / issue_estimate) ----
+        t = fetch_time
+        if len(rob_times) >= rob_size:
+            oldest = rob_times[0]
+            if oldest > t:
+                rob_stalls += oldest - t
+                t = oldest
+        is_mem = kind == _K_LOAD or kind == _K_STORE
+        if is_mem and len(lsq_times) >= lsq_size:
+            oldest = lsq_times[0]
+            if oldest > t:
+                lsq_stalls += oldest - t
+                t = oldest
+        if t > fetch_time:
+            fetch_time = t
+        ready = t
+        if srcs:
+            for src in srcs:
+                r = reg_ready[src]
+                if r > ready:
+                    ready = r
+        # _find_issue_slot: when the first probed cycle has a free slot the
+        # result is max(ready, float(int(ready))) == ready; once the scan
+        # advances, float(cycle) > ready and the result is float(cycle).
+        cycle = int(ready)
+        while cycle >= slots_len:
+            issue_slots.extend(_ZEROS)
+            slots_len += 8192
+        if issue_slots[cycle] < issue_width:
+            now = ready
+        else:
+            cycle += 1
+            while True:
+                if cycle >= slots_len:
+                    issue_slots.extend(_ZEROS)
+                    slots_len += 8192
+                if issue_slots[cycle] < issue_width:
+                    break
+                cycle += 1
+            now = float(cycle)
+
+        # ---- execute: resolve latency from the recorded stream ----
+        if kind == _K_ALU:
+            pass
+        elif kind == _K_LOAD:
+            addr = mem_addrs[mi]
+            mi += 1
+            if lm_lo <= addr < lm_hi:
+                # Inlined HybridSystem.lm_timing_access (load half).
+                lm_loads += 1
+                lm_reads += 1
+                lm_mem_ops += 1
+                total_lat += lm_lat
+                latency = lm_lat
+            else:
+                cm = cold[index]
+                system.total_mem_latency = total_lat
+                latency = sys_load(addr, guarded=cm[2], oracle_divert=cm[3],
+                                   pc=index, now=now).latency
+                total_lat = system.total_mem_latency
+        elif kind == _K_STORE:
+            addr = mem_addrs[mi]
+            mi += 1
+            if lm_lo <= addr < lm_hi:
+                # Inlined HybridSystem.lm_timing_access (store half).
+                lm_stores += 1
+                lm_writes += 1
+                lm_mem_ops += 1
+                total_lat += lm_lat
+                latency = lm_lat
+                last_store_addr = addr
+                last_store_to_sm = False
+                collapsed = False
+            else:
+                cm = cold[index]
+                system.total_mem_latency = total_lat
+                system._last_store_addr = last_store_addr
+                system._last_store_to_sm = last_store_to_sm
+                outcome = sys_store(addr, 0.0, guarded=cm[2],
+                                    oracle_divert=cm[3],
+                                    collapse_with_prev=cm[4],
+                                    pc=index, now=now)
+                total_lat = system.total_mem_latency
+                last_store_addr = system._last_store_addr
+                last_store_to_sm = system._last_store_to_sm
+                latency = outcome.latency
+                collapsed = outcome.served_by == "collapsed"
+        elif kind == _K_CBR:
+            branch_taken = branches[bi]
+            bi += 1
+            next_pc = cold[index][0] if branch_taken else index + 1
+        elif kind == _K_JMP:
+            branch_taken = True
+            next_pc = cold[index][0]
+        elif kind == _K_HALT:
+            pass
+        elif kind == _K_DGET:
+            latency = dma_get(dma_words[di], dma_words[di + 1],
+                              dma_words[di + 2], tag=cold[index][1], now=now)
+            di += 3
+        elif kind == _K_DPUT:
+            latency = dma_put(dma_words[di], dma_words[di + 1],
+                              dma_words[di + 2], tag=cold[index][1], now=now)
+            di += 3
+        elif kind == _K_DSYNC:
+            stall = dma_sync(cold[index][1], now=now)
+            latency = 1.0 + stall
+        else:  # _K_SETBUF
+            latency = set_bufsize(cold[index][1])
+
+        # ---- retire (pipeline.retire; the issue slot search above stands
+        # in for retire's redundant second _find_issue_slot call) ----
+        capacity = fu_capacity[fu_index]
+        table = fu_tables[fu_index]
+        table_len = fu_lens[fu_index]
+        cycle = int(now)
+        if cycle >= table_len:
+            while cycle >= table_len:
+                table.extend(_ZEROS)
+                table_len += 8192
+            fu_lens[fu_index] = table_len
+        # acquire_index: a free first cycle means start == max(now,
+        # float(int(now))) == now with a zero contention charge; an advanced
+        # scan means float(cycle) > now, charged as contention.
+        if table[cycle] < capacity:
+            start = now
+        else:
+            cycle += 1
+            while True:
+                if cycle >= table_len:
+                    table.extend(_ZEROS)
+                    table_len += 8192
+                    fu_lens[fu_index] = table_len
+                if table[cycle] < capacity:
+                    break
+                cycle += 1
+            start = float(cycle)
+            contended += start - now
+        if unpipelined:
+            occupancy = int(latency)
+            if occupancy < 1:
+                occupancy = 1
+            end = cycle + occupancy
+            if end > table_len:
+                while end > table_len:
+                    table.extend(_ZEROS)
+                    table_len += 8192
+                fu_lens[fu_index] = table_len
+            for ci in range(cycle, end):
+                table[ci] += 1
+        else:
+            table[cycle] += 1
+        # take issue slot
+        scycle = int(start)
+        while scycle >= slots_len:
+            issue_slots.extend(_ZEROS)
+            slots_len += 8192
+        issue_slots[scycle] += 1
+        completion = start + latency
+        if dst is not None:
+            reg_ready[dst] = completion
+        if is_mem:
+            if kind == _K_STORE:
+                commit_completion = start + (latency if latency < 2.0 else 2.0)
+                if collapsed:
+                    lsq_collapsed += 1
+            else:
+                commit_completion = completion
+            lsq_append(completion)
+        else:
+            commit_completion = completion
+            if kind >= _K_CBR:
+                if kind == _K_CBR or kind == _K_JMP:
+                    pc_addr = CODE_BASE + index * CODE_INSTR_SIZE
+                    if kind == _K_CBR:
+                        mispredicted = predictor_update(pc_addr, branch_taken)
+                    else:
+                        mispredicted = btb_lookup(pc_addr) is None
+                        predictor.predictions += 1
+                        if mispredicted:
+                            predictor.mispredictions += 1
+                    if branch_taken:
+                        btb_update(pc_addr,
+                                   CODE_BASE + next_pc * CODE_INSTR_SIZE)
+                    if mispredicted:
+                        mispredictions += 1
+                        fetch_time = completion + mispredict_penalty
+        fetch_time = fetch_time + inv_fetch
+        # Serialising instructions (dma-synch, halt) drain the pipeline.
+        if (kind == _K_HALT or kind == _K_DSYNC) and completion > fetch_time:
+            fetch_time = completion
+        # in-order commit (rob.commit): last_commit always equals the commit
+        # bandwidth clock after every instruction, so the two max() calls of
+        # rob.commit collapse to one comparison against the advanced clock.
+        rob_bw = rob_bw + inv_commit
+        if commit_completion > rob_bw:
+            rob_bw = commit_completion
+        rob_append(rob_bw)
+        # The commit delta is strictly positive (bandwidth advances by
+        # 1/commit_width every instruction), so the accumulation is
+        # unconditional.
+        phase_acc[phase] += rob_bw - last_commit
+        last_commit = rob_bw
+
+    # -- out-of-band instruction-fetch activity (see _l1i_stats) --
+    hierarchy = system.hierarchy
+    hierarchy.l1i.stats, hierarchy.icache_accesses = _l1i_stats(
+        trace, seq, c, hierarchy.config)
+
+    # -- write the accumulated state back so the model objects and the
+    # memory system report exactly what execution-driven simulation would --
+    committed = len(seq)
+    timing.fetch_time = fetch_time
+    timing.committed = committed
+    timing.mispredictions = mispredictions
+    timing.last_commit_time = last_commit
+    timing.fu_op_counts.update(fu_counts)
+    # Commit deltas are strictly positive, so a phase accumulated exactly 0.0
+    # iff no instruction of that phase retired — execution's defaultdict
+    # would not contain it either.
+    for idx, name in enumerate(phase_names):
+        if phase_acc[idx] != 0.0:
+            timing.phase_cycles[name] = phase_acc[idx]
+    rob._last_commit_time = last_commit
+    rob._commit_bandwidth_time = rob_bw
+    rob.dispatch_stalls = rob_stalls
+    timing.lsq.occupancy_stalls = lsq_stalls
+    timing.lsq.memory_ops = len(mem_addrs)
+    timing.lsq.collapsed_stores = lsq_collapsed
+    fus.contended_cycles = contended
+    system.loads += lm_loads
+    system.stores += lm_stores
+    system.mem_ops += lm_mem_ops
+    system.total_mem_latency = total_lat
+    system._last_store_addr = last_store_addr
+    system._last_store_to_sm = last_store_to_sm
+    if lm is not None:
+        lm.reads += lm_reads
+        lm.writes += lm_writes
+
+    return SimulationResult(
+        cycles=timing.cycles,
+        instructions=timing.committed,
+        phase_cycles=timing.phase_breakdown(),
+        mispredictions=timing.mispredictions,
+        branch_predictions=timing.predictor.predictions,
+        memory_stats=system.stats_summary(),
+        core_stats={
+            "ipc": timing.ipc,
+            "fu_op_counts": dict(timing.fu_op_counts),
+            "fu_contended_cycles": timing.fus.contended_cycles,
+            "rob_dispatch_stalls": timing.rob.dispatch_stalls,
+            "lsq_occupancy_stalls": timing.lsq.occupancy_stalls,
+            "lsq_collapsed_stores": timing.lsq.collapsed_stores,
+            "misprediction_rate": timing.predictor.misprediction_rate,
+        },
+    )

@@ -1,0 +1,138 @@
+"""Content-hashed on-disk store for trace artifacts.
+
+Traces live *alongside* the sweep engine's
+:class:`~repro.harness.sweep.ResultStore`, under a ``traces/`` subdirectory
+of the same cache root (``$REPRO_CACHE_DIR`` or ``.repro-cache``), so one
+cache directory — and one CI cache entry — carries both finished results and
+the captured streams they can be re-timed from.
+
+Layout: ``<root>/traces/<key_hash[:2]>/<key_hash>.trace``, one file per
+:class:`~repro.trace.format.TraceKey`, written atomically.  A file that
+cannot be parsed or fails its schema check is treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.trace.format import Trace, TraceError, TraceKey
+
+#: Subdirectory of the cache root holding trace artifacts.
+TRACE_SUBDIR = "traces"
+
+
+class TraceStore:
+    """Content-addressed disk store of :class:`Trace` artifacts."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        from repro.harness.sweep import DEFAULT_CACHE_DIR
+        base = Path(root if root is not None
+                    else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+        self.root = base / TRACE_SUBDIR
+        self.hits = 0
+        self.misses = 0
+        self.corrupted = 0
+        self.writes = 0
+
+    def path_for(self, key: TraceKey) -> Path:
+        h = key.key_hash
+        return self.root / h[:2] / f"{h}.trace"
+
+    def get(self, key: TraceKey) -> Optional[Trace]:
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+            trace = Trace.from_bytes(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, TraceError):
+            # Corrupted / stale artifact: drop it and treat as a miss.
+            self.corrupted += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, trace: Trace) -> Path:
+        path = self.path_for(trace.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(trace.to_bytes())
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    # -- introspection ------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.trace"))
+
+    def entries(self) -> Iterator[Tuple[Path, Trace]]:
+        """Yield ``(path, trace)`` for every readable stored trace."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.trace")):
+            try:
+                yield path, Trace.from_bytes(path.read_bytes())
+            except (OSError, TraceError):
+                continue
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Entry count and total bytes on disk."""
+        entries = 0
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.trace"):
+                try:
+                    total += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    continue
+        return {"entries": entries, "bytes": total}
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupted": self.corrupted, "writes": self.writes}
+
+
+class EphemeralTraceStore:
+    """In-memory stand-in for :class:`TraceStore` (same get/put surface).
+
+    Used when the caller asked for no on-disk caching (``--no-cache``
+    sweeps): captured traces live only for the lifetime of this object, and
+    nothing is read from or written to the filesystem.
+    """
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, Trace] = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupted = 0
+        self.writes = 0
+
+    def get(self, key: TraceKey) -> Optional[Trace]:
+        trace = self._traces.get(key.key_hash)
+        if trace is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return trace
+
+    def put(self, trace: Trace) -> None:
+        self._traces[trace.key.key_hash] = trace
+        self.writes += 1
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupted": self.corrupted, "writes": self.writes}

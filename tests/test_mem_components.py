@@ -44,8 +44,9 @@ def test_mshr_rejects_zero_entries():
 # -------------------------------------------------------------------------- prefetcher
 def test_prefetcher_detects_stride_after_confidence():
     pf = StreamPrefetcher(table_size=4, degree=2, line_size=64)
-    assert pf.train(pc=1, addr=0) == []
-    assert pf.train(pc=1, addr=64) == []       # first stride observed
+    # The no-prefetch paths return an empty (falsy) sequence.
+    assert not pf.train(pc=1, addr=0)
+    assert not pf.train(pc=1, addr=64)         # first stride observed
     prefetches = pf.train(pc=1, addr=128)       # stride confirmed
     assert prefetches, "confident stream should prefetch"
     assert all(p % 64 == 0 for p in prefetches)
@@ -56,7 +57,7 @@ def test_prefetcher_irregular_pattern_never_prefetches():
     pf = StreamPrefetcher(table_size=4)
     addrs = [0, 512, 64, 8192, 32, 1024]
     for a in addrs:
-        assert pf.train(pc=7, addr=a) == []
+        assert not pf.train(pc=7, addr=a)
 
 
 def test_prefetcher_table_collisions_evict_streams():
@@ -70,7 +71,7 @@ def test_prefetcher_table_collisions_evict_streams():
 def test_prefetcher_zero_stride_ignored():
     pf = StreamPrefetcher()
     pf.train(pc=3, addr=100)
-    assert pf.train(pc=3, addr=100) == []
+    assert not pf.train(pc=3, addr=100)
 
 
 # ------------------------------------------------------------------------ main memory

@@ -1,0 +1,329 @@
+"""Tests of the trace capture & replay subsystem: capture→replay cycle
+identity across the NAS matrix, trace format/store round-trips,
+cross-process trace-hash determinism, replay validity checking, and the
+sweep-engine integration (kind="replay" cells, --replay / --stats / --prune
+CLI).  Mirrors the structure of ``tests/test_sweep_engine.py``."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.config import PTLSIM_CONFIG
+from repro.harness.runner import run_program, run_workload
+from repro.harness.sweep import (
+    STORE_SCHEMA,
+    ResultStore,
+    RunSpec,
+    SweepContext,
+    execute_spec,
+    main as sweep_main,
+    run_sweep,
+)
+from repro.trace import (
+    ReplayValidityError,
+    Trace,
+    TraceError,
+    TraceKey,
+    TraceStore,
+    capture_micro,
+    capture_workload,
+    replay_trace,
+    run_replay_spec,
+)
+from repro.trace.__main__ import main as trace_main
+from repro.workloads import BENCHMARK_ORDER
+
+
+def _assert_identical(executed, replayed):
+    """Replay must be cycle-, activity- and energy-identical to execution."""
+    assert replayed.cycles == executed.cycles
+    assert replayed.instructions == executed.instructions
+    assert replayed.sim.phase_cycles == executed.sim.phase_cycles
+    assert replayed.sim.mispredictions == executed.sim.mispredictions
+    assert replayed.sim.branch_predictions == executed.sim.branch_predictions
+    assert replayed.sim.memory_stats == executed.sim.memory_stats
+    assert replayed.sim.core_stats == executed.sim.core_stats
+    assert replayed.energy.as_dict() == executed.energy.as_dict()
+
+
+# --------------------------------------------------- capture -> replay identity
+@pytest.mark.parametrize("workload", BENCHMARK_ORDER)
+@pytest.mark.parametrize("mode", ["hybrid", "cache"])
+def test_replay_cycle_identical_at_capture_config_small(workload, mode):
+    """Acceptance: replay at the capture machine config is cycle- and
+    energy-identical to execution-driven simulation for every NAS workload
+    in both the hybrid and cache machines at scale=small."""
+    executed, trace = capture_workload(workload, mode, "small")
+    replayed = replay_trace(trace)
+    _assert_identical(executed, replayed)
+
+
+@pytest.mark.parametrize("mode", ["hybrid-oracle", "hybrid-naive"])
+def test_replay_cycle_identical_other_modes(mode):
+    executed, trace = capture_workload("CG", mode, "tiny")
+    _assert_identical(executed, replay_trace(trace))
+
+
+def test_replay_micro_cycle_identical():
+    executed, trace = capture_micro("RD/WR", guarded_fraction=0.5,
+                                    iterations=200, unroll=4)
+    _assert_identical(executed, replay_trace(trace))
+
+
+def test_replay_matches_execution_under_timing_overrides():
+    """Re-timing a trace under machine overrides must equal execution-driven
+    simulation under the same overrides (the whole point of the subsystem)."""
+    overrides = {"memory.l2_size": 64 * 1024, "memory.memory_latency": 300,
+                 "core.issue_width": 2, "memory.prefetch_enabled": False}
+    machine = PTLSIM_CONFIG.with_overrides(overrides)
+    _, trace = capture_workload("IS", "hybrid", "tiny")
+    replayed = replay_trace(trace, machine)
+    executed = run_workload("IS", mode="hybrid", scale="tiny", machine=machine)
+    _assert_identical(executed, replayed)
+
+
+def test_replay_is_deterministic_across_repeats():
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    first = replay_trace(trace)
+    second = replay_trace(trace)
+    _assert_identical(first, second)
+
+
+# ----------------------------------------------------------- validity checking
+def test_replay_rejects_functional_overrides():
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    with pytest.raises(ReplayValidityError):
+        replay_trace(trace, PTLSIM_CONFIG.with_overrides({"lm_size": 16 * 1024}))
+    with pytest.raises(ReplayValidityError):
+        replay_trace(trace,
+                     PTLSIM_CONFIG.with_overrides({"directory_entries": 8}))
+
+
+def test_replay_detects_stale_program_fingerprint():
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    trace.program_fingerprint = "0" * 16
+    with pytest.raises(TraceError):
+        replay_trace(trace)
+
+
+def test_lm_timing_access_matches_real_lm_accesses():
+    """``lm_timing_access`` is the reference implementation of the LM fast
+    path the replay loop inlines: its counter/latency/bookkeeping effects
+    must equal those of real LM-range loads and stores."""
+    from repro.core.hybrid import HybridSystem
+
+    def snapshot(system):
+        return (system.loads, system.stores, system.mem_ops,
+                system.total_mem_latency, system.lm.reads, system.lm.writes,
+                system._last_store_addr, system._last_store_to_sm)
+
+    real, fast = HybridSystem(), HybridSystem()
+    addr = real.lm_virtual_base + 64
+    load_latency = real.load(addr, pc=0, now=0.0).latency
+    assert fast.lm_timing_access(addr, is_store=False) == load_latency
+    assert snapshot(fast) == snapshot(real)
+    store_latency = real.store(addr, 1.0, pc=1, now=1.0).latency
+    assert fast.lm_timing_access(addr, is_store=True) == store_latency
+    assert snapshot(fast) == snapshot(real)
+
+
+def test_no_cache_replay_sweep_touches_no_disk(tmp_path, monkeypatch):
+    """A store-less sweep over replay cells must not create a trace store
+    (regression: it used to write $REPRO_CACHE_DIR/traces)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    spec = RunSpec.create("CG", "hybrid", "tiny", kind="replay")
+    (record,) = run_sweep([spec], store=None)
+    assert record.cycles > 0
+    assert not (tmp_path / "cache").exists()
+
+
+def test_replay_spec_normalises_workload_like_kernel():
+    a = RunSpec.create("cg", "Hybrid", "TINY", kind="replay")
+    b = RunSpec.create("CG", "hybrid", "tiny", kind="replay")
+    assert a == b and a.workload == "CG"
+    assert a.spec_hash == b.spec_hash
+
+
+# ------------------------------------------------------- format / store plumbing
+def test_trace_roundtrips_through_bytes():
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    again = Trace.from_bytes(trace.to_bytes())
+    assert again.key == trace.key
+    assert again.program_fingerprint == trace.program_fingerprint
+    assert again.instructions == trace.instructions
+    assert again.branch_outcomes() == trace.branch_outcomes()
+    assert list(again.mem_addrs) == list(trace.mem_addrs)
+    assert list(again.dma_words) == list(trace.dma_words)
+    assert again.content_hash == trace.content_hash
+
+
+def test_trace_store_roundtrip_and_corruption(tmp_path):
+    store = TraceStore(tmp_path)
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    assert store.get(trace.key) is None
+    path = store.put(trace)
+    fresh = TraceStore(tmp_path)
+    cached = fresh.get(trace.key)
+    assert cached is not None and cached.content_hash == trace.content_hash
+    path.write_bytes(b"not a trace at all")
+    broken = TraceStore(tmp_path)
+    assert broken.get(trace.key) is None
+    assert broken.corrupted == 1
+    assert not path.exists()
+
+
+def test_trace_key_separates_functional_configs():
+    base = TraceKey.create("CG", "hybrid", "tiny")
+    assert base.key_hash != TraceKey.create("CG", "hybrid", "tiny",
+                                            lm_size=16 * 1024).key_hash
+    assert base.key_hash != TraceKey.create("CG", "hybrid", "tiny",
+                                            directory_entries=8).key_hash
+    assert base == TraceKey.create(" cg ", "HYBRID", " Tiny ")
+
+
+def test_trace_hash_deterministic_across_processes(tmp_path):
+    """Mirrors the sweep engine's cross-process determinism test: the trace
+    content hash must not depend on the interpreter's hash seed."""
+    script = ("from repro.trace import capture_workload;"
+              "r, t = capture_workload('CG', 'hybrid', 'tiny');"
+              "print(t.content_hash, t.program_fingerprint)")
+    outputs = set()
+    for seed in ("1", "27"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.path.dirname(__file__), os.pardir, "src"),
+                        env.get("PYTHONPATH")) if p)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, f"nondeterministic across processes: {outputs}"
+
+
+# ------------------------------------------------------------ sweep integration
+def test_replay_spec_through_run_sweep_matches_execution(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    overrides = {"memory.l2_size": 64 * 1024}
+    replay_spec = RunSpec.create("CG", "hybrid", "tiny", machine=overrides,
+                                 kind="replay")
+    kernel_spec = RunSpec.create("CG", "hybrid", "tiny", machine=overrides)
+    store = ResultStore(tmp_path / "cache")
+    (replayed,) = run_sweep([replay_spec], store=store)
+    executed = execute_spec(kernel_spec)
+    assert replayed.cycles == executed.cycles
+    assert replayed.energy == executed.energy
+    assert replayed.memory_stats == executed.memory_stats
+    assert replayed.kind == "replay"
+    assert replayed.spec_hash == replay_spec.spec_hash
+    # The capture-config trace was stored alongside the result store.
+    assert len(TraceStore(tmp_path / "cache")) == 1
+    # A second resolution is a pure store hit.
+    fresh = ResultStore(tmp_path / "cache")
+    (again,) = run_sweep([replay_spec], store=fresh)
+    assert fresh.hits == 1 and again.cycles == replayed.cycles
+
+
+def test_run_replay_spec_returns_capture_at_base_config(tmp_path):
+    spec = RunSpec.create("CG", "hybrid", "tiny", kind="replay")
+    store = TraceStore(tmp_path)
+    result = run_replay_spec(spec, store=store)
+    executed = run_workload("CG", mode="hybrid", scale="tiny")
+    _assert_identical(executed, result)
+    assert len(store) == 1
+
+
+def test_sweep_context_replay_flag(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    ctx = SweepContext(scale="tiny", store=ResultStore(tmp_path / "cache"),
+                       replay=True)
+    record = ctx.run("CG", "hybrid")
+    assert record.kind == "replay"
+    plain = SweepContext(scale="tiny").run("CG", "hybrid")
+    assert record.cycles == plain.cycles
+    assert record.memory_stats == plain.memory_stats
+
+
+# ------------------------------------------------------------------------- CLI
+def test_sweep_cli_replay_matches_plain(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    base = ["--workloads", "CG", "--modes", "hybrid", "--scales", "tiny",
+            "--cache-dir", cache]
+    assert sweep_main(base + ["--replay"]) == 0
+    replay_out = capsys.readouterr().out
+    assert sweep_main(base) == 0
+    plain_out = capsys.readouterr().out
+    # Same cycle count printed for the replay and execution cells.
+    line = next(l for l in replay_out.splitlines() if l.startswith("CG"))
+    plain_line = next(l for l in plain_out.splitlines() if l.startswith("CG"))
+    assert line.split()[3] == plain_line.split()[3]   # cycles column
+
+
+def test_sweep_cli_stats_and_prune(tmp_path, capsys):
+    import json
+    cache = str(tmp_path / "cache")
+    base = ["--workloads", "CG", "--modes", "hybrid", "--scales", "tiny",
+            "--cache-dir", cache]
+    assert sweep_main(base) == 0
+    capsys.readouterr()
+    assert sweep_main(["--stats", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "1 entry" in out and "0 stale-schema" in out
+
+    # Corrupt the schema of the stored entry: --stats reports it, --prune
+    # deletes it instead of leaving a permanent dead file.
+    store = ResultStore(cache)
+    (entry,) = store.root.glob("*/*.json")
+    payload = json.loads(entry.read_text())
+    payload["schema"] = STORE_SCHEMA + 1
+    entry.write_text(json.dumps(payload))
+    assert sweep_main(["--stats", "--cache-dir", cache]) == 0
+    assert "1 stale-schema" in capsys.readouterr().out
+    assert sweep_main(base + ["--prune"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 stale store entries" in out
+    # The sweep then re-simulated the cell and refilled the store with a
+    # current-schema entry.
+    assert store.disk_stats() == {"entries": 1,
+                                  "bytes": entry.stat().st_size,
+                                  "stale_schema": 0}
+
+
+def test_trace_cli_capture_replay_ls(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common = ["--workload", "CG", "--mode", "hybrid", "--scale", "tiny"]
+    assert trace_main(["capture", *common]) == 0
+    out = capsys.readouterr().out
+    assert "artifact" in out
+    assert trace_main(["capture", *common]) == 0
+    assert "already captured" in capsys.readouterr().out
+    assert trace_main(["replay", *common, "--set", "core.issue_width=2",
+                       "--verify"]) == 0
+    assert "cycle- and energy-identical" in capsys.readouterr().out
+    assert trace_main(["ls"]) == 0
+    assert "CG" in capsys.readouterr().out
+
+
+# --------------------------------------------- runner record normalisation fix
+def test_to_record_without_spec_is_normalised():
+    """Regression: ``to_record(spec=None)`` used to emit scale="" / empty
+    spec_hash / machine-independent placeholders."""
+    result = run_workload("cg", mode="Hybrid", scale="TINY")
+    record = result.to_record()
+    assert record.workload == "CG"
+    assert record.mode == "hybrid"
+    assert record.scale == "tiny"
+    assert record.kind == "kernel"
+    assert record.spec_hash == RunSpec.create("CG", "hybrid", "tiny").spec_hash
+    assert record.cycles == result.cycles
+
+
+def test_to_record_program_keeps_label():
+    from repro.workloads.microbenchmark import build_microbenchmark
+    program = build_microbenchmark("baseline", 0.0, 50, 1)
+    result = run_program(program, mode="hybrid", workload="micro-baseline")
+    record = result.to_record()
+    assert record.workload == "micro-baseline"
+    assert record.kind == "program"
+    assert record.scale == "-"
+    assert record.spec_hash
