@@ -1,18 +1,25 @@
 #!/usr/bin/env python
 """Benchmark the trace replay subsystem against execution-driven simulation.
 
-Measures, for every NAS workload on the hybrid machine at scale=small:
+Measures, for every NAS workload on the hybrid machine:
 
 * a 6-point machine-config ablation sweep run execution-driven (each point
   builds, compiles and simulates the workload from scratch);
 * the same sweep run through trace replay (the dynamic stream is captured
   once, then re-timed under each machine config);
 * cycle/energy identity of replay at the capture config for all NAS
-  workloads x {hybrid, cache} (the acceptance gate).
+  workloads x {hybrid, cache} (the acceptance gate);
+* the v1 (flat u64) vs v2 (columnar delta/varint) encoded size of every
+  trace, including the replay-identity check after a v2 round-trip.
 
-Writes the numbers to ``BENCH_trace.json`` at the repository root.
+Writes the numbers to ``BENCH_trace.json`` at the repository root.  With
+``--encoding-only`` just the encoding section is measured and *merged* into
+the existing report (the timing sweeps are expensive; the encoding numbers
+are what CI tracks per scale).
 
 Run:  PYTHONPATH=src python benchmarks/bench_trace_replay.py [--scale small]
+      PYTHONPATH=src python benchmarks/bench_trace_replay.py \
+          --scale medium --encoding-only
 """
 
 import argparse
@@ -22,34 +29,95 @@ import time
 from pathlib import Path
 
 from repro.harness.config import PTLSIM_CONFIG
+from repro.harness.experiments import MACHINE_ABLATION_POINTS
 from repro.harness.runner import run_workload
-from repro.trace import capture_workload, replay_trace
+from repro.trace import Trace, capture_workload, replay_trace
 from repro.workloads import BENCHMARK_ORDER
 
 #: The 6-point ablation: timing-only machine parameters (cache geometry,
 #: latencies, core width/ROB, prefetching) — exactly the kind of sweep the
 #: paper's sensitivity analysis re-runs the same dynamic stream under.
-ABLATION_POINTS = [
-    {"memory.l2_size": 128 * 1024},
-    {"memory.l1_latency": 4},
-    {"memory.memory_latency": 300},
-    {"core.issue_width": 2},
-    {"core.rob_size": 64},
-    {"memory.prefetch_enabled": False},
-]
+ABLATION_POINTS = [dict(overrides) for _, overrides in MACHINE_ABLATION_POINTS]
+
+
+def measure_encoding(scale: str, report: dict, captured=None) -> bool:
+    """Fill ``report["encoding"]`` for ``scale``; returns overall 3x pass.
+
+    ``captured`` maps workload -> (executed, trace) for capture runs a
+    caller already paid for (the full benchmark's identity loop); missing
+    workloads are captured here.
+    """
+    captured = captured or {}
+    section = report.setdefault("encoding", {})
+    per_scale = section[scale] = {"workloads": {}}
+    total_v1 = total_v2 = total_instr = 0
+    all_identical = True
+    for workload in BENCHMARK_ORDER:
+        executed, trace = (captured.get(workload)
+                           or capture_workload(workload, "hybrid", scale))
+        v1 = len(trace.to_bytes(schema=1))
+        v2_bytes = trace.to_bytes()
+        v2 = len(v2_bytes)
+        replayed = replay_trace(Trace.from_bytes(v2_bytes))
+        identical = (replayed.cycles == executed.cycles and
+                     replayed.energy.as_dict() == executed.energy.as_dict())
+        all_identical = all_identical and identical
+        total_v1 += v1
+        total_v2 += v2
+        total_instr += trace.instructions
+        per_scale["workloads"][workload] = {
+            "instructions": trace.instructions,
+            "v1_bytes": v1,
+            "v2_bytes": v2,
+            "ratio": round(v1 / v2, 2),
+            "v1_bytes_per_instruction": round(v1 / trace.instructions, 4),
+            "v2_bytes_per_instruction": round(v2 / trace.instructions, 4),
+            "v2_replay_identical": identical,
+        }
+        print(f"encode  {workload:3s} {scale}: v1={v1} v2={v2} "
+              f"({v1 / v2:4.1f}x, {v2 / trace.instructions:.3f} B/instr, "
+              f"identical={identical})")
+    per_scale["total"] = {
+        "instructions": total_instr,
+        "v1_bytes": total_v1,
+        "v2_bytes": total_v2,
+        "ratio": round(total_v1 / total_v2, 2),
+    }
+    print(f"encode  ALL {scale}: {total_v1} -> {total_v2} bytes "
+          f"({total_v1 / total_v2:.1f}x smaller)")
+    return all_identical and total_v1 >= 3 * total_v2
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="small")
+    parser.add_argument("--encoding-only", action="store_true",
+                        help="measure only v1-vs-v2 encoded sizes and merge "
+                             "them into the existing report")
     parser.add_argument("--output", default=None,
                         help="output JSON path (default: BENCH_trace.json "
                              "next to the repo root)")
     args = parser.parse_args()
     scale = args.scale
+    out = Path(args.output) if args.output else \
+        Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+
+    if args.encoding_only:
+        try:
+            report = json.loads(out.read_text())
+        except (OSError, ValueError):
+            report = {}
+        ok = measure_encoding(scale, report)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"written to {out}")
+        return 0 if ok else 1
+
     machines = [PTLSIM_CONFIG.with_overrides(point)
                 for point in ABLATION_POINTS]
-
+    try:
+        previous_encoding = json.loads(out.read_text()).get("encoding", {})
+    except (OSError, ValueError):
+        previous_encoding = {}
     report = {
         "description": "6-point machine-config ablation sweep: "
                        "execution-driven vs trace replay",
@@ -60,14 +128,20 @@ def main() -> int:
         "machine": platform.machine(),
         "workloads": {},
         "identity": {},
+        # Encoding sections from other scales are carried over, so a full
+        # run at one scale never drops the per-scale size history.
+        "encoding": previous_encoding,
     }
 
     # -- capture (once per workload; also the identity baseline) ---------------
     traces = {}
+    captured_hybrid = {}
     for workload in BENCHMARK_ORDER:
         for mode in ("hybrid", "cache"):
             start = time.perf_counter()
             executed, trace = capture_workload(workload, mode, scale)
+            if mode == "hybrid":
+                captured_hybrid[workload] = (executed, trace)
             capture_wall = time.perf_counter() - start
             replayed = replay_trace(trace)
             identical = (
@@ -81,6 +155,7 @@ def main() -> int:
                 "instructions": trace.instructions,
                 "capture_seconds": round(capture_wall, 3),
                 "trace_bytes": len(trace.to_bytes()),
+                "trace_bytes_v1": len(trace.to_bytes(schema=1)),
             }
             print(f"capture {workload:3s} {mode:6s}: "
                   f"{trace.instructions:>8d} instr, {capture_wall:5.2f}s, "
@@ -132,8 +207,7 @@ def main() -> int:
     print(f"\nTOTAL: execution {total_exec:.2f}s, replay {total_replay:.2f}s "
           f"-> {total_exec / total_replay:.1f}x")
 
-    out = Path(args.output) if args.output else \
-        Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+    measure_encoding(scale, report, captured=captured_hybrid)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"written to {out}")
     return 0

@@ -12,7 +12,7 @@ the cache in seconds, and a cold run can fan the cells out across worker
 processes.
 
 Run:  python examples/paper_evaluation.py [SCALE] [--workers N]
-          [--cache-dir DIR] [--no-cache]
+          [--cache-dir DIR] [--no-cache] [--replay]
       (default scale: tiny — use "small" for the figures quoted in
        EXPERIMENTS.md; expect a few minutes of cold simulation time)
 """
@@ -44,10 +44,16 @@ def main() -> None:
                              "or .repro-cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="simulate everything fresh, skip the store")
+    parser.add_argument("--replay", action="store_true",
+                        help="resolve kernel cells through the trace "
+                             "subsystem (capture once per family, re-time "
+                             "per machine config; cycle-identical and the "
+                             "practical route to scale=medium figures)")
     args = parser.parse_args()
 
     store = None if args.no_cache else ResultStore(args.cache_dir)
-    ctx = SweepContext(scale=args.scale, store=store, workers=args.workers)
+    ctx = SweepContext(scale=args.scale, store=store, workers=args.workers,
+                       replay=args.replay)
     start = time.time()
 
     # Resolve every kernel and microbenchmark cell up front in one sweep, so

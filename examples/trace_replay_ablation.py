@@ -7,27 +7,21 @@ then re-times it under a sweep of machine configurations — cache sizes,
 latencies, core width, prefetching — without ever re-running the execution
 frontend.  For each point the replayed cycles are compared against a fresh
 execution-driven simulation to show they are identical, along with the wall
-time of both paths.
+time of both paths.  The v2 columnar trace encoding (per-PC delta streams,
+varint/zig-zag, deflated sections) keeps even `medium`-scale streams small
+enough to store, so the sweep is practical at every scale.
 
 Run:  python examples/trace_replay_ablation.py [BENCHMARK] [SCALE]
-      (default: CG tiny)
+      (default: CG tiny; try `CG medium` for the paper-scale sweep)
 """
 
 import sys
 import time
 
 from repro.harness.config import PTLSIM_CONFIG
+from repro.harness.experiments import MACHINE_ABLATION_POINTS
 from repro.harness.runner import run_workload
 from repro.trace import capture_workload, replay_trace
-
-ABLATION = [
-    ("half L2", {"memory.l2_size": 128 * 1024}),
-    ("slow L1", {"memory.l1_latency": 4}),
-    ("slow DRAM", {"memory.memory_latency": 300}),
-    ("2-wide issue", {"core.issue_width": 2}),
-    ("small ROB", {"core.rob_size": 64}),
-    ("no prefetch", {"memory.prefetch_enabled": False}),
-]
 
 
 def main() -> None:
@@ -38,15 +32,20 @@ def main() -> None:
     start = time.perf_counter()
     baseline, trace = capture_workload(name, "hybrid", scale)
     capture_wall = time.perf_counter() - start
+    v1_bytes = len(trace.to_bytes(schema=1))
+    v2_bytes = len(trace.to_bytes())
     print(f"  {trace.instructions} instructions, {trace.branch_count} "
           f"branches, {trace.mem_count} memory ops recorded in "
-          f"{capture_wall:.2f}s ({len(trace.to_bytes())} bytes)\n")
+          f"{capture_wall:.2f}s")
+    print(f"  trace: {v2_bytes} bytes columnar v2 "
+          f"({v1_bytes} as flat v1 -> {v1_bytes / v2_bytes:.1f}x smaller, "
+          f"{v2_bytes / trace.instructions:.3f} bytes/instruction)\n")
 
     print(f"{'point':<14s} {'cycles':>12s} {'vs base':>8s} "
           f"{'replay':>8s} {'execute':>8s}  identical")
     print(f"{'baseline':<14s} {baseline.cycles:>12.0f} {'1.00x':>8s}")
     exec_total = replay_total = 0.0
-    for label, overrides in ABLATION:
+    for label, overrides in MACHINE_ABLATION_POINTS:
         machine = PTLSIM_CONFIG.with_overrides(overrides)
         start = time.perf_counter()
         replayed = replay_trace(trace, machine)

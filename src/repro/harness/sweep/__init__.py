@@ -328,14 +328,27 @@ class ResultStore:
                     pass
         return removed
 
+    def _tmp_files(self, min_age_seconds: float = 0.0) -> List[Path]:
+        """Leaked temp files from interrupted writers (``<hash>.tmp.<pid>``).
+
+        The trace store's subtree is naturally excluded (it nests one level
+        deeper); its own prune()/stats() cover it.
+        """
+        from repro.trace.store import tmp_files_under
+        return tmp_files_under(self.root, min_age_seconds)
+
     def prune(self) -> int:
-        """Delete entries whose on-disk schema is stale (or unreadable).
+        """Delete entries whose on-disk schema is stale (or unreadable),
+        plus ``*.tmp.<pid>`` files leaked by interrupted writers (only ones
+        older than the trace store's :data:`~repro.trace.store.TMP_SWEEP_MIN_AGE`,
+        sparing in-flight writers).
 
         Bumping :data:`STORE_SCHEMA` turns old entries into permanent misses
         that :meth:`get` never touches again (their hashes embed the old
         schema); this sweeps those dead files out.  Returns the number of
         files removed.
         """
+        from repro.trace.store import TMP_SWEEP_MIN_AGE
         removed = 0
         if self.root.is_dir():
             for entry in self.root.glob("*/*.json"):
@@ -350,10 +363,16 @@ class ResultStore:
                         removed += 1
                     except OSError:
                         pass
+        for entry in self._tmp_files(TMP_SWEEP_MIN_AGE):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed
 
     def disk_stats(self) -> Dict[str, int]:
-        """On-disk shape of the store: entries, bytes, stale-schema files."""
+        """On-disk shape: entries, bytes, stale-schema files, leaked temps."""
         entries = stale = total = 0
         if self.root.is_dir():
             for entry in self.root.glob("*/*.json"):
@@ -365,7 +384,8 @@ class ResultStore:
                 except (OSError, ValueError):
                     stale += 1
                 entries += 1
-        return {"entries": entries, "bytes": total, "stale_schema": stale}
+        return {"entries": entries, "bytes": total, "stale_schema": stale,
+                "tmp_files": len(self._tmp_files())}
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
@@ -375,12 +395,17 @@ class ResultStore:
 # ----------------------------------------------------------------------- execution
 def execute_spec(spec: RunSpec,
                  base_machine: Optional[MachineConfig] = None,
-                 trace_root: Optional[str] = None) -> RunRecord:
+                 trace_root: Optional[str] = None,
+                 trace_store=None) -> RunRecord:
     """Simulate one cell in-process and return its plain-data record.
 
-    ``trace_root`` points replay cells at the trace store living under a
-    specific cache root; with ``trace_root=None`` (e.g. a ``--no-cache``
-    sweep) captured traces stay in memory and nothing touches the disk.
+    Replay cells resolve their trace through ``trace_store`` when one is
+    passed (the sweep engine shares a single store — on-disk or in-memory —
+    across the whole sweep, so each (workload, mode, scale) family is
+    captured at most once).  Without one, ``trace_root`` points at the trace
+    store living under a specific cache root; with both unset (e.g. a
+    stand-alone ``--no-cache`` cell) the captured trace lives and dies with
+    this call and nothing touches the disk.
     """
     # Imported here (not at module top) to keep worker-process start cheap
     # and to avoid an import cycle with repro.harness.runner.
@@ -402,15 +427,13 @@ def execute_spec(spec: RunSpec,
         result = run_workload(spec.workload, mode=spec.mode, scale=spec.scale,
                               machine=machine)
     elif spec.kind == "replay":
-        # Capture-then-replay through the trace store that lives alongside
-        # this result store: the first cell of a (workload, mode, scale)
-        # family pays one execution-driven capture, every other machine
-        # config re-times the shared trace.
         from repro.trace import run_replay_spec
         from repro.trace.store import EphemeralTraceStore, TraceStore
-        tstore = (TraceStore(trace_root) if trace_root is not None
-                  else EphemeralTraceStore())
-        result = run_replay_spec(spec, base_machine=base_machine, store=tstore)
+        if trace_store is None:
+            trace_store = (TraceStore(trace_root) if trace_root is not None
+                           else EphemeralTraceStore())
+        result = run_replay_spec(spec, base_machine=base_machine,
+                                 store=trace_store)
     else:
         raise ValueError(f"unknown spec kind {spec.kind!r}")
     wall = time.perf_counter() - start
@@ -420,19 +443,98 @@ def execute_spec(spec: RunSpec,
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool entry point: spec dict in, record dict out (picklable)."""
     spec = RunSpec.from_dict(payload["spec"])
-    return execute_spec(spec, trace_root=payload.get("trace_root")).as_dict()
+    trace_store = None
+    if payload.get("trace_blob") is not None:
+        # A store-less (--no-cache) replay sweep ships the family's captured
+        # trace to the worker instead of letting it re-capture from scratch.
+        from repro.trace.format import Trace
+        from repro.trace.store import EphemeralTraceStore
+        trace_store = EphemeralTraceStore()
+        trace_store.put(Trace.from_bytes(payload["trace_blob"]))
+    return execute_spec(spec, trace_root=payload.get("trace_root"),
+                        trace_store=trace_store).as_dict()
+
+
+def _capture_payload(payload: Dict[str, Any]) -> None:
+    """Process-pool entry point of the pre-capture pass: record one
+    (workload, mode, scale, functional-config) family into the on-disk
+    trace store (a no-op when another worker already finished it)."""
+    from repro.trace import TraceKey, TraceStore, ensure_trace
+    key = TraceKey.from_dict(payload["key"])
+    ensure_trace(key, store=TraceStore(payload["trace_root"]))
+
+
+def _replay_family_key(spec: RunSpec, base_machine: Optional[MachineConfig]):
+    """The capture-trace key a replay cell resolves through."""
+    from repro.trace import TraceKey
+    machine = spec.resolve_machine(base_machine)
+    return TraceKey.create(spec.workload, spec.mode, spec.scale, kind="kernel",
+                           lm_size=machine.lm_size,
+                           directory_entries=machine.directory_entries)
+
+
+def _prepare_replay_traces(misses: Sequence[RunSpec], trace_store,
+                           base_machine: Optional[MachineConfig],
+                           trace_root: Optional[str], workers: int,
+                           use_pool: bool, say) -> Dict[RunSpec, str]:
+    """Capture each replay family exactly once before the sweep fans out.
+
+    Without this pass, concurrent cells of the same (workload, mode, scale)
+    family would all miss the store and each pay a full execution-driven
+    capture — making a parallel (or ``--no-cache``) replay sweep *slower*
+    than execution.  Returns the family key hash per replay spec.
+    """
+    from repro.trace import ensure_trace
+
+    families: Dict[str, Any] = {}
+    spec_family: Dict[RunSpec, str] = {}
+    for spec in misses:
+        if spec.kind != "replay":
+            continue
+        key = _replay_family_key(spec, base_machine)
+        families.setdefault(key.key_hash, key)
+        spec_family[spec] = key.key_hash
+    missing = [key for key in families.values()
+               if trace_store.get(key) is None]
+    if not missing:
+        return spec_family
+    say(f"sweep: capturing {len(missing)} trace "
+        f"famil{'y' if len(missing) == 1 else 'ies'} before replay fan-out")
+    if use_pool and workers > 1 and trace_root is not None and len(missing) > 1:
+        import concurrent.futures as cf
+        try:
+            with cf.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_capture_payload,
+                                       {"key": key.as_dict(),
+                                        "trace_root": trace_root})
+                           for key in missing]
+                for future in cf.as_completed(futures):
+                    future.result()
+            return spec_family
+        except (OSError, cf.BrokenExecutor):  # pragma: no cover - platform-specific
+            say("sweep: capture pool failed; capturing inline")
+    for key in missing:
+        if trace_store.get(key) is None:    # pool may have captured some
+            ensure_trace(key, store=trace_store, capture_machine=base_machine)
+    return spec_family
 
 
 def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
               store: Optional[ResultStore] = None,
               base_machine: Optional[MachineConfig] = None,
-              echo=None) -> List[RunRecord]:
+              echo=None, trace_store=None) -> List[RunRecord]:
     """Execute ``specs``, serving store hits and fanning misses out.
 
     Returns one record per spec, in input order.  ``workers > 1`` runs the
     misses on a process pool (falling back to inline execution if the
     platform cannot spawn worker processes).  ``echo`` is an optional
     ``callable(str)`` for progress lines.
+
+    Replay cells share a single trace store for the whole sweep —
+    ``trace_store`` when given, else the on-disk store living alongside
+    ``store``, else one in-memory store — and each (workload, mode, scale,
+    functional-config) family is captured exactly once, before the fan-out,
+    no matter how many machine configs replay it or how the sweep is cached.
     """
     say = echo or (lambda msg: None)
     records: Dict[RunSpec, RunRecord] = {}
@@ -461,14 +563,35 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
             f"with {workers if use_pool else 1} worker(s)"
             + (" (inline: custom base machine)"
                if workers > 1 and not use_pool else ""))
-    trace_root = str(store.root) if store is not None else None
+    spec_family: Dict[RunSpec, str] = {}
+    trace_root: Optional[str] = None    # cache root pool workers reopen
+    if any(spec.kind == "replay" for spec in misses):
+        from repro.trace.store import EphemeralTraceStore, TraceStore
+        if trace_store is None:
+            trace_store = (TraceStore(store.root) if store is not None
+                           else EphemeralTraceStore())
+        if isinstance(trace_store, TraceStore):
+            trace_root = str(trace_store.root.parent)
+        spec_family = _prepare_replay_traces(
+            misses, trace_store, base_machine, trace_root, workers,
+            use_pool, say)
+    # A memory-only trace store cannot be reopened by pool workers, so its
+    # captured traces ride along inside each replay payload instead.
+    family_blobs: Dict[str, bytes] = {}
+    if use_pool and trace_root is None and spec_family:
+        for spec, key_hash in spec_family.items():
+            if key_hash not in family_blobs:
+                trace = trace_store.get(_replay_family_key(spec, base_machine))
+                family_blobs[key_hash] = trace.to_bytes()
     if misses and use_pool:
         import concurrent.futures as cf
         try:
             with cf.ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {pool.submit(_execute_payload,
                                        {"spec": spec.as_dict(),
-                                        "trace_root": trace_root}): spec
+                                        "trace_root": trace_root,
+                                        "trace_blob": family_blobs.get(
+                                            spec_family.get(spec))}): spec
                            for spec in misses}
                 for future in cf.as_completed(futures):
                     spec = futures[future]
@@ -480,7 +603,8 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
             say(f"sweep: process pool failed ({exc!r}); finishing inline")
     for spec in misses:  # serial path (workers==1, custom machine, or fallback)
         if spec not in records:  # skip cells a failed pool already finished
-            finish(spec, execute_spec(spec, base_machine, trace_root=trace_root))
+            finish(spec, execute_spec(spec, base_machine, trace_root=trace_root,
+                                      trace_store=trace_store))
     return [records[spec] for spec in specs]
 
 
@@ -618,9 +742,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--clear-cache", action="store_true",
                         help="empty the result store before running")
     parser.add_argument("--prune", action="store_true",
-                        help="delete stale-schema store entries before running")
+                        help="delete stale-schema entries and leaked tmp "
+                             "files from the result AND trace stores before "
+                             "running")
+    parser.add_argument("--trace-max-bytes", type=int, default=None,
+                        help="with --prune: LRU-evict traces until the trace "
+                             "store fits this many bytes")
+    parser.add_argument("--trace-max-age-days", type=float, default=None,
+                        help="with --prune: evict traces not accessed within "
+                             "this many days")
     parser.add_argument("--stats", action="store_true",
-                        help="print result-store statistics and exit")
+                        help="print result- and trace-store statistics and exit")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="also dump the records to this JSON file")
     args = parser.parse_args(argv)
@@ -636,18 +768,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         disk = store.disk_stats()
         print(f"result store at {store.root}: {disk['entries']} entr"
               f"{'y' if disk['entries'] == 1 else 'ies'}, {disk['bytes']} "
-              f"bytes, {disk['stale_schema']} stale-schema file(s) "
+              f"bytes, {disk['stale_schema']} stale-schema file(s), "
+              f"{disk['tmp_files']} leaked tmp file(s) "
               f"(schema {STORE_SCHEMA})")
-        from repro.trace import TraceStore
+        from repro.trace import TRACE_SCHEMA, TraceStore
         traces = TraceStore(store.root)
         tdisk = traces.disk_stats()
         print(f"trace store at {traces.root}: {tdisk['entries']} trace(s), "
-              f"{tdisk['bytes']} bytes")
+              f"{tdisk['bytes']} bytes, {tdisk['stale_schema']} stale-schema "
+              f"file(s), {tdisk['tmp_files']} leaked tmp file(s) "
+              f"(schema {TRACE_SCHEMA})")
         return 0
     if store is not None and args.clear_cache:
         print(f"cleared {store.clear()} store entries under {store.root}")
     if store is not None and args.prune:
-        print(f"pruned {store.prune()} stale store entries under {store.root}")
+        print(f"pruned {store.prune()} stale/tmp store files under {store.root}")
+        from repro.trace import TraceStore
+        traces = TraceStore(store.root)
+        tcounts = traces.prune(max_bytes=args.trace_max_bytes,
+                               max_age_days=args.trace_max_age_days)
+        print(f"pruned traces under {traces.root}: "
+              f"{tcounts['stale_schema']} stale-schema, "
+              f"{tcounts['tmp_files']} tmp, {tcounts['evicted']} LRU-evicted "
+              f"({tcounts['freed_bytes']} bytes freed, {tcounts['kept']} kept)")
 
     cells = sweep.cells()
     if args.replay:

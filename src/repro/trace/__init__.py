@@ -40,9 +40,10 @@ from repro.trace.capture import TraceRecorder, capture_micro, capture_workload
 from repro.trace.replay import (
     ReplayValidityError,
     check_replay_machine,
+    recover_mem_pcs,
     replay_trace,
 )
-from repro.trace.store import TraceStore
+from repro.trace.store import EphemeralTraceStore, TraceStore
 
 __all__ = [
     "TRACE_SCHEMA",
@@ -51,12 +52,14 @@ __all__ = [
     "TraceKey",
     "TraceRecorder",
     "TraceStore",
+    "EphemeralTraceStore",
     "ReplayValidityError",
     "capture_micro",
     "capture_workload",
     "check_replay_machine",
     "ensure_trace",
     "program_fingerprint",
+    "recover_mem_pcs",
     "replay_trace",
     "run_replay_spec",
 ]
@@ -104,10 +107,11 @@ def run_replay_spec(spec, base_machine=None, store: Optional[TraceStore] = None)
     """
     from repro.harness.config import PTLSIM_CONFIG
     machine = spec.resolve_machine(base_machine)
+    # The key inherits this machine's functional parameters, so replay_trace's
+    # own check_replay_machine gate passes by construction.
     key = TraceKey.create(spec.workload, spec.mode, spec.scale, kind="kernel",
                           lm_size=machine.lm_size,
                           directory_entries=machine.directory_entries)
-    check_replay_machine(key, machine)
     trace, captured = ensure_trace(key, store=store,
                                    capture_machine=base_machine or PTLSIM_CONFIG)
     if captured is not None:

@@ -5,6 +5,8 @@ Subcommands::
     capture   record the dynamic stream of one (workload, mode, scale) cell
     replay    re-time a captured stream under machine-config overrides
     ls        list the traces held in the store
+    migrate   re-encode old-schema traces at the current schema, in place
+    prune     sweep stale/tmp files and evict LRU entries over the caps
 
 Examples::
 
@@ -12,11 +14,14 @@ Examples::
     python -m repro.trace replay --workload CG --mode hybrid --scale small \\
         --set memory.l2_size=131072 --set core.issue_width=2
     python -m repro.trace ls
+    python -m repro.trace migrate
+    python -m repro.trace prune --max-bytes 268435456 --max-age-days 30
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 import time
 from typing import Optional, Sequence
@@ -24,6 +29,7 @@ from typing import Optional, Sequence
 from repro.harness.config import PTLSIM_CONFIG
 from repro.harness.sweep import _parse_overrides
 from repro.trace import (
+    TRACE_SCHEMA,
     ReplayValidityError,
     TraceError,
     TraceKey,
@@ -98,9 +104,11 @@ def _cmd_replay(args) -> int:
         print(f"overrides  {', '.join(f'{k}={v}' for k, v in sorted(overrides.items()))}")
     print(f"replayed   {trace.instructions} instructions in {wall:.2f}s")
     if args.verify:
+        from repro.harness.runner import run_workload
         start = time.perf_counter()
-        executed, _ = capture_workload(args.workload, args.mode, args.scale,
-                                       machine=machine)
+        # No recorder: the baseline should not pay trace-capture overhead.
+        executed = run_workload(args.workload, mode=args.mode,
+                                scale=args.scale, machine=machine)
         exec_wall = time.perf_counter() - start
         print(_summary("execute", executed))
         identical = (executed.cycles == result.cycles and
@@ -126,13 +134,40 @@ def _cmd_ls(args) -> int:
     print("-" * 104)
     for path, trace in rows:
         k = trace.key
+        # Hash the stored bytes directly: Trace.content_hash would pay a
+        # full re-encode per row just to print 16 characters.
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()[:16]
         print(f"{k.workload:<10s} {k.mode:<14s} {k.scale:<7s} "
               f"{k.lm_size // 1024:>6d}K {k.directory_entries:>4d} "
               f"{trace.instructions:>10d} {trace.branch_count:>9d} "
               f"{trace.mem_count:>9d} {path.stat().st_size:>10d}  "
-              f"{trace.content_hash:<16s}")
+              f"{digest:<16s}")
     stats = store.disk_stats()
-    print(f"\n{stats['entries']} trace(s), {stats['bytes']} bytes under {store.root}")
+    print(f"\n{stats['entries']} trace(s), {stats['bytes']} bytes under "
+          f"{store.root} ({stats['stale_schema']} stale-schema, "
+          f"{stats['tmp_files']} leaked tmp)")
+    return 0
+
+
+def _cmd_migrate(args) -> int:
+    from repro.trace import recover_mem_pcs
+    store = TraceStore(args.cache_dir)
+    counts = store.migrate(recover_pcs=recover_mem_pcs)
+    print(f"trace store at {store.root}: migrated {counts['migrated']}, "
+          f"already current {counts['current']}, unreadable "
+          f"{counts['failed']} (schema {TRACE_SCHEMA})")
+    return 0
+
+
+def _cmd_prune(args) -> int:
+    store = TraceStore(args.cache_dir)
+    max_bytes = args.max_bytes if args.max_bytes >= 0 else None
+    max_age = args.max_age_days if args.max_age_days >= 0 else None
+    counts = store.prune(max_bytes=max_bytes, max_age_days=max_age)
+    print(f"trace store at {store.root}: removed {counts['stale_schema']} "
+          f"stale-schema, {counts['tmp_files']} tmp, {counts['evicted']} "
+          f"LRU-evicted ({counts['freed_bytes']} bytes freed); "
+          f"{counts['kept']} trace(s), {counts['kept_bytes']} bytes kept")
     return 0
 
 
@@ -158,6 +193,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_ls.add_argument("--cache-dir", default=None,
                       help="cache root (default $REPRO_CACHE_DIR or .repro-cache)")
     p_ls.set_defaults(func=_cmd_ls)
+
+    p_migrate = sub.add_parser(
+        "migrate", help="upgrade old-schema traces to the current encoding")
+    p_migrate.add_argument("--cache-dir", default=None,
+                           help="cache root (default $REPRO_CACHE_DIR or "
+                                ".repro-cache)")
+    p_migrate.set_defaults(func=_cmd_migrate)
+
+    p_prune = sub.add_parser(
+        "prune", help="sweep stale/tmp files and evict LRU entries")
+    p_prune.add_argument("--cache-dir", default=None,
+                         help="cache root (default $REPRO_CACHE_DIR or "
+                              ".repro-cache)")
+    p_prune.add_argument("--max-bytes", type=int, default=-1,
+                         help="evict least-recently-used traces until the "
+                              "store fits this many bytes")
+    p_prune.add_argument("--max-age-days", type=float, default=-1,
+                         help="evict traces not accessed within this many days")
+    p_prune.set_defaults(func=_cmd_prune)
 
     args = parser.parse_args(argv)
     try:

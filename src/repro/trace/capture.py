@@ -29,6 +29,7 @@ class TraceRecorder:
         self.count = 0
         self.branches: list = []      # bool per executed conditional branch
         self.addresses: list = []     # vaddr per executed load/store
+        self.pcs: list = []           # static index per executed load/store
         self.dma: list = []           # flattened (lm_vaddr, sm_addr, size)
 
     def record(self, dyn) -> None:
@@ -36,6 +37,7 @@ class TraceRecorder:
         inst = dyn.inst
         if inst.is_memory:
             self.addresses.append(dyn.address)
+            self.pcs.append(dyn.index)
         elif inst.is_conditional_branch:
             self.branches.append(dyn.branch_taken)
         elif dyn.dma_args is not None:
@@ -52,6 +54,7 @@ class TraceRecorder:
             branch_bits=pack_bits(self.branches),
             mem_addrs=array("Q", self.addresses),
             dma_words=array("q", self.dma),
+            mem_pcs=array("I", self.pcs),
         )
 
 

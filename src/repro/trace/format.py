@@ -24,14 +24,30 @@ memory size and the number of directory entries.  Those two values are part
 of :class:`TraceKey` and replay refuses machine configurations that change
 them (see :mod:`repro.trace.replay`).
 
-Serialisation is a little-endian binary layout::
+Serialisation is a little-endian binary layout behind a versioned header::
 
-    b"RPTR" | u16 schema | u32 header_len | header JSON | branch bits
-            | mem addresses (u64 array) | dma operands (i64 array)
+    b"RPTR" | u16 schema | u32 header_len | header JSON | sections
+
+Schema 1 (still readable) stores the three columns flat::
+
+    branch bits | mem addresses (u64 array) | dma operands (i64 array)
+
+Schema 2 is columnar: branch bits stay as-is, but memory addresses are
+split into one stream per *static PC* (each load/store instruction emits a
+highly regular address sequence — constant strides mostly — even when the
+interleaved global sequence looks random), and every stream is
+delta-encoded with zig-zag + LEB128 varint packing, falling back to raw
+u64 for irregular streams where that would not pay.  A varint stream-id
+column records the interleave so the flat retirement-order sequence is
+recovered without consulting the program.  DMA operands become three
+delta-encoded columns (``lm_vaddr`` / ``sm_addr`` / ``size``).  Each
+section is additionally DEFLATE-compressed when that shrinks it (the
+stream-id column is periodic in loop-heavy code and all but disappears).
 
 The header JSON is canonical (sorted keys), so the content hash of a trace
-— SHA-256 over the serialised bytes — is deterministic across processes and
-platforms.
+— SHA-256 over the serialised bytes — is deterministic across processes.
+(v1 bytes are also platform-independent; v2 bytes additionally depend on
+the host's zlib build, so compare v2 content hashes within one platform.)
 """
 
 from __future__ import annotations
@@ -40,12 +56,23 @@ import hashlib
 import json
 import struct
 import sys
+import zlib
 from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
-#: Version of the trace format; a mismatch turns a stored trace into a miss.
-TRACE_SCHEMA = 1
+#: Version of the trace format new traces are written with.  Readers accept
+#: every schema in :data:`SUPPORTED_SCHEMAS`; the store keys traces by
+#: (schema, key), so bumping this turns stored traces into permanent misses
+#: that ``migrate`` upgrades in place (or ``prune`` sweeps out).
+TRACE_SCHEMA = 2
+
+#: Schemas :meth:`Trace.from_bytes` can parse.
+SUPPORTED_SCHEMAS = (1, 2)
+
+#: Stream-table sentinel for address streams with no recorded static PC
+#: (v1 traces migrated without rebuilding their program).
+NO_PC = -1
 
 #: File magic of serialised traces.
 TRACE_MAGIC = b"RPTR"
@@ -154,6 +181,103 @@ def _le_array(typecode: str, data: bytes) -> array:
     return arr
 
 
+# ------------------------------------------------------ varint / zig-zag codec
+def encode_deltas(values: Sequence[int]) -> bytes:
+    """Delta-encode ``values`` (zig-zag + LEB128 varint, previous starts at 0)."""
+    out = bytearray()
+    append = out.append
+    prev = 0
+    for value in values:
+        delta = value - prev
+        prev = value
+        zz = (delta << 1) if delta >= 0 else ((-delta << 1) - 1)
+        while zz > 0x7F:
+            append((zz & 0x7F) | 0x80)
+            zz >>= 7
+        append(zz)
+    return bytes(out)
+
+
+def decode_deltas(data: bytes, count: int, pos: int = 0) -> Tuple[List[int], int]:
+    """Inverse of :func:`encode_deltas`: ``(values, next_pos)``."""
+    values = []
+    append = values.append
+    prev = 0
+    end = len(data)
+    try:
+        for _ in range(count):
+            zz = 0
+            shift = 0
+            while True:
+                if pos >= end:
+                    raise TraceError("truncated varint stream")
+                byte = data[pos]
+                pos += 1
+                zz |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+            delta = (zz >> 1) if not (zz & 1) else -((zz + 1) >> 1)
+            prev += delta
+            append(prev)
+    except IndexError:  # pragma: no cover - defensive, end check raises first
+        raise TraceError("truncated varint stream") from None
+    return values, pos
+
+
+def encode_uvarints(values: Sequence[int]) -> bytes:
+    """LEB128-encode a sequence of non-negative integers."""
+    out = bytearray()
+    append = out.append
+    for value in values:
+        while value > 0x7F:
+            append((value & 0x7F) | 0x80)
+            value >>= 7
+        append(value)
+    return bytes(out)
+
+
+def decode_uvarints(data: bytes, count: int, pos: int = 0) -> Tuple[List[int], int]:
+    """Inverse of :func:`encode_uvarints`: ``(values, next_pos)``."""
+    values = []
+    append = values.append
+    end = len(data)
+    for _ in range(count):
+        value = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise TraceError("truncated varint stream")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        append(value)
+    return values, pos
+
+
+def _pack_section(payload: bytes) -> Tuple[bytes, str]:
+    """DEFLATE a section when that shrinks it; returns ``(stored, codec)``."""
+    if len(payload) > 64:
+        squeezed = zlib.compress(payload, 6)
+        if len(squeezed) < len(payload):
+            return squeezed, "deflate"
+    return payload, "raw"
+
+
+def _unpack_section(stored: bytes, codec: str) -> bytes:
+    if codec == "deflate":
+        try:
+            return zlib.decompress(stored)
+        except zlib.error as exc:
+            raise TraceError(f"corrupted deflate section: {exc}") from exc
+    if codec != "raw":
+        raise TraceError(f"unknown section codec {codec!r}")
+    return stored
+
+
 def program_fingerprint(program) -> str:
     """Stable hash of a laid-out program's static code and data layout.
 
@@ -177,7 +301,14 @@ def program_fingerprint(program) -> str:
 
 @dataclass
 class Trace:
-    """One captured dynamic stream (see the module docstring for contents)."""
+    """One captured dynamic stream (see the module docstring for contents).
+
+    ``mem_pcs`` holds the static instruction index of each memory access, in
+    the same retirement order as ``mem_addrs``.  It drives the per-PC stream
+    grouping of the v2 encoding and round-trips through it; traces parsed
+    from v1 bytes leave it empty (the v2 writer then falls back to a single
+    unattributed stream, see :data:`NO_PC`).
+    """
 
     key: TraceKey
     program_fingerprint: str
@@ -186,6 +317,7 @@ class Trace:
     branch_bits: bytes = b""
     mem_addrs: array = field(default_factory=lambda: array("Q"))
     dma_words: array = field(default_factory=lambda: array("q"))
+    mem_pcs: array = field(default_factory=lambda: array("I"))
 
     # -- derived -----------------------------------------------------------------
     def branch_outcomes(self) -> List[bool]:
@@ -205,19 +337,107 @@ class Trace:
         return hashlib.sha256(self.to_bytes()).hexdigest()[:16]
 
     # -- serialisation ------------------------------------------------------------
-    def to_bytes(self) -> bytes:
-        header = json.dumps({
-            "schema": TRACE_SCHEMA,
+    def _header_common(self, schema: int) -> Dict[str, Any]:
+        return {
+            "schema": schema,
             "key": self.key.as_dict(),
             "fingerprint": self.program_fingerprint,
             "instructions": self.instructions,
             "branch_count": self.branch_count,
             "mem_count": len(self.mem_addrs),
             "dma_count": len(self.dma_words),
-        }, sort_keys=True, separators=(",", ":")).encode()
-        parts = [TRACE_MAGIC, struct.pack("<HI", TRACE_SCHEMA, len(header)),
+        }
+
+    def to_bytes(self, schema: int = TRACE_SCHEMA) -> bytes:
+        if schema == 1:
+            return self._to_bytes_v1()
+        if schema == 2:
+            return self._to_bytes_v2()
+        raise TraceError(f"cannot write trace schema {schema}")
+
+    def _to_bytes_v1(self) -> bytes:
+        header = json.dumps(self._header_common(1), sort_keys=True,
+                            separators=(",", ":")).encode()
+        parts = [TRACE_MAGIC, struct.pack("<HI", 1, len(header)),
                  header, self.branch_bits,
                  _le_bytes(self.mem_addrs), _le_bytes(self.dma_words)]
+        return b"".join(parts)
+
+    def _to_bytes_v2(self) -> bytes:
+        mem_addrs = self.mem_addrs
+        mem_pcs = self.mem_pcs
+        if mem_pcs and len(mem_pcs) != len(mem_addrs):
+            raise TraceError(
+                f"mem_pcs length {len(mem_pcs)} != mem_addrs {len(mem_addrs)}")
+        if len(self.dma_words) % 3:
+            # The v2 reader rejects ragged DMA columns; fail at write time
+            # instead of minting a permanently unparseable artifact.
+            raise TraceError(
+                f"dma_words length {len(self.dma_words)} is not a multiple "
+                "of 3 (lm_vaddr, sm_addr, size triples)")
+
+        # Group addresses into per-static-PC streams (first-appearance order).
+        stream_pcs: List[int] = []
+        stream_values: List[List[int]] = []
+        if mem_pcs:
+            index_of: Dict[int, int] = {}
+            stream_ids = []
+            ids_append = stream_ids.append
+            for pc, addr in zip(mem_pcs, mem_addrs):
+                sid = index_of.get(pc)
+                if sid is None:
+                    sid = index_of[pc] = len(stream_pcs)
+                    stream_pcs.append(pc)
+                    stream_values.append([])
+                stream_values[sid].append(addr)
+                ids_append(sid)
+        else:
+            stream_ids = []
+            if len(mem_addrs):
+                stream_pcs = [NO_PC]
+                stream_values = [list(mem_addrs)]
+        if len(stream_pcs) <= 1:
+            # A single stream needs no interleave column (the reader rejects
+            # one): every access trivially belongs to stream 0.
+            stream_ids = []
+
+        # Encode each stream: zig-zag varint deltas, raw u64 for irregular
+        # streams where the packed form would not be smaller.
+        streams_meta = []
+        mem_parts = []
+        for pc, values in zip(stream_pcs, stream_values):
+            packed = encode_deltas(values)
+            if len(packed) < 8 * len(values):
+                enc = "delta"
+            else:
+                enc = "raw"
+                packed = _le_bytes(array("Q", values))
+            streams_meta.append({"pc": pc, "n": len(values), "enc": enc})
+            mem_parts.append(packed)
+
+        # DMA operands: three delta-encoded columns (lm_vaddr, sm_addr, size).
+        dma_payload = b"".join(
+            encode_deltas(self.dma_words[col::3]) for col in range(3)
+        ) if len(self.dma_words) else b""
+
+        sections = []
+        sections_meta = []
+        for name, payload in (("ids", encode_uvarints(stream_ids)),
+                              ("mem", b"".join(mem_parts)),
+                              ("dma", dma_payload)):
+            stored, codec = _pack_section(payload)
+            sections.append(stored)
+            sections_meta.append({"id": name, "bytes": len(stored),
+                                  "codec": codec})
+
+        header_dict = self._header_common(2)
+        header_dict["v2"] = {"streams": streams_meta,
+                             "sections": sections_meta}
+        header = json.dumps(header_dict, sort_keys=True,
+                            separators=(",", ":")).encode()
+        parts = [TRACE_MAGIC, struct.pack("<HI", 2, len(header)),
+                 header, self.branch_bits]
+        parts.extend(sections)
         return b"".join(parts)
 
     @classmethod
@@ -226,23 +446,27 @@ class Trace:
             if data[:4] != TRACE_MAGIC:
                 raise TraceError("bad magic (not a trace file)")
             schema, header_len = struct.unpack_from("<HI", data, 4)
-            if schema != TRACE_SCHEMA:
-                raise TraceError(f"trace schema {schema} != {TRACE_SCHEMA}")
+            if schema not in SUPPORTED_SCHEMAS:
+                raise TraceError(
+                    f"trace schema {schema} not in {SUPPORTED_SCHEMAS}")
             pos = 10
             header = json.loads(data[pos:pos + header_len].decode())
             pos += header_len
+            if header.get("schema") != schema:
+                raise TraceError("header schema disagrees with binary schema")
             branch_count = header["branch_count"]
             nbits = (branch_count + 7) // 8
             branch_bits = data[pos:pos + nbits]
+            if len(branch_bits) != nbits:
+                raise TraceError("truncated branch-bit section")
             pos += nbits
-            mem_count = header["mem_count"]
-            mem_addrs = _le_array("Q", data[pos:pos + 8 * mem_count])
-            pos += 8 * mem_count
-            dma_count = header["dma_count"]
-            dma_words = _le_array("q", data[pos:pos + 8 * dma_count])
-            pos += 8 * dma_count
-            if (len(branch_bits) != nbits or len(mem_addrs) != mem_count or
-                    len(dma_words) != dma_count or pos != len(data)):
+            if schema == 1:
+                mem_addrs, dma_words, mem_pcs, pos = \
+                    cls._payload_from_v1(data, pos, header)
+            else:
+                mem_addrs, dma_words, mem_pcs, pos = \
+                    cls._payload_from_v2(data, pos, header)
+            if pos != len(data):
                 raise TraceError("truncated or oversized trace payload")
             return cls(
                 key=TraceKey.from_dict(header["key"]),
@@ -252,9 +476,105 @@ class Trace:
                 branch_bits=branch_bits,
                 mem_addrs=mem_addrs,
                 dma_words=dma_words,
+                mem_pcs=mem_pcs,
             )
         except TraceError:
             raise
-        except (KeyError, ValueError, TypeError, struct.error,
-                UnicodeDecodeError) as exc:
+        except (KeyError, IndexError, ValueError, TypeError, struct.error,
+                OverflowError, UnicodeDecodeError) as exc:
             raise TraceError(f"corrupted trace: {exc}") from exc
+
+    @staticmethod
+    def _payload_from_v1(data: bytes, pos: int, header) -> tuple:
+        mem_count = header["mem_count"]
+        mem_addrs = _le_array("Q", data[pos:pos + 8 * mem_count])
+        pos += 8 * mem_count
+        dma_count = header["dma_count"]
+        dma_words = _le_array("q", data[pos:pos + 8 * dma_count])
+        pos += 8 * dma_count
+        if len(mem_addrs) != mem_count or len(dma_words) != dma_count:
+            raise TraceError("truncated or oversized trace payload")
+        return mem_addrs, dma_words, array("I"), pos
+
+    @staticmethod
+    def _payload_from_v2(data: bytes, pos: int, header) -> tuple:
+        meta = header["v2"]
+        streams_meta = meta["streams"]
+        payloads = {}
+        for section in meta["sections"]:
+            stored = data[pos:pos + section["bytes"]]
+            if len(stored) != section["bytes"]:
+                raise TraceError(f"truncated {section['id']} section")
+            pos += section["bytes"]
+            payloads[section["id"]] = _unpack_section(stored, section["codec"])
+
+        mem_count = header["mem_count"]
+        if sum(s["n"] for s in streams_meta) != mem_count:
+            raise TraceError("stream table disagrees with mem_count")
+        mem_payload = payloads.get("mem", b"")
+        mpos = 0
+        stream_addrs: List[List[int]] = []
+        for stream in streams_meta:
+            count = stream["n"]
+            if stream["enc"] == "delta":
+                values, mpos = decode_deltas(mem_payload, count, mpos)
+            elif stream["enc"] == "raw":
+                values = list(_le_array("Q", mem_payload[mpos:mpos + 8 * count]))
+                if len(values) != count:
+                    raise TraceError("truncated raw address stream")
+                mpos += 8 * count
+            else:
+                raise TraceError(f"unknown stream encoding {stream['enc']!r}")
+            stream_addrs.append(values)
+        if mpos != len(mem_payload):
+            raise TraceError("oversized mem section")
+
+        # Re-interleave the streams into retirement order.
+        if len(streams_meta) > 1:
+            ids, ipos = decode_uvarints(payloads.get("ids", b""), mem_count)
+            if ipos != len(payloads.get("ids", b"")):
+                raise TraceError("oversized ids section")
+            cursors = [0] * len(streams_meta)
+            mem_addrs = array("Q")
+            mem_pcs = array("I")
+            addrs_append = mem_addrs.append
+            pcs_append = mem_pcs.append
+            for sid in ids:
+                if sid >= len(streams_meta):
+                    raise TraceError(f"stream id {sid} out of range")
+                addrs_append(stream_addrs[sid][cursors[sid]])
+                pcs_append(streams_meta[sid]["pc"])
+                cursors[sid] += 1
+            if cursors != [s["n"] for s in streams_meta]:
+                raise TraceError("stream interleave disagrees with stream table")
+        elif streams_meta:
+            if payloads.get("ids"):
+                raise TraceError("oversized ids section")
+            mem_addrs = array("Q", stream_addrs[0])
+            pc = streams_meta[0]["pc"]
+            mem_pcs = (array("I", [pc] * mem_count) if pc != NO_PC
+                       else array("I"))
+        else:
+            if payloads.get("ids"):
+                raise TraceError("oversized ids section")
+            mem_addrs = array("Q")
+            mem_pcs = array("I")
+
+        dma_count = header["dma_count"]
+        dma_payload = payloads.get("dma", b"")
+        if dma_count:
+            if dma_count % 3:
+                raise TraceError("dma_count is not a multiple of 3")
+            per_col = dma_count // 3
+            dma_words = array("q", bytes(8 * dma_count))
+            dpos = 0
+            for col in range(3):
+                values, dpos = decode_deltas(dma_payload, per_col, dpos)
+                dma_words[col::3] = array("q", values)
+            if dpos != len(dma_payload):
+                raise TraceError("oversized dma section")
+        else:
+            if dma_payload:
+                raise TraceError("oversized dma section")
+            dma_words = array("q")
+        return mem_addrs, dma_words, mem_pcs, pos

@@ -50,6 +50,7 @@ widths, predictor sizes, DMA costs and energy parameters are all fair game.
 
 from __future__ import annotations
 
+from array import array
 from collections import OrderedDict
 from typing import Optional
 
@@ -62,7 +63,8 @@ from repro.energy.model import EnergyModel
 from repro.isa.instructions import Opcode
 from repro.trace.format import Trace, TraceError, TraceKey, program_fingerprint
 
-__all__ = ["ReplayValidityError", "check_replay_machine", "replay_trace"]
+__all__ = ["ReplayValidityError", "check_replay_machine", "recover_mem_pcs",
+           "replay_trace"]
 
 
 class ReplayValidityError(ValueError):
@@ -307,6 +309,25 @@ def _l1i_stats(trace: Trace, seq, config, mem_config):
         _L1I_CACHE.move_to_end(cache_key)
     stats, accesses = entry
     return _dc.replace(stats), accesses
+
+
+def recover_mem_pcs(trace: Trace) -> array:
+    """Reconstruct the static PC of each memory access of a trace.
+
+    v1 traces carry no per-access PCs; the v2 columnar encoding groups
+    addresses by them.  Rebuilding the program and walking it with the
+    recorded branch outcomes (the same walk replay performs) recovers the
+    PCs exactly.  Raises :class:`TraceError` when the trace no longer
+    matches the rebuilt program.
+    """
+    program, compiled, hot, cold, fu_values, phase_names, fingerprint = \
+        _cached_program(trace.key)
+    if fingerprint != trace.program_fingerprint:
+        raise TraceError(
+            f"trace {trace.key.label} is stale: program fingerprint "
+            f"{trace.program_fingerprint} != rebuilt {fingerprint}")
+    seq, *_ = _cached_decode(trace, hot, cold, fu_values)
+    return array("I", [h[7] for h in seq if h[0] == _K_LOAD or h[0] == _K_STORE])
 
 
 def replay_trace(trace: Trace,

@@ -9,18 +9,86 @@ the captured streams they can be re-timed from.
 Layout: ``<root>/traces/<key_hash[:2]>/<key_hash>.trace``, one file per
 :class:`~repro.trace.format.TraceKey`, written atomically.  A file that
 cannot be parsed or fails its schema check is treated as a miss and removed.
+
+The store is **capacity-managed**: :meth:`TraceStore.prune` sweeps
+stale-schema artifacts (the key hash embeds the schema, so a format bump
+strands old files at addresses :meth:`get` never probes again) and leaked
+``*.tmp.<pid>`` files from interrupted writers, then evicts
+least-recently-used entries — :meth:`get` touches the access time on every
+hit — until the store fits ``max_bytes`` / ``max_age_days``.
+:meth:`TraceStore.migrate` instead upgrades old-schema artifacts in place.
 """
 
 from __future__ import annotations
 
 import os
+import struct
+import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.trace.format import Trace, TraceError, TraceKey
+from repro.trace.format import TRACE_MAGIC, TRACE_SCHEMA, Trace, TraceError, TraceKey
 
 #: Subdirectory of the cache root holding trace artifacts.
 TRACE_SUBDIR = "traces"
+
+#: Tmp files younger than this (seconds) are presumed to belong to a live
+#: writer (between ``write_bytes`` and ``os.replace``) and are not swept.
+TMP_SWEEP_MIN_AGE = 3600.0
+
+#: Process-wide memo of parsed artifacts, keyed by (path, mtime_ns, size):
+#: a replay sweep probes and re-reads the same family trace once per cell,
+#: and the v2 decode (inflate + varint walk) is the expensive part.
+_PARSE_CACHE: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
+_PARSE_CACHE_CAP = 8
+
+
+def _parse_cached(path: Path, stat: os.stat_result) -> Trace:
+    cache_key = (str(path), stat.st_mtime_ns, stat.st_size)
+    trace = _PARSE_CACHE.get(cache_key)
+    if trace is None:
+        trace = Trace.from_bytes(path.read_bytes())
+        _PARSE_CACHE[cache_key] = trace
+        while len(_PARSE_CACHE) > _PARSE_CACHE_CAP:
+            _PARSE_CACHE.popitem(last=False)
+    else:
+        _PARSE_CACHE.move_to_end(cache_key)
+    return trace
+
+
+def tmp_files_under(root: Path, min_age_seconds: float = 0.0) -> List[Path]:
+    """Leaked ``*.tmp.<pid>`` files one directory level under ``root``.
+
+    Shared by :class:`TraceStore` and the sweep engine's ``ResultStore``
+    (both write ``<hash>.tmp.<pid>`` then ``os.replace``).  Files modified
+    within the last ``min_age_seconds`` are skipped — they may belong to a
+    writer currently between its write and its rename; sweeping those would
+    crash the writer.
+    """
+    if not root.is_dir():
+        return []
+    cutoff = time.time() - min_age_seconds
+    out = []
+    for path in sorted(root.glob("*/*.tmp.*")):
+        try:
+            if path.is_file() and path.stat().st_mtime <= cutoff:
+                out.append(path)
+        except OSError:
+            continue
+    return out
+
+
+def _file_schema(path: Path) -> Optional[int]:
+    """The schema stamped in a trace file's binary header (None = unreadable)."""
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(6)
+    except OSError:
+        return None
+    if len(head) < 6 or head[:4] != TRACE_MAGIC:
+        return None
+    return struct.unpack_from("<H", head, 4)[0]
 
 
 class TraceStore:
@@ -43,8 +111,8 @@ class TraceStore:
     def get(self, key: TraceKey) -> Optional[Trace]:
         path = self.path_for(key)
         try:
-            data = path.read_bytes()
-            trace = Trace.from_bytes(data)
+            stat = path.stat()
+            trace = _parse_cached(path, stat)
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -58,6 +126,13 @@ class TraceStore:
                 pass
             return None
         self.hits += 1
+        try:
+            # Refresh the access time explicitly: relatime/noatime mounts
+            # would otherwise starve the LRU eviction in prune() of signal.
+            # The mtime is preserved — it keys the parse memo.
+            os.utime(path, ns=(time.time_ns(), stat.st_mtime_ns))
+        except OSError:
+            pass
         return trace
 
     def put(self, trace: Trace) -> Path:
@@ -67,6 +142,15 @@ class TraceStore:
         tmp.write_bytes(trace.to_bytes())
         os.replace(tmp, path)
         self.writes += 1
+        try:
+            # Seed the parse memo so the sweep that just captured this trace
+            # does not pay a decode to read its own write back.
+            stat = path.stat()
+            _PARSE_CACHE[(str(path), stat.st_mtime_ns, stat.st_size)] = trace
+            while len(_PARSE_CACHE) > _PARSE_CACHE_CAP:
+                _PARSE_CACHE.popitem(last=False)
+        except OSError:  # pragma: no cover - stat raced a concurrent delete
+            pass
         return path
 
     # -- introspection ------------------------------------------------------------
@@ -85,10 +169,12 @@ class TraceStore:
             except (OSError, TraceError):
                 continue
 
+    def _tmp_files(self, min_age_seconds: float = 0.0) -> List[Path]:
+        return tmp_files_under(self.root, min_age_seconds)
+
     def disk_stats(self) -> Dict[str, int]:
-        """Entry count and total bytes on disk."""
-        entries = 0
-        total = 0
+        """On-disk shape: entries, bytes, stale-schema files, leaked temps."""
+        entries = stale = total = 0
         if self.root.is_dir():
             for path in self.root.glob("*/*.trace"):
                 try:
@@ -96,7 +182,117 @@ class TraceStore:
                     entries += 1
                 except OSError:
                     continue
-        return {"entries": entries, "bytes": total}
+                if _file_schema(path) != TRACE_SCHEMA:
+                    stale += 1
+        return {"entries": entries, "bytes": total, "stale_schema": stale,
+                "tmp_files": len(self._tmp_files())}
+
+    def prune(self, max_bytes: Optional[int] = None,
+              max_age_days: Optional[float] = None) -> Dict[str, int]:
+        """Shrink the store: stale/tmp sweep plus LRU-by-atime eviction.
+
+        Always removes stale-schema (or unreadable) artifacts and leaked
+        ``*.tmp.<pid>`` files (only ones older than
+        :data:`TMP_SWEEP_MIN_AGE`, so a concurrent writer's in-flight temp
+        file is left alone).  With ``max_age_days``, entries whose access
+        time is older are evicted; with ``max_bytes``, least-recently-used
+        entries are evicted until the surviving total fits.  Returns the
+        sweep counters (``stale_schema`` / ``tmp_files`` / ``evicted`` /
+        ``freed_bytes`` / ``kept`` / ``kept_bytes``).
+        """
+        counts = {"stale_schema": 0, "tmp_files": 0, "evicted": 0,
+                  "freed_bytes": 0, "kept": 0, "kept_bytes": 0}
+
+        def unlink(path: Path, bucket: str, size: int = 0) -> bool:
+            try:
+                path.unlink()
+            except OSError:
+                return False
+            counts[bucket] += 1
+            counts["freed_bytes"] += size
+            return True
+
+        for path in self._tmp_files(TMP_SWEEP_MIN_AGE):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            unlink(path, "tmp_files", size)
+
+        live: List[Tuple[float, int, Path]] = []   # (atime, size, path)
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*/*.trace")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if _file_schema(path) != TRACE_SCHEMA:
+                    if not unlink(path, "stale_schema", stat.st_size):
+                        live.append((stat.st_atime, stat.st_size, path))
+                else:
+                    live.append((stat.st_atime, stat.st_size, path))
+
+        now = time.time()
+        survivors: List[Tuple[float, int, Path]] = []
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            for atime, size, path in live:
+                if atime >= cutoff or not unlink(path, "evicted", size):
+                    survivors.append((atime, size, path))
+            live = survivors
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in live)
+            live.sort()                                   # oldest atime first
+            survivors = []
+            for index, (atime, size, path) in enumerate(live):
+                if total <= max_bytes:
+                    survivors.extend(live[index:])
+                    break
+                if unlink(path, "evicted", size):
+                    total -= size
+                else:
+                    survivors.append((atime, size, path))
+            live = survivors
+        counts["kept"] = len(live)
+        counts["kept_bytes"] = sum(size for _, size, _ in live)
+        return counts
+
+    def migrate(self, recover_pcs: Optional[Callable[[Trace], object]] = None
+                ) -> Dict[str, int]:
+        """Re-encode every readable old-schema artifact at the current schema.
+
+        The schema is part of the key hash, so an upgraded trace lands at a
+        *new* address and the old file is removed.  ``recover_pcs`` may
+        reconstruct per-access static PCs for traces that predate them (v1);
+        when it is missing or fails, the trace is re-encoded with the
+        single-stream fallback.  Unreadable files are left for prune().
+        """
+        counts = {"migrated": 0, "current": 0, "failed": 0}
+        if not self.root.is_dir():
+            return counts
+        for path in sorted(self.root.glob("*/*.trace")):
+            try:
+                trace = Trace.from_bytes(path.read_bytes())
+            except (OSError, TraceError):
+                counts["failed"] += 1
+                continue
+            target = self.path_for(trace.key)
+            if _file_schema(path) == TRACE_SCHEMA and path == target:
+                counts["current"] += 1
+                continue
+            if not len(trace.mem_pcs) and recover_pcs is not None:
+                try:
+                    trace.mem_pcs = recover_pcs(trace)
+                except (TraceError, KeyError, ValueError):
+                    pass    # stale program: keep the single-stream fallback
+            self.put(trace)
+            if path != target:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            counts["migrated"] += 1
+        return counts
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,

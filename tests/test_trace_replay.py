@@ -11,6 +11,7 @@ import sys
 import pytest
 
 from repro.harness.config import PTLSIM_CONFIG
+from repro.harness.experiments import MACHINE_ABLATION_POINTS
 from repro.harness.runner import run_program, run_workload
 from repro.harness.sweep import (
     STORE_SCHEMA,
@@ -22,6 +23,8 @@ from repro.harness.sweep import (
     run_sweep,
 )
 from repro.trace import (
+    TRACE_SCHEMA,
+    EphemeralTraceStore,
     ReplayValidityError,
     Trace,
     TraceError,
@@ -29,6 +32,7 @@ from repro.trace import (
     TraceStore,
     capture_micro,
     capture_workload,
+    recover_mem_pcs,
     replay_trace,
     run_replay_spec,
 )
@@ -155,6 +159,7 @@ def test_trace_roundtrips_through_bytes():
     assert again.instructions == trace.instructions
     assert again.branch_outcomes() == trace.branch_outcomes()
     assert list(again.mem_addrs) == list(trace.mem_addrs)
+    assert list(again.mem_pcs) == list(trace.mem_pcs)
     assert list(again.dma_words) == list(trace.dma_words)
     assert again.content_hash == trace.content_hash
 
@@ -281,12 +286,14 @@ def test_sweep_cli_stats_and_prune(tmp_path, capsys):
     assert "1 stale-schema" in capsys.readouterr().out
     assert sweep_main(base + ["--prune"]) == 0
     out = capsys.readouterr().out
-    assert "pruned 1 stale store entries" in out
+    assert "pruned 1 stale/tmp store files" in out
+    assert "pruned traces" in out
     # The sweep then re-simulated the cell and refilled the store with a
     # current-schema entry.
     assert store.disk_stats() == {"entries": 1,
                                   "bytes": entry.stat().st_size,
-                                  "stale_schema": 0}
+                                  "stale_schema": 0,
+                                  "tmp_files": 0}
 
 
 def test_trace_cli_capture_replay_ls(tmp_path, capsys, monkeypatch):
@@ -327,3 +334,365 @@ def test_to_record_program_keeps_label():
     assert record.kind == "program"
     assert record.scale == "-"
     assert record.spec_hash
+
+
+# --------------------------------------------------- v2 columnar encoding
+def test_v1_bytes_still_load_and_replay_identically():
+    """The versioned header keeps schema-1 artifacts readable: a trace
+    round-tripped through the old flat layout replays bit-identically."""
+    executed, trace = capture_workload("CG", "hybrid", "tiny")
+    v1 = trace.to_bytes(schema=1)
+    old = Trace.from_bytes(v1)
+    assert not len(old.mem_pcs)          # v1 never carried per-access PCs
+    assert list(old.mem_addrs) == list(trace.mem_addrs)
+    assert list(old.dma_words) == list(trace.dma_words)
+    _assert_identical(executed, replay_trace(old))
+
+
+def test_v2_encoding_shrinks_traces():
+    _, trace = capture_workload("MG", "hybrid", "tiny")
+    v1 = len(trace.to_bytes(schema=1))
+    v2 = len(trace.to_bytes())
+    assert v1 >= 3 * v2, f"v2 only {v1 / v2:.2f}x smaller than v1"
+
+
+def test_v2_single_stream_fallback_without_pcs():
+    """A trace with no recorded PCs (e.g. parsed from v1 bytes) still
+    round-trips through the v2 writer via the single-stream fallback."""
+    executed, trace = capture_workload("IS", "hybrid", "tiny")
+    old = Trace.from_bytes(trace.to_bytes(schema=1))
+    again = Trace.from_bytes(old.to_bytes())
+    assert not len(again.mem_pcs)
+    assert list(again.mem_addrs) == list(trace.mem_addrs)
+    assert list(again.dma_words) == list(trace.dma_words)
+    _assert_identical(executed, replay_trace(again))
+
+
+def test_recover_mem_pcs_matches_capture():
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    old = Trace.from_bytes(trace.to_bytes(schema=1))
+    assert list(recover_mem_pcs(old)) == list(trace.mem_pcs)
+
+
+def test_v2_roundtrips_single_pc_stream():
+    """Regression: a trace whose memory accesses all share one static PC
+    used to serialise an interleave column the reader rejects."""
+    from array import array
+    trace = Trace(key=TraceKey.create("CG", "hybrid", "tiny"),
+                  program_fingerprint="0" * 16, instructions=4,
+                  branch_count=0,
+                  mem_addrs=array("Q", [64, 128, 192, 256]),
+                  mem_pcs=array("I", [5, 5, 5, 5]))
+    again = Trace.from_bytes(trace.to_bytes())
+    assert list(again.mem_addrs) == [64, 128, 192, 256]
+    assert list(again.mem_pcs) == [5, 5, 5, 5]
+
+
+def test_corrupted_interleave_raises_trace_error():
+    """Regression: a corrupted stream-id column used to escape as a raw
+    IndexError instead of the TraceError the store treats as a miss."""
+    import struct
+    from array import array
+    trace = Trace(key=TraceKey.create("CG", "hybrid", "tiny"),
+                  program_fingerprint="0" * 16, instructions=2,
+                  branch_count=0,
+                  mem_addrs=array("Q", [64, 128]),
+                  mem_pcs=array("I", [3, 7]))      # two 1-access streams
+    data = bytearray(trace.to_bytes())
+    (_, header_len) = struct.unpack_from("<HI", data, 4)
+    ids_at = 10 + header_len                        # no branch bits
+    assert data[ids_at:ids_at + 2] == b"\x00\x01"
+    data[ids_at + 1] = 0                            # both ids -> stream 0
+    with pytest.raises(TraceError):
+        Trace.from_bytes(bytes(data))
+
+
+def test_v2_write_rejects_ragged_dma_words():
+    """Regression: a dma_words length that is not a multiple of 3 used to
+    serialise fine and only fail at read time (a permanently unparseable
+    store artifact)."""
+    from array import array
+    trace = Trace(key=TraceKey.create("CG", "hybrid", "tiny"),
+                  program_fingerprint="0" * 16, instructions=1,
+                  branch_count=0, dma_words=array("q", [1, 2, 3, 4]))
+    with pytest.raises(TraceError):
+        trace.to_bytes()
+
+
+def test_trace_store_get_memoizes_parse(tmp_path):
+    """A replay sweep reads the same family artifact once per cell; the
+    store memoizes the parsed trace per (path, mtime, size) so the v2
+    decode happens once per process, not once per cell."""
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    store = TraceStore(tmp_path)
+    store.put(trace)
+    assert store.get(trace.key) is trace        # put() seeded the memo
+    fresh = TraceStore(tmp_path)                # module-level memo is shared
+    assert fresh.get(trace.key) is trace
+    # Rewriting the file invalidates the memo entry (mtime/size change).
+    path = store.path_for(trace.key)
+    path.write_bytes(trace.to_bytes())
+    again = TraceStore(tmp_path).get(trace.key)
+    assert again is not trace and again.content_hash == trace.content_hash
+
+
+def test_unsupported_schema_raises():
+    import struct
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    data = bytearray(trace.to_bytes())
+    struct.pack_into("<H", data, 4, 99)
+    with pytest.raises(TraceError):
+        Trace.from_bytes(bytes(data))
+    with pytest.raises(TraceError):
+        trace.to_bytes(schema=99)
+
+
+def test_v2_3x_smaller_and_replay_identical_at_medium():
+    """Acceptance: at scale=medium the columnar encoding is >=3x smaller
+    bytes/instruction than v1 while replay of the round-tripped trace stays
+    cycle- and energy-identical to execution at the capture config."""
+    executed, trace = capture_workload("CG", "hybrid", "medium")
+    v1 = len(trace.to_bytes(schema=1))
+    v2_bytes = trace.to_bytes()
+    assert v1 >= 3 * len(v2_bytes), \
+        f"v2 only {v1 / len(v2_bytes):.2f}x smaller at medium"
+    _assert_identical(executed, replay_trace(Trace.from_bytes(v2_bytes)))
+
+
+# ------------------------------------------------- store capacity management
+def test_trace_store_migrate_upgrades_v1_in_place(tmp_path):
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    store = TraceStore(tmp_path)
+    legacy = store.root / "00" / "deadbeefdeadbeef.trace"
+    legacy.parent.mkdir(parents=True)
+    legacy.write_bytes(trace.to_bytes(schema=1))
+    assert store.disk_stats()["stale_schema"] == 1
+
+    counts = store.migrate(recover_pcs=recover_mem_pcs)
+    assert counts == {"migrated": 1, "current": 0, "failed": 0}
+    assert not legacy.exists()
+    target = store.path_for(trace.key)
+    assert target.exists()
+    upgraded = Trace.from_bytes(target.read_bytes())
+    assert list(upgraded.mem_pcs) == list(trace.mem_pcs)  # PCs recovered
+    assert list(upgraded.mem_addrs) == list(trace.mem_addrs)
+    assert store.disk_stats()["stale_schema"] == 0
+    # Idempotent: a second migrate leaves the current-schema artifact alone.
+    assert store.migrate() == {"migrated": 0, "current": 1, "failed": 0}
+
+
+def test_trace_store_prune_sweeps_stale_and_tmp(tmp_path):
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    store = TraceStore(tmp_path)
+    store.put(trace)
+    stale = store.root / "00" / "deadbeefdeadbeef.trace"
+    stale.parent.mkdir(parents=True, exist_ok=True)
+    stale.write_bytes(trace.to_bytes(schema=1))
+    leaked = store.root / "00" / "deadbeefdeadbeef.tmp.12345"
+    leaked.write_bytes(b"partial write")
+    stats = store.disk_stats()
+    assert stats["stale_schema"] == 1 and stats["tmp_files"] == 1
+
+    # A *fresh* tmp file may belong to a live writer mid-put: not swept.
+    counts = store.prune()
+    assert counts["stale_schema"] == 1 and counts["tmp_files"] == 0
+    assert not stale.exists() and leaked.exists()
+    os.utime(leaked, (1_000_000.0, 1_000_000.0))    # genuinely leaked
+    counts = store.prune()
+    assert counts["tmp_files"] == 1 and not leaked.exists()
+    assert counts["evicted"] == 0 and counts["kept"] == 1
+    assert store.get(trace.key) is not None     # live entry untouched
+
+
+def test_trace_store_prune_evicts_lru_by_atime(tmp_path):
+    store = TraceStore(tmp_path)
+    keys = []
+    for index, workload in enumerate(["CG", "IS", "EP"]):
+        _, trace = capture_workload(workload, "hybrid", "tiny")
+        path = store.put(trace)
+        # Deterministic access times: CG oldest, EP most recent.
+        stamp = 1_000_000.0 + index * 1000.0
+        os.utime(path, (stamp, stamp))
+        keys.append((trace.key, path))
+    sizes = {key.key_hash: path.stat().st_size for key, path in keys}
+    # Touch CG through get(): it becomes the most recently used.
+    assert store.get(keys[0][0]) is not None
+    os.utime(keys[0][1], (2_000_000.0, 2_000_000.0))
+
+    budget = sizes[keys[0][0].key_hash] + sizes[keys[2][0].key_hash]
+    counts = store.prune(max_bytes=budget)
+    assert counts["evicted"] == 1
+    fresh = TraceStore(tmp_path)
+    assert fresh.get(keys[1][0]) is None        # IS had the oldest atime
+    assert fresh.get(keys[0][0]) is not None
+    assert fresh.get(keys[2][0]) is not None
+
+    # Age-based eviction: the get() calls above refreshed both survivors'
+    # atimes to now, so a 30-day horizon keeps them...
+    counts = TraceStore(tmp_path).prune(max_age_days=30.0)
+    assert counts["evicted"] == 0 and counts["kept"] == 2
+    # ...and once their atimes are stamped ancient, it evicts them.
+    for key, path in (keys[0], keys[2]):
+        os.utime(path, (1_000_000.0, 1_000_000.0))
+    counts = TraceStore(tmp_path).prune(max_age_days=30.0)
+    assert counts["evicted"] == 2 and counts["kept"] == 0
+
+
+def test_result_store_prune_sweeps_tmp_files(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    spec = RunSpec.create("CG", "hybrid", "tiny")
+    store.put(spec, execute_spec(spec))
+    leaked = store.path_for(spec).with_suffix(".tmp.4242")
+    leaked.write_text("{interrupted")
+    assert store.disk_stats()["tmp_files"] == 1
+    assert store.prune() == 0                   # fresh tmp: maybe in-flight
+    os.utime(leaked, (1_000_000.0, 1_000_000.0))
+    assert store.prune() == 1
+    assert not leaked.exists()
+    assert store.disk_stats()["tmp_files"] == 0
+    assert store.get(spec) is not None
+
+
+# ------------------------------------------- capture-once sweep integration
+def test_no_cache_replay_sweep_captures_family_once():
+    """Regression: ``--replay --no-cache`` used to build a fresh ephemeral
+    trace store per cell, re-capturing the stream for every machine config
+    (slower than execution).  One shared in-memory store must serve the
+    whole sweep: exactly one capture (write), every cell a hit."""
+    points = [dict(overrides) for _, overrides in MACHINE_ABLATION_POINTS]
+    specs = [RunSpec.create("CG", "hybrid", "tiny", machine=point,
+                            kind="replay") for point in points]
+    shared = EphemeralTraceStore()
+    records = run_sweep(specs, store=None, trace_store=shared)
+    assert shared.writes == 1
+    assert shared.hits >= len(specs)
+    kernel_specs = [RunSpec.create("CG", "hybrid", "tiny", machine=point)
+                    for point in points]
+    executed = run_sweep(kernel_specs, store=None)
+    assert [r.cycles for r in records] == [r.cycles for r in executed]
+    assert [r.energy for r in records] == [r.energy for r in executed]
+
+
+def test_no_cache_replay_sweep_beats_execution_wall_clock():
+    """Acceptance: with capture-once sharing, the 6-point --no-cache replay
+    ablation is faster end-to-end than the execution-driven sweep."""
+    import time
+    points = [dict(overrides) for _, overrides in MACHINE_ABLATION_POINTS]
+    replay_specs = [RunSpec.create("EP", "hybrid", "tiny", machine=point,
+                                   kind="replay") for point in points]
+    kernel_specs = [RunSpec.create("EP", "hybrid", "tiny", machine=point)
+                    for point in points]
+    start = time.perf_counter()
+    run_sweep(kernel_specs, store=None)
+    exec_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    run_sweep(replay_specs, store=None, trace_store=EphemeralTraceStore())
+    replay_wall = time.perf_counter() - start
+    assert replay_wall < exec_wall, \
+        f"replay sweep {replay_wall:.2f}s not faster than exec {exec_wall:.2f}s"
+
+
+def test_parallel_replay_sweep_captures_family_once(tmp_path, monkeypatch):
+    """Concurrent cells of one (workload, mode, scale) family must not each
+    pay an execution-driven capture: the family is captured once before the
+    re-timings fan out."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    store = ResultStore(tmp_path / "cache")
+    points = [dict(overrides) for _, overrides in MACHINE_ABLATION_POINTS[:3]]
+    specs = [RunSpec.create("CG", "hybrid", "tiny", machine=point,
+                            kind="replay") for point in points]
+    records = run_sweep(specs, workers=2, store=store)
+    traces = TraceStore(tmp_path / "cache")
+    assert len(traces) == 1                     # one family, one artifact
+    serial = run_sweep([RunSpec.create("CG", "hybrid", "tiny", machine=point)
+                        for point in points], store=None)
+    assert [r.cycles for r in records] == [r.cycles for r in serial]
+
+
+def test_ablation_machine_sweep_driver_matches_execution():
+    """The replay-backed figure driver must label its points in order and
+    agree with execution-driven simulation at every point."""
+    from repro.harness.experiments import ablation_machine_sweep
+    points = MACHINE_ABLATION_POINTS[:2]
+    replayed = ablation_machine_sweep("CG", scale="tiny", points=points,
+                                      replay=True)
+    assert [row.label for row in replayed] == [label for label, _ in points]
+    executed = ablation_machine_sweep("CG", scale="tiny", points=points,
+                                      replay=False)
+    assert [row.cycles for row in replayed] == [row.cycles for row in executed]
+    assert [row.energy for row in replayed] == [row.energy for row in executed]
+
+
+def test_explicit_trace_store_respected_with_result_store(tmp_path):
+    """Regression: with a result store set, a parallel sweep used to ignore
+    an explicitly passed in-memory trace store — workers reopened the disk
+    trace store, missed, and each re-captured the family."""
+    store = ResultStore(tmp_path / "cache")
+    points = [dict(overrides) for _, overrides in MACHINE_ABLATION_POINTS[:3]]
+    specs = [RunSpec.create("CG", "hybrid", "tiny", machine=point,
+                            kind="replay") for point in points]
+    shared = EphemeralTraceStore()
+    records = run_sweep(specs, workers=2, store=store, trace_store=shared)
+    assert shared.writes == 1                   # captured once, in memory
+    assert not (tmp_path / "cache" / "traces").exists()
+    serial = run_sweep([RunSpec.create("CG", "hybrid", "tiny", machine=point)
+                        for point in points], store=None)
+    assert [r.cycles for r in records] == [r.cycles for r in serial]
+
+
+def test_no_cache_parallel_replay_ships_traces_to_workers(tmp_path, monkeypatch):
+    """A store-less parallel replay sweep captures inline once and ships the
+    trace to the pool workers instead of letting each re-capture."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "nocache"))
+    points = [dict(overrides) for _, overrides in MACHINE_ABLATION_POINTS[:3]]
+    specs = [RunSpec.create("IS", "hybrid", "tiny", machine=point,
+                            kind="replay") for point in points]
+    shared = EphemeralTraceStore()
+    records = run_sweep(specs, workers=2, store=None, trace_store=shared)
+    assert shared.writes == 1
+    assert not (tmp_path / "nocache").exists()  # nothing touched the disk
+    serial = run_sweep([RunSpec.create("IS", "hybrid", "tiny", machine=point)
+                        for point in points], store=None)
+    assert [r.cycles for r in records] == [r.cycles for r in serial]
+
+
+# ----------------------------------------------------------- CLI (new verbs)
+def test_trace_cli_migrate_and_prune(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    _, trace = capture_workload("CG", "hybrid", "tiny")
+    store = TraceStore(tmp_path / "cache")
+    legacy = store.root / "00" / "deadbeefdeadbeef.trace"
+    legacy.parent.mkdir(parents=True)
+    legacy.write_bytes(trace.to_bytes(schema=1))
+
+    assert trace_main(["migrate"]) == 0
+    assert "migrated 1" in capsys.readouterr().out
+    assert store.get(trace.key) is not None
+
+    assert trace_main(["ls"]) == 0
+    assert "0 stale-schema" in capsys.readouterr().out
+
+    assert trace_main(["prune", "--max-bytes", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "1 LRU-evicted" in out
+    assert len(TraceStore(tmp_path / "cache")) == 0
+
+
+def test_sweep_cli_stats_reports_trace_store(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    base = ["--workloads", "CG", "--modes", "hybrid", "--scales", "tiny",
+            "--cache-dir", cache, "--replay"]
+    assert sweep_main(base) == 0
+    capsys.readouterr()
+    assert sweep_main(["--stats", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "trace store" in out and "1 trace(s)" in out
+    assert f"(schema {TRACE_SCHEMA})" in out
+
+    # --prune with a zero-byte trace budget LRU-evicts the capture artifact.
+    assert sweep_main(["--workloads", "CG", "--modes", "hybrid",
+                       "--scales", "tiny", "--cache-dir", cache,
+                       "--prune", "--trace-max-bytes", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "1 LRU-evicted" in out
+    assert len(TraceStore(cache)) == 0
