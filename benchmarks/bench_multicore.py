@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Benchmark the shared-uncore multicore timing model.
+
+Measures the 1 -> 2 -> 4-core scalability of the domain-decomposed parallel
+NAS kernels (hybrid vs. cache-based) through the sweep engine:
+
+* speedup, parallel efficiency and energy per (workload, mode, core count)
+  cell — the scalability figure of the multicore model;
+* uncore contention at each core count (queueing delay, contended
+  requests), showing *why* the memory-bound kernels scale sub-linearly;
+* multicore trace capture -> replay identity at every core count (the
+  acceptance gate), plus the wall-clock of replay-backed scalability
+  sweeps vs. execution-driven ones.
+
+Writes the numbers to ``BENCH_multicore.json`` at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_multicore.py [--scale small]
+          [--workloads CG,SP] [--modes hybrid,cache] [--cores 1,2,4]
+"""
+
+import argparse
+import dataclasses
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.harness.config import PTLSIM_CONFIG
+from repro.harness.experiments import scalability_sweep
+from repro.trace import capture_workload, parse_trace_bytes, replay_trace
+
+
+def measure_scalability(workloads, modes, core_counts, scale: str) -> dict:
+    """Execution-driven scalability sweep + per-cell uncore contention."""
+    section = {"points": [], "by_workload": {}}
+    points = scalability_sweep(workloads=workloads, modes=modes,
+                               core_counts=core_counts, scale=scale)
+    for p in points:
+        entry = dataclasses.asdict(p)
+        entry["speedup"] = round(p.speedup, 3)
+        entry["efficiency"] = round(p.efficiency, 3)
+        if p.uncore is not None:
+            entry["uncore"] = {
+                "queue_delay_cycles": p.uncore["queue_delay_cycles"],
+                "contended_requests": p.uncore["contended_requests"],
+                "requests": p.uncore["requests"],
+            }
+        section["points"].append(entry)
+        print(f"scale   {p.workload:3s} {p.mode:7s} x{p.num_cores}: "
+              f"{p.cycles:>12.0f} cycles, speedup {p.speedup:5.2f}, "
+              f"efficiency {p.efficiency:5.2f}, energy {p.energy:.0f} nJ")
+    for p in points:
+        section["by_workload"].setdefault(p.workload, {}).setdefault(
+            p.mode, {})[str(p.num_cores)] = {
+                "cycles": p.cycles, "energy": p.energy,
+                "speedup": round(p.speedup, 3)}
+    return section
+
+
+def measure_replay(workloads, core_counts, scale: str) -> dict:
+    """Capture -> replay identity and replay-sweep wall-clock per core count."""
+    section = {"identity": {}, "all_identical": True}
+    for workload in workloads:
+        for cores in core_counts:
+            if cores == 1:
+                continue
+            machine = dataclasses.replace(PTLSIM_CONFIG, num_cores=cores)
+            t0 = time.perf_counter()
+            executed, mtrace = capture_workload(workload, "hybrid", scale,
+                                                machine=machine)
+            capture_s = time.perf_counter() - t0
+            blob = mtrace.to_bytes()
+            t0 = time.perf_counter()
+            replayed = replay_trace(parse_trace_bytes(blob), machine)
+            replay_s = time.perf_counter() - t0
+            identical = (replayed.cycles == executed.cycles and
+                         replayed.energy.as_dict() == executed.energy.as_dict())
+            section["all_identical"] = section["all_identical"] and identical
+            section["identity"][f"{workload}x{cores}"] = {
+                "identical": identical,
+                "trace_bytes": len(blob),
+                "instructions": mtrace.instructions,
+                "capture_seconds": round(capture_s, 3),
+                "replay_seconds": round(replay_s, 3),
+            }
+            print(f"replay  {workload:3s} x{cores}: identical={identical}, "
+                  f"{len(blob)} trace bytes, capture {capture_s:.2f}s, "
+                  f"replay {replay_s:.2f}s")
+    return section
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small",
+                        choices=["tiny", "small", "medium"])
+    parser.add_argument("--workloads", default="CG,SP")
+    parser.add_argument("--modes", default="hybrid,cache")
+    parser.add_argument("--cores", default="1,2,4")
+    parser.add_argument("--output", default=None,
+                        help="report path (default: BENCH_multicore.json "
+                             "at the repository root)")
+    args = parser.parse_args()
+    workloads = tuple(w.strip().upper() for w in args.workloads.split(","))
+    modes = tuple(m.strip().lower() for m in args.modes.split(","))
+    core_counts = tuple(int(c) for c in args.cores.split(","))
+
+    report = {
+        "description": "Shared-uncore multicore timing model: scalability "
+                       "of the domain-decomposed parallel NAS kernels and "
+                       "multicore trace capture/replay identity.",
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine()},
+        "scale": args.scale,
+        "core_counts": list(core_counts),
+    }
+    t0 = time.perf_counter()
+    report["scalability"] = measure_scalability(workloads, modes, core_counts,
+                                               args.scale)
+    report["scalability"]["wall_seconds"] = round(time.perf_counter() - t0, 2)
+    report["replay"] = measure_replay(workloads, core_counts, args.scale)
+
+    out = Path(args.output) if args.output else \
+        Path(__file__).resolve().parent.parent / "BENCH_multicore.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nreport written to {out}")
+    return 0 if report["replay"]["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

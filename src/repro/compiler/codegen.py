@@ -168,7 +168,9 @@ class CodeGenerator:
         self._sm_iter_addr_regs: Dict[str, str] = {}
 
     # ------------------------------------------------------------------ entry point --
-    def compile(self) -> CompiledKernel:
+    def compile(self, data_base: Optional[int] = None) -> CompiledKernel:
+        """Lower the kernel; ``data_base`` relocates the data segment (used
+        by multicore runs to give each core's program a disjoint SM window)."""
         kernel, target, b = self.kernel, self.target, self.builder
         kernel.validate()
         classification = classify_kernel(kernel)
@@ -196,7 +198,7 @@ class CodeGenerator:
         self._emit_epilogue()
         b.halt()
         program = b.finish()
-        program.assign_addresses()
+        program.assign_addresses(base=data_base)
         _patch_base_addresses(self, program)
         return CompiledKernel(
             kernel=kernel, target=target, program=program,
@@ -606,10 +608,11 @@ class _IterationContext:
 
 
 def compile_kernel(kernel: Kernel, mode: str = "hybrid",
+                   data_base: Optional[int] = None,
                    **target_kwargs) -> CompiledKernel:
     """Convenience wrapper: compile ``kernel`` for ``mode``."""
     target = CompilationTarget(mode=mode, **target_kwargs)
-    return CodeGenerator(kernel, target).compile()
+    return CodeGenerator(kernel, target).compile(data_base=data_base)
 
 
 def _patch_base_addresses(generator: CodeGenerator, program: Program) -> None:

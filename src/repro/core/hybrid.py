@@ -80,8 +80,12 @@ class HybridSystem:
                  dma_per_line_latency: int = 4,
                  use_lm: bool = True,
                  oracle: bool = False,
-                 track_protocol: bool = False):
-        self.hierarchy = MemoryHierarchy(memory_config)
+                 track_protocol: bool = False,
+                 uncore=None):
+        # ``uncore`` (multicore only) makes this core's hierarchy share the
+        # multicore's main memory and bus, with arbitration delays on demand
+        # misses and DMA bursts; None keeps the stand-alone single-core model.
+        self.hierarchy = MemoryHierarchy(memory_config, uncore=uncore)
         self.use_lm = use_lm
         self.oracle = oracle
         self.lm_size = lm_size

@@ -3,82 +3,192 @@
 The proposed coherence protocol is *per core*: it keeps the caches and the
 local memory of one core coherent without interacting with other cores or
 with the inter-core cache coherence protocol.  Integrating it in a multicore
-is therefore just a matter of replicating the per-core hardware, under the
-programming-model constraint that LMs hold core-private data only — one core
+is therefore a matter of replicating the per-core hardware around a shared
+**uncore** — one main memory and one inter-core bus — under the
+programming-model constraint that LMs hold core-private data only: one core
 never accesses another core's LM, and while a core has data mapped to its LM
 no other core accesses the SM copy of that data.
 
-:class:`MulticoreHybridSystem` models exactly that: N independent
-:class:`~repro.core.hybrid.HybridSystem` instances plus a software-visible
-ownership map that *checks* the programming-model constraint and raises when
-it is violated, which is how the tests demonstrate the claim of Section 3.
+:class:`MulticoreHybridSystem` models exactly that: N
+:class:`~repro.core.hybrid.HybridSystem` instances with private caches,
+LMs, DMACs and directories, all sharing one
+:class:`~repro.mem.uncore.Uncore` (so concurrent demand misses and DMA
+bursts contend for memory bandwidth and stretch each other's latency), plus
+a software-visible ownership map that *checks* the programming-model
+constraint in O(1) and raises when it is violated — which is how the tests
+demonstrate the claim of Section 3.
+
+Ownership bookkeeping: the ``_ownership`` dict (keyed by the chunk's
+*(size, base)* so differently-configured cores never alias each other's
+claims) is the authoritative record.  ``dma_get`` registers the mapped
+chunks (releasing whatever chunk the reused LM buffer previously held);
+``dma_put`` releases them on write-back and — at this multicore level —
+also unmaps the chunk from the issuing core's directory, so a released
+chunk cannot keep diverting the owner's guarded accesses to a stale LM
+copy after another core takes over the SM data (the Figure 6 state machine
+allows exactly this ``LM-writeback`` then ``LM-unmap`` sequence);
+reconfiguring a core's buffer size drops all its claims (the directory
+invalidates all its mappings then too).  Every checked access is a
+constant-time dictionary probe per distinct configured chunk size instead
+of a scan over every core's directory.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.hybrid import HybridSystem, MemoryOutcome
+from repro.core.protocol import ProtocolAction
 from repro.mem.hierarchy import MemoryHierarchyConfig
+from repro.mem.uncore import Uncore
 
 
 class OwnershipViolation(RuntimeError):
     """Raised when a core touches SM data currently mapped to another core's LM."""
 
 
+class CoreView:
+    """Per-core facade over a :class:`MulticoreHybridSystem`.
+
+    Exposes the :class:`~repro.core.hybrid.HybridSystem` surface the
+    functional executor and the core model consume, but routes memory and
+    DMA operations through the multicore wrapper so the ownership
+    bookkeeping sees every access.  Everything else (``hierarchy``,
+    ``use_lm``, ``stats_summary``, ...) delegates to the underlying
+    per-core system.
+    """
+
+    __slots__ = ("_machine", "_core", "core_id")
+
+    def __init__(self, machine: "MulticoreHybridSystem", core_id: int):
+        self._machine = machine
+        self._core = machine.cores[core_id]
+        self.core_id = core_id
+
+    def load(self, vaddr: int, **kwargs) -> MemoryOutcome:
+        return self._machine.load(self.core_id, vaddr, **kwargs)
+
+    def store(self, vaddr: int, value, **kwargs) -> MemoryOutcome:
+        return self._machine.store(self.core_id, vaddr, value, **kwargs)
+
+    def dma_get(self, lm_vaddr: int, sm_addr: int, size: int, tag: int = 0,
+                now: float = 0.0) -> float:
+        return self._machine.dma_get(self.core_id, lm_vaddr, sm_addr, size,
+                                     tag, now)
+
+    def dma_put(self, lm_vaddr: int, sm_addr: int, size: int, tag: int = 0,
+                now: float = 0.0) -> float:
+        return self._machine.dma_put(self.core_id, lm_vaddr, sm_addr, size,
+                                     tag, now)
+
+    def dma_sync(self, tag: Optional[int] = None, now: float = 0.0) -> float:
+        return self._machine.dma_sync(self.core_id, tag, now)
+
+    def set_buffer_size(self, size_bytes: int) -> float:
+        return self._machine.set_buffer_size(self.core_id, size_bytes)
+
+    def __getattr__(self, name):
+        return getattr(self._core, name)
+
+
 class MulticoreHybridSystem:
-    """A set of cores, each with its private hybrid memory system.
+    """A set of cores with private hybrid memory systems and a shared uncore.
 
     Parameters
     ----------
     num_cores:
         Number of replicated cores.
     memory_config:
-        Per-core cache-hierarchy configuration (each core gets its own private
-        hierarchy instance; the paper's protocol never crosses cores, so a
-        shared LLC model is unnecessary for its evaluation).
+        Per-core cache-hierarchy configuration (each core gets its own
+        private cache hierarchy; main memory and the inter-core bus are
+        shared through the :class:`~repro.mem.uncore.Uncore`).
     enforce_ownership:
         When True, cross-core accesses to data mapped in another core's LM
         raise :class:`OwnershipViolation` — the constraint the programming
         model must guarantee.
+    uncore:
+        Optional pre-built shared uncore (the harness builder passes one
+        configured from the machine config); by default one is created from
+        ``memory_config``'s memory/bus latencies.
+    core_kwargs:
+        Forwarded to every :class:`~repro.core.hybrid.HybridSystem`
+        (``lm_size``, ``use_lm``, ``oracle``, ...).
     """
 
     def __init__(self, num_cores: int = 4,
                  memory_config: Optional[MemoryHierarchyConfig] = None,
                  enforce_ownership: bool = True,
+                 uncore: Optional[Uncore] = None,
                  **core_kwargs):
         if num_cores <= 0:
             raise ValueError("need at least one core")
+        config = memory_config or MemoryHierarchyConfig()
         self.num_cores = num_cores
         self.enforce_ownership = enforce_ownership
+        self.uncore = uncore if uncore is not None else Uncore(
+            memory_latency=config.memory_latency,
+            bus_latency_per_line=config.bus_latency_per_line)
         self.cores: List[HybridSystem] = [
-            HybridSystem(memory_config=memory_config, **core_kwargs)
+            HybridSystem(memory_config=config, uncore=self.uncore,
+                         **core_kwargs)
             for _ in range(num_cores)
         ]
-        # chunk base address -> owning core id
-        self._ownership: Dict[int, int] = {}
+        # Authoritative ownership record: (chunk size, chunk base) -> owning
+        # core.  Keying by the claim's own granularity keeps cores with
+        # different buffer sizes from aliasing into each other's chunks.
+        self._ownership: Dict[Tuple[int, int], int] = {}
+        # Configured chunk (LM buffer) size per core; the O(1) check probes
+        # one base per *distinct* size (in practice exactly one).
+        self._chunk_sizes: Dict[int, int] = {}
 
     def core(self, core_id: int) -> HybridSystem:
         return self.cores[core_id]
 
+    def view(self, core_id: int) -> CoreView:
+        """Ownership-checked per-core facade (what executors run against)."""
+        return CoreView(self, core_id)
+
     # -- ownership bookkeeping ------------------------------------------------------
-    def _chunk_base(self, core_id: int, sm_addr: int) -> Optional[int]:
-        directory = self.cores[core_id].directory
-        if directory is None or not directory.is_configured:
-            return None
-        return sm_addr & directory.base_mask
+    def _chunk_keys(self, core_id: int,
+                    sm_addr: int, size: int) -> List[Tuple[int, int]]:
+        """(chunk size, base) keys covered by ``[sm_addr, sm_addr+size)`` at
+        the issuing core's configured chunk size."""
+        core = self.cores[core_id]
+        if core.directory is None or not core.directory.is_configured:
+            return []
+        chunk = core.directory.offset_mask + 1
+        first = sm_addr & core.directory.base_mask
+        last = (sm_addr + max(size, 1) - 1) & core.directory.base_mask
+        return [(chunk, base) for base in range(first, last + chunk, chunk)]
 
     def _check_ownership(self, core_id: int, sm_addr: int) -> None:
-        if not self.enforce_ownership:
+        if not self.enforce_ownership or not self._ownership:
             return
-        for owner_id, core in enumerate(self.cores):
-            if owner_id == core_id or core.directory is None:
-                continue
-            for base, size in core.directory.mapped_sm_ranges():
-                if base <= sm_addr < base + size:
-                    raise OwnershipViolation(
-                        f"core {core_id} accessed SM address {sm_addr:#x} that is "
-                        f"mapped to the LM of core {owner_id}")
+        ownership = self._ownership
+        for size in set(self._chunk_sizes.values()):
+            owner = ownership.get((size, sm_addr & ~(size - 1)))
+            if owner is not None and owner != core_id:
+                raise OwnershipViolation(
+                    f"core {core_id} accessed SM address {sm_addr:#x} that is "
+                    f"mapped to the LM of core {owner}")
+
+    def _claim(self, core_id: int, sm_addr: int, size: int) -> None:
+        for key in self._chunk_keys(core_id, sm_addr, size):
+            self._ownership[key] = core_id
+
+    def _release(self, core_id: int, sm_addr: int, size: int) -> None:
+        for key in self._chunk_keys(core_id, sm_addr, size):
+            if self._ownership.get(key) == core_id:
+                del self._ownership[key]
+
+    def owner_of(self, sm_addr: int) -> Optional[int]:
+        """Core currently holding the chunk containing ``sm_addr`` (None when
+        unmapped) — introspection for tests and examples."""
+        for size in set(self._chunk_sizes.values()):
+            owner = self._ownership.get((size, sm_addr & ~(size - 1)))
+            if owner is not None:
+                return owner
+        return None
 
     # -- per-core operations ----------------------------------------------------------
     def load(self, core_id: int, vaddr: int, **kwargs) -> MemoryOutcome:
@@ -96,24 +206,96 @@ class MulticoreHybridSystem:
     def dma_get(self, core_id: int, lm_vaddr: int, sm_addr: int, size: int,
                 tag: int = 0, now: float = 0.0) -> float:
         self._check_ownership(core_id, sm_addr)
-        result = self.cores[core_id].dma_get(lm_vaddr, sm_addr, size, tag, now)
-        base = self._chunk_base(core_id, sm_addr)
-        if base is not None:
-            self._ownership[base] = core_id
+        core = self.cores[core_id]
+        # The buffer being refilled unmaps whatever chunk it previously held:
+        # release that chunk's ownership before registering the new mapping.
+        if core.directory is not None and core.directory.is_configured:
+            lm_offset = core.address_map.translate(lm_vaddr)
+            old = core.directory.entries[core.directory.buffer_index(lm_offset)]
+            if old.valid:
+                chunk = core.directory.offset_mask + 1
+                self._release(core_id, old.tag, chunk)
+        result = core.dma_get(lm_vaddr, sm_addr, size, tag, now)
+        self._claim(core_id, sm_addr, size)
         return result
 
     def dma_put(self, core_id: int, lm_vaddr: int, sm_addr: int, size: int,
                 tag: int = 0, now: float = 0.0) -> float:
-        return self.cores[core_id].dma_put(lm_vaddr, sm_addr, size, tag, now)
+        core = self.cores[core_id]
+        result = core.dma_put(lm_vaddr, sm_addr, size, tag, now)
+        # Write-back returns the chunk to the SM and, at this multicore
+        # level, ends its LM residence: the directory entry is unmapped so
+        # the owner's guarded accesses cannot keep diverting to the (now
+        # surrendered) LM copy once another core touches the SM data.
+        # Figure 6 allows the sequence: LM-writeback keeps the LM state,
+        # LM-unmap then moves LM -> MM (or LM-CM -> CM).
+        directory = core.directory
+        if directory is not None and directory.is_configured:
+            lm_offset = core.address_map.translate(lm_vaddr)
+            entry = directory.entries[directory.buffer_index(lm_offset)]
+            if entry.valid and entry.tag == (sm_addr & directory.base_mask):
+                core._apply_protocol(sm_addr, ProtocolAction.LM_UNMAP)
+                directory.invalidate_buffer(lm_offset)
+        self._release(core_id, sm_addr, size)
+        return result
 
     def dma_sync(self, core_id: int, tag: Optional[int] = None,
                  now: float = 0.0) -> float:
         return self.cores[core_id].dma_sync(tag, now)
 
     def set_buffer_size(self, core_id: int, size_bytes: int) -> float:
-        return self.cores[core_id].set_buffer_size(size_bytes)
+        result = self.cores[core_id].set_buffer_size(size_bytes)
+        # Reconfiguring invalidates every LM mapping of this core
+        # (CoherenceDirectory.configure drops all entries), so its claims —
+        # including ones made at an older granularity — are gone too.
+        self._ownership = {key: owner for key, owner in self._ownership.items()
+                           if owner != core_id}
+        self._chunk_sizes[core_id] = size_bytes
+        return result
 
     # -- reporting ---------------------------------------------------------------------
     def stats_summary(self) -> dict:
-        return {f"core{idx}": core.stats_summary()
-                for idx, core in enumerate(self.cores)}
+        summary = {f"core{idx}": core.stats_summary()
+                   for idx, core in enumerate(self.cores)}
+        summary["uncore"] = self.uncore.stats_summary()
+        return summary
+
+    def aggregate_summary(self) -> dict:
+        """Whole-machine activity in the single-system summary shape.
+
+        Private structures (caches, LMs, DMACs, directories, prefetchers,
+        MSHRs) are summed across cores; the shared main memory and bus are
+        counted exactly once from the uncore (each per-core hierarchy
+        reports the same shared totals, so summing those would overcount by
+        ``num_cores``).  The result feeds the energy model unchanged.
+        """
+        per_core = [core.stats_summary() for core in self.cores]
+        agg = _sum_summaries(per_core)
+        hier = agg["hierarchy"]
+        hier["memory_reads"] = self.uncore.memory.reads
+        hier["memory_writes"] = self.uncore.memory.writes
+        hier["bus_transactions"] = self.uncore.bus.transactions
+        hier["bus_dma_transactions"] = self.uncore.bus.dma_transactions
+        # Ratios cannot be summed: recompute from the summed numerators.
+        demand = sum(s["hierarchy"]["demand_accesses"] for s in per_core)
+        hier["amat"] = (sum(s["hierarchy"]["amat"] * s["hierarchy"]["demand_accesses"]
+                            for s in per_core) / demand if demand else 0.0)
+        mem_ops = sum(s["mem_ops"] for s in per_core)
+        agg["amat"] = (sum(s["amat"] * s["mem_ops"] for s in per_core) / mem_ops
+                       if mem_ops else 0.0)
+        agg["uncore"] = self.uncore.stats_summary()
+        return agg
+
+
+def _sum_summaries(summaries: List[dict]) -> dict:
+    """Key-wise sum of identically-shaped nested stat dicts (numbers only)."""
+    first = summaries[0]
+    out: dict = {}
+    for key, value in first.items():
+        if isinstance(value, dict):
+            out[key] = _sum_summaries([s[key] for s in summaries])
+        elif isinstance(value, (int, float)):
+            out[key] = sum(s[key] for s in summaries)
+        else:  # pragma: no cover - summaries hold only numbers and dicts
+            out[key] = value
+    return out

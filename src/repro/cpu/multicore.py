@@ -1,0 +1,139 @@
+"""Interleaved multicore simulation: N cores, one global clock.
+
+The single-core :class:`~repro.cpu.core.Core` drives one functional executor
+and one timing model to completion.  A multicore run instead keeps one
+*lane* per core (executor + timing model + optional trace recorder) and
+repeatedly steps the lane whose front end is earliest in time, so the cores
+advance together against the shared uncore: a memory access core A issues at
+cycle ``t`` has consumed shared-bus slots by the time core B's access at
+``t' >= t`` arbitrates, which is what makes contention deterministic.
+
+The lane-stepping order is a pure function of the per-core timing state
+(``fetch_time``, ties broken by core id), so an execution-driven run and a
+trace replay that issue identical per-core streams interleave identically —
+the foundation of the multicore capture -> replay cycle/energy identity.
+
+The *executor* half of a lane is anything with the
+:class:`~repro.cpu.executor.FunctionalExecutor` surface
+(``current_instruction()``, ``execute_at(now)``, ``pc``): execution-driven
+runs use the real functional executor, trace replay uses
+:class:`~repro.trace.replay.TraceExecutor`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cpu.core import SimulationResult
+from repro.cpu.pipeline import OutOfOrderTimingModel
+
+
+class CoreLane:
+    """One core's executor/timing pair inside an interleaved multicore run."""
+
+    __slots__ = ("executor", "timing", "record")
+
+    def __init__(self, executor, timing: OutOfOrderTimingModel, recorder=None):
+        self.executor = executor
+        self.timing = timing
+        self.record = recorder.record if recorder is not None else None
+
+
+def run_lanes(lanes: Sequence[CoreLane]) -> None:
+    """Run every lane to completion, interleaved by front-end time."""
+    active = [lane for lane in lanes
+              if lane.executor.current_instruction() is not None]
+    while active:
+        # Step the lane whose front end is earliest (ties: lowest core id,
+        # which is the lane's position in the input order).
+        best = active[0]
+        best_time = best.timing.fetch_time
+        for lane in active[1:]:
+            t = lane.timing.fetch_time
+            if t < best_time:
+                best = lane
+                best_time = t
+        executor = best.executor
+        timing = best.timing
+        inst = executor.current_instruction()
+        now = timing.issue_estimate(inst, executor.pc)
+        dyn = executor.execute_at(now)
+        if dyn is None:  # pragma: no cover - defensive
+            active.remove(best)
+            continue
+        timing.retire(dyn, now)
+        if best.record is not None:
+            best.record(dyn)
+        if executor.current_instruction() is None:
+            active.remove(best)
+
+
+def lane_result(lane: CoreLane, memory_stats: dict) -> SimulationResult:
+    """Per-core :class:`SimulationResult` (same shape as ``Core.run``'s)."""
+    timing = lane.timing
+    return SimulationResult(
+        cycles=timing.cycles,
+        instructions=timing.committed,
+        phase_cycles=timing.phase_breakdown(),
+        mispredictions=timing.mispredictions,
+        branch_predictions=timing.predictor.predictions,
+        memory_stats=memory_stats,
+        core_stats={
+            "ipc": timing.ipc,
+            "fu_op_counts": dict(timing.fu_op_counts),
+            "fu_contended_cycles": timing.fus.contended_cycles,
+            "rob_dispatch_stalls": timing.rob.dispatch_stalls,
+            "lsq_occupancy_stalls": timing.lsq.occupancy_stalls,
+            "lsq_collapsed_stores": timing.lsq.collapsed_stores,
+            "misprediction_rate": timing.predictor.misprediction_rate,
+        },
+    )
+
+
+def aggregate_results(per_core: Sequence[SimulationResult],
+                      memory_stats: dict) -> SimulationResult:
+    """Whole-machine result of a multicore run.
+
+    ``cycles`` is the global execution time (the slowest core's commit
+    clock); counters are summed; ``phase_cycles`` sums per-core core-time
+    (so a phase's total can exceed the wall-clock cycles, like CPU-seconds).
+    ``memory_stats`` is the multicore system's aggregate summary (shared
+    memory/bus counted once).  Per-core details ride in
+    ``core_stats["per_core"]``.
+    """
+    cycles = max(r.cycles for r in per_core)
+    instructions = sum(r.instructions for r in per_core)
+    phases: Dict[str, float] = {}
+    for r in per_core:
+        for name, value in r.phase_cycles.items():
+            phases[name] = phases.get(name, 0.0) + value
+    fu_counts: Dict[str, int] = {}
+    for r in per_core:
+        for name, value in r.core_stats.get("fu_op_counts", {}).items():
+            fu_counts[name] = fu_counts.get(name, 0) + value
+    return SimulationResult(
+        cycles=cycles,
+        instructions=instructions,
+        phase_cycles=phases,
+        mispredictions=sum(r.mispredictions for r in per_core),
+        branch_predictions=sum(r.branch_predictions for r in per_core),
+        memory_stats=memory_stats,
+        core_stats={
+            "ipc": instructions / cycles if cycles > 0 else 0.0,
+            "fu_op_counts": fu_counts,
+            "fu_contended_cycles": sum(
+                r.core_stats.get("fu_contended_cycles", 0.0) for r in per_core),
+            "rob_dispatch_stalls": sum(
+                r.core_stats.get("rob_dispatch_stalls", 0.0) for r in per_core),
+            "lsq_occupancy_stalls": sum(
+                r.core_stats.get("lsq_occupancy_stalls", 0.0) for r in per_core),
+            "lsq_collapsed_stores": sum(
+                r.core_stats.get("lsq_collapsed_stores", 0) for r in per_core),
+            "per_core": [
+                {"cycles": r.cycles, "instructions": r.instructions,
+                 "ipc": r.ipc, "mispredictions": r.mispredictions,
+                 "phase_cycles": dict(r.phase_cycles)}
+                for r in per_core
+            ],
+        },
+    )

@@ -10,8 +10,20 @@ fan the cells out over worker processes while filling the on-disk
 same engine on the command line."""
 
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG, table1_rows
-from repro.harness.systems import SYSTEM_MODES, build_system, core_config_for
-from repro.harness.runner import RunResult, run_program, run_workload, ExperimentContext
+from repro.harness.systems import (
+    SYSTEM_MODES,
+    build_multicore_system,
+    build_system,
+    build_uncore,
+    core_config_for,
+)
+from repro.harness.runner import (
+    ExperimentContext,
+    RunResult,
+    run_parallel_workload,
+    run_program,
+    run_workload,
+)
 from repro.harness.sweep import (
     ResultStore,
     RunRecord,
@@ -30,9 +42,12 @@ __all__ = [
     "PTLSIM_CONFIG",
     "table1_rows",
     "SYSTEM_MODES",
+    "build_multicore_system",
     "build_system",
+    "build_uncore",
     "core_config_for",
     "RunResult",
+    "run_parallel_workload",
     "run_program",
     "run_workload",
     "ExperimentContext",

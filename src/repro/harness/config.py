@@ -30,6 +30,13 @@ class MachineConfig:
     directory_entries: int = 32
     dma_setup_latency: int = 100
     dma_per_line_latency: int = 4
+    #: Number of cores.  1 is the paper's single-core machine (no uncore);
+    #: >1 replicates the core and shares one main memory + bus through the
+    #: windowed-arbitration uncore (see :mod:`repro.mem.uncore`).
+    num_cores: int = 1
+    #: Shared-uncore arbitration window (cycles) and line slots per window.
+    uncore_window_cycles: int = 4
+    uncore_window_lines: int = 2
 
     def with_overrides(self, overrides: Mapping[str, Any]) -> "MachineConfig":
         """Return a copy with some fields replaced.
@@ -55,6 +62,9 @@ class MachineConfig:
             directory_entries=self.directory_entries,
             dma_setup_latency=self.dma_setup_latency,
             dma_per_line_latency=self.dma_per_line_latency,
+            num_cores=self.num_cores,
+            uncore_window_cycles=self.uncore_window_cycles,
+            uncore_window_lines=self.uncore_window_lines,
         )
 
 

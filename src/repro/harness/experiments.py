@@ -347,6 +347,70 @@ def ablation_prefetcher(workload: str = "MG", scale: str = "small",
         for enabled, record in zip((True, False), records)]
 
 
+# ------------------------------------------------------------------- scalability
+@dataclass
+class ScalabilityPoint:
+    """One cell of the multicore scalability sweep."""
+
+    workload: str
+    mode: str
+    num_cores: int
+    cycles: float
+    energy: float
+    speedup: float              # single-core cycles / this cell's cycles
+    efficiency: float           # speedup / num_cores
+    #: Shared-uncore arbitration counters of the cell (None for 1-core
+    #: cells, which run the plain single-core machine with no uncore).
+    uncore: Optional[Dict[str, float]] = None
+
+
+#: Core counts of the default scalability sweep (1 -> 2 -> 4).
+SCALABILITY_CORE_COUNTS = (1, 2, 4)
+
+
+def scalability_sweep(workloads: Sequence[str] = ("CG", "SP"),
+                      modes: Sequence[str] = ("hybrid", "cache"),
+                      core_counts: Sequence[int] = SCALABILITY_CORE_COUNTS,
+                      scale: str = "small",
+                      replay: bool = False,
+                      store=None, workers: int = 1) -> List[ScalabilityPoint]:
+    """Speedup and energy vs. core count, hybrid vs. cache-based.
+
+    Each (workload, mode, N>1) cell runs the domain-decomposed parallel
+    kernel on the N-core shared-uncore machine; ``num_cores`` rides the
+    machine axis, so the cells share the sweep engine's result store like
+    any other machine sweep.  With ``replay=True`` the cells resolve
+    through the trace subsystem: each core-count's multicore stream is
+    captured once and re-timed (cycle- and energy-identical at the capture
+    config).  Speedup is measured against the same workload's single-core
+    cell.
+    """
+    kind = "replay" if replay else "kernel"
+    core_counts = sorted(set(core_counts) | {1})   # speedup baseline
+    specs = [RunSpec.create(w, mode, scale,
+                            machine=({"num_cores": n} if n != 1 else None),
+                            kind=kind)
+             for w in workloads for mode in modes for n in core_counts]
+    records = run_sweep(specs, workers=workers, store=store)
+    by_spec = dict(zip(specs, records))
+    points = []
+    for w in workloads:
+        for mode in modes:
+            base = by_spec[RunSpec.create(w, mode, scale, kind=kind)]
+            for n in core_counts:
+                record = by_spec[RunSpec.create(
+                    w, mode, scale,
+                    machine=({"num_cores": n} if n != 1 else None), kind=kind)]
+                speed = base.cycles / record.cycles if record.cycles else 0.0
+                points.append(ScalabilityPoint(
+                    workload=w.strip().upper(), mode=mode.strip().lower(),
+                    num_cores=n, cycles=record.cycles,
+                    energy=record.total_energy, speedup=speed,
+                    efficiency=speed / n,
+                    uncore=record.memory_stats.get("uncore")))
+    return points
+
+
 def ablation_double_store(iterations: int = 4000) -> Dict[str, float]:
     """Double store vs. the naive alternative of always writing buffers back.
 

@@ -24,15 +24,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from typing import List, Sequence
+
 from repro.compiler.codegen import CompiledKernel, compile_kernel
 from repro.compiler.ir import Kernel
 from repro.core.hybrid import HybridSystem
 from repro.cpu.core import Core, SimulationResult
+from repro.cpu.multicore import CoreLane, aggregate_results, lane_result, run_lanes
+from repro.cpu.executor import FunctionalExecutor
+from repro.cpu.pipeline import OutOfOrderTimingModel
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG
-from repro.harness.systems import build_system, core_config_for
-from repro.isa.program import Program
-from repro.workloads import get_workload
+from repro.harness.systems import (
+    build_multicore_system,
+    build_system,
+    core_config_for,
+)
+from repro.isa.program import Program, WORD_SIZE
+from repro.workloads import get_workload, shard_kernel
+
+#: SM address-space window reserved for each core's program in a multicore
+#: run (64 MB, far below the LM virtual range): core ``c``'s data segment is
+#: laid out at ``Program.DATA_BASE + c * PARALLEL_CORE_SPAN``, so the cores'
+#: arrays — and therefore their LM-mapped chunks — are disjoint in the
+#: shared main memory, as the ownership model requires.
+PARALLEL_CORE_SPAN = 0x0400_0000
 
 
 @dataclass
@@ -44,11 +60,17 @@ class RunResult:
     compiled: Optional[CompiledKernel]
     sim: SimulationResult
     energy: EnergyBreakdown
-    system: HybridSystem
+    #: The memory system the run executed on: a
+    #: :class:`~repro.core.hybrid.HybridSystem` for single-core runs, a
+    #: :class:`~repro.core.multicore.MulticoreHybridSystem` for multicore.
+    system: Any
     #: Scale the workload was built at ("-" for raw programs, which have no
     #: scale axis); kept so :meth:`to_record` can emit a normalised record
     #: even when no :class:`~repro.harness.sweep.RunSpec` is supplied.
     scale: str = "-"
+    #: Core count of the simulated machine (multicore runs aggregate the
+    #: per-core results; details ride in ``sim.core_stats["per_core"]``).
+    num_cores: int = 1
 
     @property
     def cycles(self) -> float:
@@ -101,6 +123,7 @@ class RunResult:
         """
         from repro.harness.sweep import RunRecord, RunSpec
         if spec is None:
+            machine = {"num_cores": self.num_cores} if self.num_cores > 1 else None
             if self.compiled is not None:
                 workload, mode, scale = ExperimentContext.normalize_key(
                     self.workload, self.mode, self.scale or "-")
@@ -112,7 +135,8 @@ class RunResult:
                 mode = self.mode.strip().lower()
                 scale = (self.scale or "-").strip().lower()
                 kind = "program"
-            spec = RunSpec.create(workload, mode, scale, kind=kind)
+            spec = RunSpec.create(workload, mode, scale, kind=kind,
+                                  machine=machine)
         return RunRecord(
             workload=spec.workload,
             mode=spec.mode,
@@ -171,19 +195,115 @@ def run_kernel(kernel: Kernel, mode: str = "hybrid",
 def run_workload(name: str, mode: str = "hybrid", scale: str = "small",
                  machine: Optional[MachineConfig] = None,
                  track_protocol: bool = False,
-                 recorder=None) -> RunResult:
+                 recorder=None,
+                 num_cores: Optional[int] = None) -> RunResult:
     """Build, compile and run the NAS-like kernel ``name``.
 
     Mode and scale are normalised here (the workload registry already
     normalises the name), so ``run_workload("cg", "Hybrid", "TINY")`` is the
     same run as ``run_workload("CG", "hybrid", "tiny")``.
+
+    ``num_cores`` (default: the machine config's) selects the multicore
+    path: the kernel is domain-decomposed into per-core shards that run
+    interleaved against the shared uncore (``recorder`` is then a sequence
+    of per-core recorders).  ``num_cores=1`` is the unchanged single-core
+    simulation.
     """
     mode = mode.strip().lower()
     scale = scale.strip().lower()
+    machine = machine or PTLSIM_CONFIG
+    num_cores = machine.num_cores if num_cores is None else int(num_cores)
+    if num_cores > 1:
+        return run_parallel_workload(name, mode=mode, scale=scale,
+                                     machine=machine, num_cores=num_cores,
+                                     recorders=recorder)
     kernel = get_workload(name, scale)
     return run_kernel(kernel, mode=mode, machine=machine,
                       track_protocol=track_protocol, scale=scale,
                       recorder=recorder)
+
+
+def compile_parallel_workload(name: str, mode: str, scale: str,
+                              machine: Optional[MachineConfig] = None,
+                              num_cores: int = 2) -> List[CompiledKernel]:
+    """Compile the per-core shard programs of a domain-decomposed kernel.
+
+    Deterministic given ``(name, mode, scale, lm_size, directory_entries,
+    num_cores)`` — the trace-replay engine rebuilds the same programs from
+    the trace key.  Core ``c``'s program is laid out in its own SM window
+    (see :data:`PARALLEL_CORE_SPAN`).
+    """
+    machine = machine or PTLSIM_CONFIG
+    kernel = get_workload(name, scale)
+    compiled = []
+    for core_id in range(num_cores):
+        shard = shard_kernel(kernel, core_id, num_cores)
+        compiled.append(compile_kernel(
+            shard, mode=mode, lm_size=machine.lm_size,
+            max_buffers=machine.directory_entries,
+            data_base=Program.DATA_BASE + core_id * PARALLEL_CORE_SPAN))
+    return compiled
+
+
+def run_parallel_lanes(compiled: Sequence[CompiledKernel], system,
+                       machine: MachineConfig, executors,
+                       recorders=None) -> SimulationResult:
+    """Drive per-core executors to completion and aggregate the results.
+
+    Shared between execution-driven multicore runs (functional executors)
+    and multicore trace replay (trace executors) so both interleave — and
+    therefore time — identically.
+    """
+    config = core_config_for(machine)
+    recorders = recorders or [None] * len(executors)
+    lanes = [CoreLane(executor,
+                      OutOfOrderTimingModel(config,
+                                            hierarchy=system.core(i).hierarchy),
+                      recorders[i])
+             for i, executor in enumerate(executors)]
+    run_lanes(lanes)
+    per_core = [lane_result(lane, system.core(i).stats_summary())
+                for i, lane in enumerate(lanes)]
+    return aggregate_results(per_core, system.aggregate_summary())
+
+
+def run_parallel_workload(name: str, mode: str = "hybrid",
+                          scale: str = "small",
+                          machine: Optional[MachineConfig] = None,
+                          num_cores: int = 2,
+                          recorders=None) -> RunResult:
+    """Execution-driven multicore run of a domain-decomposed kernel."""
+    machine = machine or PTLSIM_CONFIG
+    compiled = compile_parallel_workload(name, mode, scale, machine, num_cores)
+    return run_parallel_compiled(compiled, mode=mode, scale=scale,
+                                 machine=machine, recorders=recorders)
+
+
+def run_parallel_compiled(compiled: Sequence[CompiledKernel], mode: str,
+                          scale: str, machine: Optional[MachineConfig] = None,
+                          recorders=None) -> RunResult:
+    """Execution-driven multicore run of already-compiled per-core shards."""
+    machine = machine or PTLSIM_CONFIG
+    num_cores = len(compiled)
+    system = build_multicore_system(mode, machine, num_cores=num_cores)
+    # Load every core's initial array data into the shared main memory (the
+    # per-core windows are disjoint, so order does not matter).
+    memory = system.uncore.memory
+    for comp in compiled:
+        for decl in comp.program.arrays.values():
+            if decl.data is None:
+                continue
+            base = decl.base
+            for i, value in enumerate(decl.data):
+                memory.poke(base + i * WORD_SIZE, float(value))
+    executors = [FunctionalExecutor(comp.program, system.view(core_id))
+                 for core_id, comp in enumerate(compiled)]
+    sim = run_parallel_lanes(compiled, system, machine, executors,
+                             recorders=recorders)
+    energy = EnergyModel(machine.energy).compute(sim)
+    return RunResult(workload=compiled[0].kernel.name, mode=mode,
+                     compiled=compiled[0], sim=sim, energy=energy,
+                     system=system, scale=scale, num_cores=num_cores)
 
 
 class ExperimentContext:

@@ -447,10 +447,10 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     if payload.get("trace_blob") is not None:
         # A store-less (--no-cache) replay sweep ships the family's captured
         # trace to the worker instead of letting it re-capture from scratch.
-        from repro.trace.format import Trace
+        from repro.trace.format import parse_trace_bytes
         from repro.trace.store import EphemeralTraceStore
         trace_store = EphemeralTraceStore()
-        trace_store.put(Trace.from_bytes(payload["trace_blob"]))
+        trace_store.put(parse_trace_bytes(payload["trace_blob"]))
     return execute_spec(spec, trace_root=payload.get("trace_root"),
                         trace_store=trace_store).as_dict()
 
@@ -465,12 +465,10 @@ def _capture_payload(payload: Dict[str, Any]) -> None:
 
 
 def _replay_family_key(spec: RunSpec, base_machine: Optional[MachineConfig]):
-    """The capture-trace key a replay cell resolves through."""
-    from repro.trace import TraceKey
-    machine = spec.resolve_machine(base_machine)
-    return TraceKey.create(spec.workload, spec.mode, spec.scale, kind="kernel",
-                           lm_size=machine.lm_size,
-                           directory_entries=machine.directory_entries)
+    """The capture-trace key a replay cell resolves through (kernel or
+    micro; multicore cells key on the resolved machine's ``num_cores``)."""
+    from repro.trace import family_key_for
+    return family_key_for(spec, spec.resolve_machine(base_machine))
 
 
 def _prepare_replay_traces(misses: Sequence[RunSpec], trace_store,
@@ -647,9 +645,15 @@ class SweepContext:
         # Microbenchmark cells are fully described by their params and never
         # read the kernel scale; pinning the scale axis keeps the content
         # hash — and therefore the store entry — shared across contexts.
+        # With ``replay=True`` they resolve through the trace subsystem like
+        # kernel cells: the microbenchmark's stream is captured once and
+        # re-timed per machine config (the figure 7 sweep re-runs the same
+        # four streams under every guarded fraction's program, so each
+        # (mode, fraction) family is captured exactly once).
         return RunSpec.create(
             workload=f"micro-{micro_mode}", mode=system_mode, scale="-",
-            machine=self.machine_overrides, kind="micro",
+            machine=self.machine_overrides,
+            kind="replay" if self.replay else "micro",
             params={"micro_mode": micro_mode,
                     "guarded_fraction": float(guarded_fraction),
                     "iterations": int(iterations), "unroll": int(unroll)})
@@ -727,6 +731,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="machine-config override, dotted paths allowed "
                              "(e.g. --set directory_entries=16 "
                              "--set memory.prefetch_enabled=false)")
+    parser.add_argument("--cores", default=None,
+                        help="comma-separated core counts; each becomes a "
+                             "machine-axis point (e.g. --cores 1,2,4 for a "
+                             "scalability sweep over the parallel kernels)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for cache misses (default 1)")
     parser.add_argument("--replay", action="store_true",
@@ -758,9 +766,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     overrides = _parse_overrides(args.overrides)
+    if args.cores:
+        if "num_cores" in overrides:
+            raise SystemExit("--cores and --set num_cores are mutually "
+                             "exclusive (--cores is the num_cores axis)")
+        try:
+            core_counts = [int(c) for c in args.cores.split(",")]
+        except ValueError:
+            raise SystemExit(f"--cores expects integers, got {args.cores!r}")
+        machines = [dict(overrides, num_cores=n) if n != 1 else dict(overrides)
+                    for n in core_counts]
+    else:
+        machines = [overrides]
     sweep = SweepSpec.create(
         workloads=args.workloads.split(","), modes=args.modes.split(","),
-        scales=args.scales.split(","), machines=[overrides])
+        scales=args.scales.split(","), machines=machines)
     store = None if args.no_cache else ResultStore(args.cache_dir)
     if args.stats:
         if store is None:

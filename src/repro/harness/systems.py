@@ -15,8 +15,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.hybrid import HybridSystem
+from repro.core.multicore import MulticoreHybridSystem
 from repro.cpu.config import CoreConfig
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG
+from repro.mem.uncore import Uncore
 
 #: Compilation/system modes understood by the harness.
 SYSTEM_MODES = ("hybrid", "hybrid-oracle", "hybrid-naive", "cache")
@@ -37,6 +39,54 @@ def build_system(mode: str, machine: Optional[MachineConfig] = None,
         )
     return HybridSystem(
         memory_config=machine.memory,
+        lm_size=machine.lm_size,
+        lm_latency=machine.lm_latency,
+        directory_entries=machine.directory_entries,
+        dma_setup_latency=machine.dma_setup_latency,
+        dma_per_line_latency=machine.dma_per_line_latency,
+        use_lm=True,
+        oracle=(mode == "hybrid-oracle"),
+        track_protocol=track_protocol,
+    )
+
+
+def build_uncore(machine: Optional[MachineConfig] = None) -> Uncore:
+    """The shared uncore (main memory + bus + arbitration) of ``machine``."""
+    machine = machine or PTLSIM_CONFIG
+    return Uncore(memory_latency=machine.memory.memory_latency,
+                  bus_latency_per_line=machine.memory.bus_latency_per_line,
+                  window_cycles=machine.uncore_window_cycles,
+                  window_lines=machine.uncore_window_lines)
+
+
+def build_multicore_system(mode: str, machine: Optional[MachineConfig] = None,
+                           num_cores: Optional[int] = None,
+                           track_protocol: bool = False) -> MulticoreHybridSystem:
+    """Instantiate the ``num_cores``-core machine for ``mode``.
+
+    Every core gets the same per-core system :func:`build_system` would
+    build (including the cache-based baseline's doubled L1); main memory
+    and the inter-core bus are shared through one arbitrated
+    :class:`~repro.mem.uncore.Uncore`.
+    """
+    if mode not in SYSTEM_MODES:
+        raise ValueError(f"unknown system mode {mode!r}; expected one of {SYSTEM_MODES}")
+    machine = machine or PTLSIM_CONFIG
+    num_cores = machine.num_cores if num_cores is None else num_cores
+    uncore = build_uncore(machine)
+    if mode == "cache":
+        cache_machine = machine.cache_based()
+        return MulticoreHybridSystem(
+            num_cores=num_cores,
+            memory_config=cache_machine.memory,
+            uncore=uncore,
+            use_lm=False,
+            track_protocol=False,
+        )
+    return MulticoreHybridSystem(
+        num_cores=num_cores,
+        memory_config=machine.memory,
+        uncore=uncore,
         lm_size=machine.lm_size,
         lm_latency=machine.lm_latency,
         directory_entries=machine.directory_entries,

@@ -113,7 +113,11 @@ class DMAController:
         self.gets += 1
         self.words_transferred += size // WORD_SIZE
         self.lines_transferred += len(lines)
-        completion = now + self._transfer_latency(len(lines))
+        # Shared-uncore arbitration (multicore): a burst queues behind other
+        # cores' traffic before its pipelined transfer begins.  0.0 when the
+        # hierarchy has no uncore (every single-core system).
+        queue = self.hierarchy.uncore_delay(now, len(lines))
+        completion = now + queue + self._transfer_latency(len(lines))
         return self._record(DMATransfer("get", lm_offset, sm_addr, size, tag,
                                         now, completion))
 
@@ -136,7 +140,8 @@ class DMAController:
         self.puts += 1
         self.words_transferred += size // WORD_SIZE
         self.lines_transferred += len(lines)
-        completion = now + self._transfer_latency(len(lines))
+        queue = self.hierarchy.uncore_delay(now, len(lines))
+        completion = now + queue + self._transfer_latency(len(lines))
         return self._record(DMATransfer("put", lm_offset, sm_addr, size, tag,
                                         now, completion))
 

@@ -71,11 +71,20 @@ class MemoryHierarchyConfig:
 
 
 class MemoryHierarchy:
-    """Cycle-approximate model of the SM side (caches + main memory)."""
+    """Cycle-approximate model of the SM side (caches + main memory).
 
-    def __init__(self, config: Optional[MemoryHierarchyConfig] = None):
+    With ``uncore`` set (multicore), the main memory and the bus are the
+    *shared* instances of that uncore, and demand misses reaching memory —
+    plus, via :meth:`uncore_delay`, DMA bursts — pay its arbitration's
+    queueing delay.  Without one (every single-core system), behaviour and
+    timing are bit-for-bit what they always were.
+    """
+
+    def __init__(self, config: Optional[MemoryHierarchyConfig] = None,
+                 uncore=None):
         self.config = config or MemoryHierarchyConfig()
         c = self.config
+        self.uncore = uncore
         self.l1 = Cache("L1D", c.l1_size, c.l1_assoc, c.line_size,
                         c.l1_latency, write_back=False)
         self.l1i = Cache("L1I", c.l1i_size, c.l1i_assoc, c.line_size,
@@ -84,9 +93,13 @@ class MemoryHierarchy:
                         c.l2_latency, write_back=True)
         self.l3 = Cache("L3", c.l3_size, c.l3_assoc, c.line_size,
                         c.l3_latency, write_back=True)
-        self.memory = MainMemory(latency=c.memory_latency)
+        if uncore is not None:
+            self.memory = uncore.memory
+            self.bus = uncore.bus
+        else:
+            self.memory = MainMemory(latency=c.memory_latency)
+            self.bus = Bus(c.bus_latency_per_line)
         self.mshr = MSHRFile(c.mshr_entries)
-        self.bus = Bus(c.bus_latency_per_line)
         self.prefetcher = StreamPrefetcher(
             table_size=c.prefetch_table_size, degree=c.prefetch_degree,
             distance=c.prefetch_distance, line_size=c.line_size)
@@ -146,6 +159,10 @@ class MemoryHierarchy:
             else:
                 self.memory.reads += 1
                 beyond_l1 = float(c.l2_latency + c.l3_latency + c.memory_latency)
+                if self.uncore is not None:
+                    # Shared-uncore arbitration: concurrent misses from other
+                    # cores stretch this one's memory round trip.
+                    beyond_l1 += self.uncore.acquire(now, 1)
                 level = "MEM"
                 # Fill L3 from memory.
                 self._fill_level(self.l3, line, next_cache=None)
@@ -194,6 +211,13 @@ class MemoryHierarchy:
             self.l1i.fill(pc_addr)
             return float(self.config.l1i_latency + self.config.l2_latency)
         return float(self.config.l1i_latency)
+
+    def uncore_delay(self, now: float, lines: int = 1) -> float:
+        """Queueing delay of a ``lines``-line burst at the shared uncore
+        (0.0 on single-core systems, which have no uncore)."""
+        if self.uncore is None:
+            return 0.0
+        return self.uncore.acquire(now, lines)
 
     # -- coherent DMA bus requests ----------------------------------------------
     def snoop_read(self, addr: int) -> float:

@@ -1,0 +1,128 @@
+"""Shared uncore: one main memory and one inter-core bus with arbitration.
+
+A multicore built from the paper's per-core hybrid systems still shares the
+*uncore*: the system memory and the bus that demand misses and coherent DMA
+transfers cross.  :class:`Uncore` bundles the shared :class:`~repro.mem.main_memory.MainMemory`
+and :class:`~repro.mem.bus.Bus` instances with a deterministic bandwidth /
+arbitration model, so that concurrent demand misses and DMA bursts from
+different cores contend and stretch each other's latency.
+
+The arbitration model is per-window slot accounting (the same style the
+timing model uses for issue slots): time is divided into fixed windows of
+``window_cycles`` cycles, each admitting ``window_lines`` line transfers.  A
+request at time ``t`` claims slots starting at the first window at or after
+``t`` with capacity left; the queueing delay charged is the gap between
+``t`` and the start of that window.  Multi-line requests (DMA bursts)
+occupy slots in consecutive windows, which is what pushes *other*
+requesters — the transfer's own pipelined latency is modelled by the
+per-line costs of the bus and DMA engine, not here.
+
+Single-core systems never instantiate an uncore (``uncore=None``
+everywhere), so their timing is bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mem.bus import Bus
+from repro.mem.main_memory import MainMemory
+
+#: Default arbitration window in cycles.
+DEFAULT_WINDOW_CYCLES = 4
+#: Default line-transfer slots admitted per window (shared bandwidth).
+DEFAULT_WINDOW_LINES = 2
+
+
+class Uncore:
+    """Shared main memory + bus with windowed-slot bandwidth arbitration.
+
+    Parameters
+    ----------
+    memory_latency / bus_latency_per_line:
+        Timing parameters of the shared components (Table 1 values by
+        default; the multicore builder forwards the machine config's).
+    window_cycles / window_lines:
+        Arbitration granularity and bandwidth: ``window_lines`` line
+        transfers are admitted every ``window_cycles`` cycles across *all*
+        cores.
+    """
+
+    def __init__(self, memory_latency: int = 150,
+                 bus_latency_per_line: int = 4,
+                 window_cycles: int = DEFAULT_WINDOW_CYCLES,
+                 window_lines: int = DEFAULT_WINDOW_LINES,
+                 memory: Optional[MainMemory] = None,
+                 bus: Optional[Bus] = None):
+        if window_cycles <= 0 or window_lines <= 0:
+            raise ValueError("uncore window size and bandwidth must be positive")
+        self.memory = memory if memory is not None else MainMemory(memory_latency)
+        self.bus = bus if bus is not None else Bus(bus_latency_per_line)
+        self.window_cycles = window_cycles
+        self.window_lines = window_lines
+        #: Window index -> line slots consumed in that window.
+        self._windows: Dict[int, int] = {}
+        #: First window that may still have free slots.  Windows below it
+        #: are full — a full window can never regain capacity, so skipping
+        #: (and dropping) them is always correct no matter how requests'
+        #: ``now`` values interleave.  This bounds the dict to the span
+        #: between the frontier and the furthest claimed window and keeps
+        #: each acquire's scan near the bandwidth frontier.
+        self._frontier = 0
+        # Arbitration counters.
+        self.requests = 0
+        self.lines_requested = 0
+        self.contended_requests = 0
+        self.queue_delay_cycles = 0.0
+
+    def acquire(self, now: float, lines: int = 1) -> float:
+        """Claim ``lines`` transfer slots at or after ``now``; returns the
+        queueing delay (cycles) until the request's first slot is available.
+        """
+        if lines <= 0:
+            return 0.0
+        windows = self._windows
+        capacity = self.window_lines
+        w = int(now) // self.window_cycles
+        if w < self._frontier:
+            w = self._frontier
+        while windows.get(w, 0) >= capacity:
+            w += 1
+        start_window = w
+        remaining = lines
+        while remaining > 0:
+            used = windows.get(w, 0)
+            free = capacity - used
+            if free > 0:
+                take = free if free < remaining else remaining
+                windows[w] = used + take
+                remaining -= take
+            w += 1
+        # Advance the frontier over (and drop) windows that just filled up.
+        frontier = self._frontier
+        while windows.get(frontier, 0) >= capacity:
+            del windows[frontier]
+            frontier += 1
+        self._frontier = frontier
+        start = start_window * self.window_cycles
+        delay = start - now if start > now else 0.0
+        self.requests += 1
+        self.lines_requested += lines
+        if delay > 0.0:
+            self.contended_requests += 1
+            self.queue_delay_cycles += delay
+        return delay
+
+    def stats_summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "lines_requested": self.lines_requested,
+            "contended_requests": self.contended_requests,
+            "queue_delay_cycles": self.queue_delay_cycles,
+            "window_cycles": self.window_cycles,
+            "window_lines": self.window_lines,
+            "memory_reads": self.memory.reads,
+            "memory_writes": self.memory.writes,
+            "bus_transactions": self.bus.transactions,
+            "bus_dma_transactions": self.bus.dma_transactions,
+        }

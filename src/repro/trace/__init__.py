@@ -31,14 +31,17 @@ from typing import Optional, Tuple
 
 from repro.trace.format import (
     TRACE_SCHEMA,
+    MulticoreTrace,
     Trace,
     TraceError,
     TraceKey,
+    parse_trace_bytes,
     program_fingerprint,
 )
 from repro.trace.capture import TraceRecorder, capture_micro, capture_workload
 from repro.trace.replay import (
     ReplayValidityError,
+    TraceExecutor,
     check_replay_machine,
     recover_mem_pcs,
     replay_trace,
@@ -47,22 +50,58 @@ from repro.trace.store import EphemeralTraceStore, TraceStore
 
 __all__ = [
     "TRACE_SCHEMA",
+    "MulticoreTrace",
     "Trace",
     "TraceError",
     "TraceKey",
+    "TraceExecutor",
     "TraceRecorder",
     "TraceStore",
     "EphemeralTraceStore",
     "ReplayValidityError",
+    "capture_machine_for",
     "capture_micro",
     "capture_workload",
     "check_replay_machine",
     "ensure_trace",
+    "family_key_for",
+    "parse_trace_bytes",
     "program_fingerprint",
     "recover_mem_pcs",
     "replay_trace",
     "run_replay_spec",
 ]
+
+
+def capture_machine_for(key: TraceKey, base=None):
+    """The machine configuration a capture of ``key`` runs on: ``base`` with
+    exactly the key's functional parameters."""
+    from repro.harness.config import PTLSIM_CONFIG
+    return dataclasses.replace(base or PTLSIM_CONFIG, lm_size=key.lm_size,
+                               directory_entries=key.directory_entries,
+                               num_cores=key.num_cores)
+
+
+def family_key_for(spec, machine) -> TraceKey:
+    """The capture-trace key a replay cell resolves through.
+
+    Kernel cells key on (workload, mode, scale) plus the machine's
+    functional parameters — including ``num_cores``, which selects the
+    domain decomposition.  Microbenchmark cells (``params`` carries
+    ``micro_mode``) key on their parameter set; the canonical workload name
+    is derived from the params so replay and execute cells of the same
+    microbenchmark share one trace regardless of label case.
+    """
+    params = dict(spec.params)
+    if "micro_mode" in params:
+        return TraceKey.create(
+            f"micro-{params['micro_mode']}", spec.mode, "-", kind="micro",
+            params=params, lm_size=machine.lm_size,
+            directory_entries=machine.directory_entries)
+    return TraceKey.create(spec.workload, spec.mode, spec.scale, kind="kernel",
+                           lm_size=machine.lm_size,
+                           directory_entries=machine.directory_entries,
+                           num_cores=machine.num_cores)
 
 
 def ensure_trace(key: TraceKey, store: Optional[TraceStore] = None,
@@ -71,23 +110,30 @@ def ensure_trace(key: TraceKey, store: Optional[TraceStore] = None,
 
     Returns ``(trace, capture_result)`` where ``capture_result`` is the live
     :class:`~repro.harness.runner.RunResult` of the capture run when one had
-    to happen now (``None`` on a store hit).  Only kernel-family keys can be
-    captured on demand; micro traces come from :func:`capture_micro`.
+    to happen now (``None`` on a store hit).  Kernel keys capture through
+    :func:`capture_workload` (multicore keys run the interleaved multicore
+    capture), micro keys through :func:`capture_micro`.
     """
-    from repro.harness.config import PTLSIM_CONFIG
     store = store if store is not None else TraceStore()
     trace = store.get(key)
     if trace is not None:
         return trace, None
-    if key.kind != "kernel":
+    machine = capture_machine_for(key, capture_machine)
+    if key.kind == "kernel":
+        result, trace = capture_workload(key.workload, key.mode, key.scale,
+                                         machine=machine)
+    elif key.kind == "micro":
+        params = dict(key.params)
+        result, trace = capture_micro(
+            micro_mode=params.get("micro_mode", "baseline"),
+            guarded_fraction=float(params.get("guarded_fraction", 0.0)),
+            iterations=int(params.get("iterations", 200)),
+            unroll=int(params.get("unroll", 1)),
+            system_mode=key.mode, machine=machine)
+    else:
         raise TraceError(
-            f"no stored trace for {key.label} and only kernel traces can be "
-            "captured on demand")
-    base = capture_machine or PTLSIM_CONFIG
-    machine = dataclasses.replace(base, lm_size=key.lm_size,
-                                  directory_entries=key.directory_entries)
-    result, trace = capture_workload(key.workload, key.mode, key.scale,
-                                     machine=machine)
+            f"no stored trace for {key.label} and traces of kind "
+            f"{key.kind!r} cannot be captured on demand")
     store.put(trace)
     return trace, result
 
@@ -95,9 +141,9 @@ def ensure_trace(key: TraceKey, store: Optional[TraceStore] = None,
 def run_replay_spec(spec, base_machine=None, store: Optional[TraceStore] = None):
     """Resolve a ``RunSpec(kind="replay")`` cell: capture once, then replay.
 
-    The trace is keyed by the cell's (workload, mode, scale) and the
-    *functional* parameters of its resolved machine; the capture run uses the
-    base machine with exactly those functional parameters, so any
+    The trace is keyed by the cell's workload family and the *functional*
+    parameters of its resolved machine; the capture run uses the base
+    machine with exactly those functional parameters, so any
     timing-parameter override replays against the shared trace.  When the
     capture configuration already equals the requested machine the capture
     result is returned directly (replaying it would reproduce the same
@@ -105,19 +151,17 @@ def run_replay_spec(spec, base_machine=None, store: Optional[TraceStore] = None)
 
     Returns a live :class:`~repro.harness.runner.RunResult`.
     """
-    from repro.harness.config import PTLSIM_CONFIG
     machine = spec.resolve_machine(base_machine)
     # The key inherits this machine's functional parameters, so replay_trace's
     # own check_replay_machine gate passes by construction.
-    key = TraceKey.create(spec.workload, spec.mode, spec.scale, kind="kernel",
-                          lm_size=machine.lm_size,
-                          directory_entries=machine.directory_entries)
+    key = family_key_for(spec, machine)
+    if key.kind == "micro" and machine.num_cores != 1:
+        # Microbenchmarks are single-core programs: the execute path
+        # (run_program) ignores num_cores, so replay must too — otherwise
+        # the two kinds of the same cell would diverge.
+        machine = dataclasses.replace(machine, num_cores=1)
     trace, captured = ensure_trace(key, store=store,
-                                   capture_machine=base_machine or PTLSIM_CONFIG)
-    if captured is not None:
-        capture_machine = dataclasses.replace(
-            base_machine or PTLSIM_CONFIG, lm_size=key.lm_size,
-            directory_entries=key.directory_entries)
-        if capture_machine == machine:
-            return captured
+                                   capture_machine=base_machine)
+    if captured is not None and capture_machine_for(key, base_machine) == machine:
+        return captured
     return replay_trace(trace, machine)

@@ -64,7 +64,8 @@ def _cmd_capture(args) -> int:
     store = TraceStore(args.cache_dir)
     key = TraceKey.create(args.workload, args.mode, args.scale, kind="kernel",
                           lm_size=machine.lm_size,
-                          directory_entries=machine.directory_entries)
+                          directory_entries=machine.directory_entries,
+                          num_cores=machine.num_cores)
     if not args.force:
         existing = store.get(key)
         if existing is not None:
@@ -78,9 +79,15 @@ def _cmd_capture(args) -> int:
     wall = time.perf_counter() - start
     path = store.put(trace)
     print(_summary("capture", result))
-    print(f"trace      {key.label}: {trace.instructions} instructions, "
-          f"{trace.branch_count} branches, {trace.mem_count} memory ops, "
-          f"{trace.dma_count} DMA commands")
+    if hasattr(trace, "cores"):   # multicore container: one stream per core
+        streams = ", ".join(f"core{i}={t.instructions}"
+                            for i, t in enumerate(trace.cores))
+        print(f"trace      {key.label}: {trace.instructions} instructions "
+              f"({streams})")
+    else:
+        print(f"trace      {key.label}: {trace.instructions} instructions, "
+              f"{trace.branch_count} branches, {trace.mem_count} memory ops, "
+              f"{trace.dma_count} DMA commands")
     print(f"artifact   {path} ({path.stat().st_size} bytes, "
           f"hash {trace.content_hash}, captured in {wall:.2f}s)")
     return 0
@@ -92,7 +99,8 @@ def _cmd_replay(args) -> int:
     store = TraceStore(args.cache_dir)
     key = TraceKey.create(args.workload, args.mode, args.scale, kind="kernel",
                           lm_size=machine.lm_size,
-                          directory_entries=machine.directory_entries)
+                          directory_entries=machine.directory_entries,
+                          num_cores=machine.num_cores)
     trace, captured = ensure_trace(key, store=store)
     if captured is not None:
         print(f"captured {key.label} first (no stored trace)")
@@ -128,19 +136,23 @@ def _cmd_ls(args) -> int:
     if not rows:
         print(f"no traces under {store.root}")
         return 0
-    print(f"{'Workload':<10s} {'Mode':<14s} {'Scale':<7s} {'LM':>7s} "
-          f"{'Dir':>4s} {'Instr':>10s} {'Branches':>9s} {'MemOps':>9s} "
-          f"{'Bytes':>10s}  {'Hash':<16s}")
-    print("-" * 104)
+    print(f"{'Workload':<10s} {'Mode':<14s} {'Scale':<7s} {'Cores':>5s} "
+          f"{'LM':>7s} {'Dir':>4s} {'Instr':>10s} {'Branches':>9s} "
+          f"{'MemOps':>9s} {'Bytes':>10s}  {'Hash':<16s}")
+    print("-" * 110)
     for path, trace in rows:
         k = trace.key
         # Hash the stored bytes directly: Trace.content_hash would pay a
         # full re-encode per row just to print 16 characters.
         digest = hashlib.sha256(path.read_bytes()).hexdigest()[:16]
+        multicore = hasattr(trace, "cores")
+        branches = ("-" if multicore
+                    else str(trace.branch_count))
+        mem_ops = ("-" if multicore else str(trace.mem_count))
         print(f"{k.workload:<10s} {k.mode:<14s} {k.scale:<7s} "
-              f"{k.lm_size // 1024:>6d}K {k.directory_entries:>4d} "
-              f"{trace.instructions:>10d} {trace.branch_count:>9d} "
-              f"{trace.mem_count:>9d} {path.stat().st_size:>10d}  "
+              f"{k.num_cores:>5d} {k.lm_size // 1024:>6d}K "
+              f"{k.directory_entries:>4d} {trace.instructions:>10d} "
+              f"{branches:>9s} {mem_ops:>9s} {path.stat().st_size:>10d}  "
               f"{digest:<16s}")
     stats = store.disk_stats()
     print(f"\n{stats['entries']} trace(s), {stats['bytes']} bytes under "

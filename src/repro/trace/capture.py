@@ -19,7 +19,13 @@ from typing import Optional, Tuple
 
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG
 from repro.harness.runner import RunResult, run_program, run_workload
-from repro.trace.format import Trace, TraceKey, pack_bits, program_fingerprint
+from repro.trace.format import (
+    MulticoreTrace,
+    Trace,
+    TraceKey,
+    pack_bits,
+    program_fingerprint,
+)
 
 
 class TraceRecorder:
@@ -60,10 +66,21 @@ class TraceRecorder:
 
 def capture_workload(workload: str, mode: str = "hybrid",
                      scale: str = "small",
-                     machine: Optional[MachineConfig] = None
+                     machine: Optional[MachineConfig] = None,
+                     num_cores: Optional[int] = None
                      ) -> Tuple[RunResult, Trace]:
-    """Run a NAS-like kernel execution-driven and capture its trace."""
+    """Run a NAS-like kernel execution-driven and capture its trace.
+
+    With ``num_cores > 1`` (explicit or from the machine config) the run is
+    the interleaved multicore simulation: one recorder per core captures
+    that core's stream, and the result is a
+    :class:`~repro.trace.format.MulticoreTrace` containing all of them.
+    """
     machine = machine or PTLSIM_CONFIG
+    num_cores = machine.num_cores if num_cores is None else int(num_cores)
+    if num_cores > 1:
+        return _capture_parallel_workload(workload, mode, scale, machine,
+                                          num_cores)
     recorder = TraceRecorder()
     result = run_workload(workload, mode=mode, scale=scale, machine=machine,
                           recorder=recorder)
@@ -72,6 +89,34 @@ def capture_workload(workload: str, mode: str = "hybrid",
                           directory_entries=machine.directory_entries)
     fingerprint = program_fingerprint(result.compiled.program)
     return result, recorder.finish(key, fingerprint)
+
+
+def _capture_parallel_workload(workload: str, mode: str, scale: str,
+                               machine: MachineConfig, num_cores: int
+                               ) -> Tuple[RunResult, MulticoreTrace]:
+    from repro.harness.runner import (
+        compile_parallel_workload,
+        run_parallel_compiled,
+    )
+    recorders = [TraceRecorder() for _ in range(num_cores)]
+    compiled = compile_parallel_workload(workload, mode, scale, machine,
+                                         num_cores)
+    result = run_parallel_compiled(compiled, mode=mode, scale=scale,
+                                   machine=machine, recorders=recorders)
+    family = TraceKey.create(workload, mode, scale, kind="kernel",
+                             lm_size=machine.lm_size,
+                             directory_entries=machine.directory_entries,
+                             num_cores=num_cores)
+    cores = []
+    for core_id, (recorder, comp) in enumerate(zip(recorders, compiled)):
+        core_key = TraceKey.create(
+            workload, mode, scale, kind="kernel",
+            lm_size=machine.lm_size,
+            directory_entries=machine.directory_entries,
+            num_cores=num_cores, params={"core": core_id})
+        cores.append(recorder.finish(
+            core_key, program_fingerprint(comp.program)))
+    return result, MulticoreTrace(key=family, cores=cores)
 
 
 def capture_micro(micro_mode: str, guarded_fraction: float = 1.0,

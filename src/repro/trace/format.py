@@ -77,6 +77,10 @@ NO_PC = -1
 #: File magic of serialised traces.
 TRACE_MAGIC = b"RPTR"
 
+#: File magic of serialised multicore trace containers (one per-core stream
+#: each, replayed together against the shared uncore).
+MULTI_TRACE_MAGIC = b"RPMT"
+
 
 class TraceError(RuntimeError):
     """Raised when a trace cannot be parsed or does not match its program."""
@@ -93,7 +97,12 @@ def _freeze_params(params) -> Tuple[Tuple[str, Any], ...]:
 @dataclass(frozen=True)
 class TraceKey:
     """Identity of a trace: the cell it was recorded from plus the
-    *functional* machine parameters the dynamic stream depends on."""
+    *functional* machine parameters the dynamic stream depends on.
+
+    ``num_cores`` is functional too: it selects the domain decomposition the
+    per-core programs are compiled from.  Single-core keys omit it from the
+    canonical dict so their hashes (and stored artifacts) are unchanged.
+    """
 
     workload: str
     mode: str
@@ -102,11 +111,12 @@ class TraceKey:
     params: Tuple[Tuple[str, Any], ...] = ()
     lm_size: int = 32 * 1024
     directory_entries: int = 32
+    num_cores: int = 1
 
     @classmethod
     def create(cls, workload: str, mode: str, scale: str, kind: str = "kernel",
                params=None, lm_size: int = 32 * 1024,
-               directory_entries: int = 32) -> "TraceKey":
+               directory_entries: int = 32, num_cores: int = 1) -> "TraceKey":
         """Build a key with the same normalisation as ``RunSpec.create``."""
         return cls(
             workload=workload.strip().upper() if kind == "kernel" else workload.strip(),
@@ -116,10 +126,11 @@ class TraceKey:
             params=_freeze_params(params),
             lm_size=int(lm_size),
             directory_entries=int(directory_entries),
+            num_cores=int(num_cores),
         )
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "workload": self.workload,
             "mode": self.mode,
             "scale": self.scale,
@@ -128,6 +139,9 @@ class TraceKey:
             "lm_size": self.lm_size,
             "directory_entries": self.directory_entries,
         }
+        if self.num_cores != 1:
+            out["num_cores"] = self.num_cores
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TraceKey":
@@ -135,7 +149,8 @@ class TraceKey:
             workload=data["workload"], mode=data["mode"], scale=data["scale"],
             kind=data.get("kind", "kernel"), params=data.get("params"),
             lm_size=data.get("lm_size", 32 * 1024),
-            directory_entries=data.get("directory_entries", 32))
+            directory_entries=data.get("directory_entries", 32),
+            num_cores=data.get("num_cores", 1))
 
     @property
     def key_hash(self) -> str:
@@ -147,6 +162,8 @@ class TraceKey:
     @property
     def label(self) -> str:
         parts = [self.workload, self.mode, self.scale]
+        if self.num_cores != 1:
+            parts.append(f"{self.num_cores}cores")
         if self.params:
             parts.append(",".join(f"{k}={v}" for k, v in self.params))
         return ":".join(parts)
@@ -578,3 +595,90 @@ class Trace:
                 raise TraceError("oversized dma section")
             dma_words = array("q")
         return mem_addrs, dma_words, mem_pcs, pos
+
+
+@dataclass
+class MulticoreTrace:
+    """Container of one captured per-core stream per core of a multicore run.
+
+    ``key`` is the *family* key (``num_cores > 1``); ``cores[i]`` is the
+    stream core ``i`` retired, captured by its own recorder during one
+    interleaved execution-driven run and carrying the fingerprint of that
+    core's shard program.  Replay rebuilds the shard programs and drives all
+    streams together against the shared uncore
+    (:func:`repro.trace.replay.replay_trace` dispatches on the type).
+
+    Serialisation wraps the per-core :class:`Trace` payloads behind its own
+    magic::
+
+        b"RPMT" | u16 schema | u32 header_len | header JSON | core payloads
+
+    with the header JSON carrying the family key and per-core byte sizes.
+    """
+
+    key: TraceKey
+    cores: List[Trace] = field(default_factory=list)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def instructions(self) -> int:
+        """Total retired dynamic instructions across all cores."""
+        return sum(t.instructions for t in self.cores)
+
+    @property
+    def content_hash(self) -> str:
+        return hashlib.sha256(self.to_bytes()).hexdigest()[:16]
+
+    def to_bytes(self, schema: int = TRACE_SCHEMA) -> bytes:
+        if self.key.num_cores != len(self.cores):
+            raise TraceError(
+                f"multicore trace {self.key.label} holds {len(self.cores)} "
+                f"core streams but its key says {self.key.num_cores}")
+        payloads = [t.to_bytes(schema) for t in self.cores]
+        header = json.dumps(
+            {"schema": schema, "key": self.key.as_dict(),
+             "sizes": [len(p) for p in payloads]},
+            sort_keys=True, separators=(",", ":")).encode()
+        parts = [MULTI_TRACE_MAGIC, struct.pack("<HI", schema, len(header)),
+                 header]
+        parts.extend(payloads)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MulticoreTrace":
+        try:
+            if data[:4] != MULTI_TRACE_MAGIC:
+                raise TraceError("bad magic (not a multicore trace file)")
+            schema, header_len = struct.unpack_from("<HI", data, 4)
+            if schema not in SUPPORTED_SCHEMAS:
+                raise TraceError(
+                    f"trace schema {schema} not in {SUPPORTED_SCHEMAS}")
+            pos = 10
+            header = json.loads(data[pos:pos + header_len].decode())
+            pos += header_len
+            cores = []
+            for size in header["sizes"]:
+                payload = data[pos:pos + size]
+                if len(payload) != size:
+                    raise TraceError("truncated core payload")
+                cores.append(Trace.from_bytes(payload))
+                pos += size
+            if pos != len(data):
+                raise TraceError("truncated or oversized multicore trace")
+            return cls(key=TraceKey.from_dict(header["key"]), cores=cores)
+        except TraceError:
+            raise
+        except (KeyError, IndexError, ValueError, TypeError, struct.error,
+                UnicodeDecodeError) as exc:
+            raise TraceError(f"corrupted multicore trace: {exc}") from exc
+
+
+def parse_trace_bytes(data: bytes):
+    """Parse serialised trace bytes into a :class:`Trace` or
+    :class:`MulticoreTrace`, dispatching on the file magic."""
+    if data[:4] == MULTI_TRACE_MAGIC:
+        return MulticoreTrace.from_bytes(data)
+    return Trace.from_bytes(data)

@@ -55,16 +55,23 @@ from collections import OrderedDict
 from typing import Optional
 
 from repro.cpu.core import SimulationResult
+from repro.cpu.executor import DynamicInstruction
 from repro.cpu.pipeline import CODE_BASE, CODE_INSTR_SIZE, OutOfOrderTimingModel
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG
 from repro.harness.runner import RunResult
 from repro.harness.systems import build_system, core_config_for
 from repro.energy.model import EnergyModel
 from repro.isa.instructions import Opcode
-from repro.trace.format import Trace, TraceError, TraceKey, program_fingerprint
+from repro.trace.format import (
+    MulticoreTrace,
+    Trace,
+    TraceError,
+    TraceKey,
+    program_fingerprint,
+)
 
-__all__ = ["ReplayValidityError", "check_replay_machine", "recover_mem_pcs",
-           "replay_trace"]
+__all__ = ["ReplayValidityError", "TraceExecutor", "check_replay_machine",
+           "recover_mem_pcs", "replay_trace"]
 
 
 class ReplayValidityError(ValueError):
@@ -87,6 +94,9 @@ def check_replay_machine(key: TraceKey, machine: MachineConfig) -> None:
     if machine.directory_entries != key.directory_entries:
         problems.append(f"directory_entries {machine.directory_entries} "
                         f"!= capture {key.directory_entries}")
+    if machine.num_cores != key.num_cores:
+        problems.append(f"num_cores {machine.num_cores} "
+                        f"!= capture {key.num_cores}")
     if problems:
         raise ReplayValidityError(
             f"trace {key.label} cannot be replayed on this machine: "
@@ -336,9 +346,13 @@ def replay_trace(trace: Trace,
 
     At the capture machine configuration the result is cycle- and
     energy-identical to execution-driven simulation; under a different
-    (timing-parameter) configuration it is the re-timed run.
+    (timing-parameter) configuration it is the re-timed run.  A
+    :class:`~repro.trace.format.MulticoreTrace` replays its per-core streams
+    together against the shared uncore.
     """
     machine = machine or PTLSIM_CONFIG
+    if isinstance(trace, MulticoreTrace):
+        return _replay_multicore(trace, machine)
     check_replay_machine(trace.key, machine)
     program, compiled, hot, cold, fu_values, phase_names, fingerprint = \
         _cached_program(trace.key)
@@ -697,3 +711,184 @@ def _replay_timing(program, cold, phase_names, decoded, trace, system,
             "misprediction_rate": timing.predictor.misprediction_rate,
         },
     )
+
+
+# --------------------------------------------------------------- multicore replay
+class TraceExecutor:
+    """Stream-driven stand-in for the functional executor.
+
+    Walks the rebuilt static program with the recorded branch outcomes and
+    issues memory/DMA operations *to the real memory system* at their
+    recorded addresses — same call sequence, same clock estimates, same
+    timing — while skipping everything the trace replaces: register reads,
+    ALU evaluation, branch condition evaluation and data movement
+    (LM-range accesses go through the stat-identical
+    :meth:`~repro.core.hybrid.HybridSystem.lm_timing_access` fast path;
+    store values are replayed as 0.0, which never influences timing).
+
+    Exposes the :class:`~repro.cpu.executor.FunctionalExecutor` surface the
+    interleaved multicore runner drives (``current_instruction()``,
+    ``execute_at(now)``, ``pc``), so execution-driven multicore runs and
+    multicore replay share one timing path — the capture -> replay
+    cycle/energy identity holds by construction.
+    """
+
+    def __init__(self, program, system, trace: Trace):
+        if not program.is_laid_out:  # pragma: no cover - rebuilds are laid out
+            program.assign_addresses()
+        self.program = program
+        self.system = system
+        self.trace = trace
+        self.pc = 0
+        self.executed = 0
+        self.halted = False
+        self._branches = trace.branch_outcomes()
+        self._mem_addrs = trace.mem_addrs
+        self._dma_words = trace.dma_words
+        self._bi = self._mi = self._di = 0
+        if system.use_lm:
+            self._lm_lo = system.address_map.virtual_base
+            self._lm_hi = self._lm_lo + system.address_map.size
+        else:
+            self._lm_lo = self._lm_hi = -1
+
+    def current_instruction(self):
+        if self.halted or self.pc >= len(self.program.instructions):
+            return None
+        return self.program.instructions[self.pc]
+
+    def execute_at(self, now: float) -> Optional[DynamicInstruction]:
+        inst = self.current_instruction()
+        if inst is None:
+            return None
+        self.executed += 1
+        index = self.pc
+        dyn = DynamicInstruction(inst=inst, index=index,
+                                 latency=float(inst.latency),
+                                 next_index=index + 1)
+        system = self.system
+        try:
+            if inst.is_memory:
+                addr = self._mem_addrs[self._mi]
+                self._mi += 1
+                dyn.address = addr
+                if self._lm_lo <= addr < self._lm_hi:
+                    dyn.latency = system.lm_timing_access(addr, inst.is_store)
+                elif inst.is_load:
+                    outcome = system.load(
+                        addr, guarded=inst.is_guarded,
+                        oracle_divert=inst.oracle_divert, pc=index, now=now)
+                    dyn.mem_outcome = outcome
+                    dyn.latency = outcome.latency
+                else:
+                    outcome = system.store(
+                        addr, 0.0, guarded=inst.is_guarded,
+                        oracle_divert=inst.oracle_divert,
+                        collapse_with_prev=inst.collapse_with_prev,
+                        pc=index, now=now)
+                    dyn.mem_outcome = outcome
+                    dyn.latency = outcome.latency
+            elif inst.is_conditional_branch:
+                taken = self._branches[self._bi]
+                self._bi += 1
+                dyn.branch_taken = taken
+                if taken:
+                    dyn.next_index = self.program.resolve_label(inst.target)
+            else:
+                op = inst.opcode
+                if op is Opcode.JMP:
+                    dyn.branch_taken = True
+                    dyn.next_index = self.program.resolve_label(inst.target)
+                elif op is Opcode.HALT:
+                    self.halted = True
+                    dyn.serializing = True
+                elif op is Opcode.DMA_GET or op is Opcode.DMA_PUT:
+                    di = self._di
+                    args = (self._dma_words[di], self._dma_words[di + 1],
+                            self._dma_words[di + 2])
+                    self._di = di + 3
+                    dyn.dma_args = args
+                    issue = (system.dma_get if op is Opcode.DMA_GET
+                             else system.dma_put)
+                    dyn.latency = issue(args[0], args[1], args[2],
+                                        tag=inst.imm or 0, now=now)
+                elif op is Opcode.DMA_SYNC:
+                    stall = system.dma_sync(inst.imm, now=now)
+                    dyn.stall_cycles = stall
+                    dyn.latency = 1.0 + stall
+                    dyn.serializing = True
+                elif op is Opcode.SET_BUFSIZE:
+                    dyn.latency = system.set_buffer_size(inst.imm)
+                # Every other opcode (ALU, LI, MOV, ...) keeps the static
+                # latency and falls through: no data to compute at replay.
+        except IndexError:
+            raise TraceError(
+                f"trace {self.trace.key.label} ran off its event streams at "
+                f"pc={index}; the trace does not match the rebuilt program"
+            ) from None
+        self.pc = dyn.next_index
+        return dyn
+
+    def verify_consumed(self) -> None:
+        """Raise unless every recorded event was consumed by the walk."""
+        if (self._bi != len(self._branches)
+                or self._mi != len(self._mem_addrs)
+                or self._di != len(self._dma_words)
+                or self.executed != self.trace.instructions):
+            raise TraceError(
+                f"trace {self.trace.key.label} left unconsumed events "
+                f"(instructions {self.executed}/{self.trace.instructions}, "
+                f"branches {self._bi}/{len(self._branches)}, "
+                f"mem {self._mi}/{len(self._mem_addrs)}, "
+                f"dma {self._di}/{len(self._dma_words)}); the trace does "
+                "not match the rebuilt program")
+
+
+def _replay_multicore(mtrace: MulticoreTrace,
+                      machine: MachineConfig) -> RunResult:
+    """Replay a multicore capture against the shared uncore.
+
+    Rebuilds every core's shard program (compilation is deterministic given
+    the family key), then drives one :class:`TraceExecutor` per core through
+    the *same* interleaved lane runner execution uses — so at the capture
+    machine configuration cycles, activity and energy are identical to the
+    execution-driven run, and under timing-parameter overrides the whole
+    multicore (including uncore contention) is re-timed.
+    """
+    from repro.harness.runner import (
+        compile_parallel_workload,
+        run_parallel_lanes,
+    )
+    from repro.harness.systems import build_multicore_system
+
+    key = mtrace.key
+    check_replay_machine(key, machine)
+    if key.kind != "kernel":
+        raise TraceError(f"multicore replay supports kernel traces only, "
+                         f"not {key.kind!r}")
+    num_cores = key.num_cores
+    if num_cores != len(mtrace.cores):
+        raise TraceError(
+            f"multicore trace {key.label} holds {len(mtrace.cores)} core "
+            f"streams but its key says {num_cores}")
+    compiled = compile_parallel_workload(key.workload, key.mode, key.scale,
+                                         machine, num_cores)
+    for core_id, (comp, trace) in enumerate(zip(compiled, mtrace.cores)):
+        fingerprint = program_fingerprint(comp.program)
+        if fingerprint != trace.program_fingerprint:
+            raise TraceError(
+                f"multicore trace {key.label} is stale: core {core_id} "
+                f"program fingerprint {trace.program_fingerprint} != rebuilt "
+                f"{fingerprint} (the compiler or workload changed since "
+                "capture)")
+    system = build_multicore_system(key.mode, machine, num_cores=num_cores)
+    executors = [TraceExecutor(comp.program, system.view(core_id), trace)
+                 for core_id, (comp, trace)
+                 in enumerate(zip(compiled, mtrace.cores))]
+    sim = run_parallel_lanes(compiled, system, machine, executors)
+    for executor in executors:
+        executor.verify_consumed()
+    energy = EnergyModel(machine.energy).compute(sim)
+    return RunResult(workload=key.workload, mode=key.mode,
+                     compiled=compiled[0], sim=sim, energy=energy,
+                     system=system, scale=key.scale, num_cores=num_cores)

@@ -28,7 +28,15 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.trace.format import TRACE_MAGIC, TRACE_SCHEMA, Trace, TraceError, TraceKey
+from repro.trace.format import (
+    MULTI_TRACE_MAGIC,
+    TRACE_MAGIC,
+    TRACE_SCHEMA,
+    Trace,
+    TraceError,
+    TraceKey,
+    parse_trace_bytes,
+)
 
 #: Subdirectory of the cache root holding trace artifacts.
 TRACE_SUBDIR = "traces"
@@ -48,7 +56,7 @@ def _parse_cached(path: Path, stat: os.stat_result) -> Trace:
     cache_key = (str(path), stat.st_mtime_ns, stat.st_size)
     trace = _PARSE_CACHE.get(cache_key)
     if trace is None:
-        trace = Trace.from_bytes(path.read_bytes())
+        trace = parse_trace_bytes(path.read_bytes())
         _PARSE_CACHE[cache_key] = trace
         while len(_PARSE_CACHE) > _PARSE_CACHE_CAP:
             _PARSE_CACHE.popitem(last=False)
@@ -86,7 +94,7 @@ def _file_schema(path: Path) -> Optional[int]:
             head = fh.read(6)
     except OSError:
         return None
-    if len(head) < 6 or head[:4] != TRACE_MAGIC:
+    if len(head) < 6 or head[:4] not in (TRACE_MAGIC, MULTI_TRACE_MAGIC):
         return None
     return struct.unpack_from("<H", head, 4)[0]
 
@@ -165,7 +173,7 @@ class TraceStore:
             return
         for path in sorted(self.root.glob("*/*.trace")):
             try:
-                yield path, Trace.from_bytes(path.read_bytes())
+                yield path, parse_trace_bytes(path.read_bytes())
             except (OSError, TraceError):
                 continue
 
@@ -272,13 +280,24 @@ class TraceStore:
             return counts
         for path in sorted(self.root.glob("*/*.trace")):
             try:
-                trace = Trace.from_bytes(path.read_bytes())
+                trace = parse_trace_bytes(path.read_bytes())
             except (OSError, TraceError):
                 counts["failed"] += 1
                 continue
             target = self.path_for(trace.key)
             if _file_schema(path) == TRACE_SCHEMA and path == target:
                 counts["current"] += 1
+                continue
+            if not isinstance(trace, Trace):
+                # Multicore containers were born at the current schema; a
+                # mislocated one is just re-addressed.
+                self.put(trace)
+                if path != target:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                counts["migrated"] += 1
                 continue
             if not len(trace.mem_pcs) and recover_pcs is not None:
                 try:

@@ -25,6 +25,7 @@ from repro.workloads.microbenchmark import (
     build_microbenchmark,
     MICRO_MODES,
 )
+from repro.workloads.parallel import shard_bounds, shard_kernel
 
 #: Registry of NAS-like kernels: name -> builder(scale) -> Kernel.
 _REGISTRY: Dict[str, Callable[[str], Kernel]] = {
@@ -65,4 +66,6 @@ __all__ = [
     "MicroMode",
     "MICRO_MODES",
     "build_microbenchmark",
+    "shard_bounds",
+    "shard_kernel",
 ]

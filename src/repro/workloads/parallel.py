@@ -1,0 +1,145 @@
+"""Domain decomposition of the NAS-like kernels for multicore runs.
+
+The paper's programming model distributes data across cores: while a core
+streams its partition through its LM, no other core touches that
+partition's SM copy.  :func:`shard_kernel` applies the classic OpenMP-style
+static decomposition to one of this repo's kernels: core ``c`` of ``N``
+runs iterations ``[n*c//N, n*(c+1)//N)`` of the original iteration space,
+rebased to zero so the compiler's blocking transformation (which only
+tiles zero-based loops) maps the shard's chunks — and only the shard's
+chunks — to that core's LM.
+
+Array handling per reference pattern:
+
+* **unit-stride affine arrays** (the streams the compiler maps to LM
+  buffers) are *sliced*: core ``c`` gets elements ``[lo, lo+shard+halo)``,
+  where the halo preserves the stencil/padding tail the original declared
+  beyond the iteration count.  Each core's chunks are therefore disjoint
+  data — the ownership model holds by construction;
+* **index arrays** of gathers/scatters are sliced the same way (they are
+  read with unit stride); the *values* they hold keep indexing the full
+  target table;
+* **gather/scatter targets, pointer targets and constant-index arrays**
+  (lookup tables, histogram buckets, stack slots) are *replicated*: every
+  core gets a private full copy, the standard privatisation of parallel
+  reductions/histograms.  Replicated tables are never LM-mapped chunks of
+  shared data, so they raise no ownership concerns;
+* **modulo-indexed scatters** get their offset rebased by ``lo *
+  multiplier`` so each core produces exactly its shard of the original
+  access pattern.
+
+Because each core's program is compiled separately and laid out in a
+disjoint SM window (see :mod:`repro.harness.runner`), the decomposition is
+also what the acceptance tests of Section 3 demand: no core ever touches
+another core's mapped data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Set, Tuple
+
+from repro.compiler.ir import (
+    AffineIndex,
+    ArraySpec,
+    Assign,
+    BinOp,
+    IndirectIndex,
+    Kernel,
+    Load,
+    Loop,
+    ModuloIndex,
+    Reduce,
+    Ref,
+)
+
+
+def shard_bounds(trip: int, core_id: int, num_cores: int) -> Tuple[int, int]:
+    """Iteration range ``[lo, hi)`` of core ``core_id`` (static schedule)."""
+    if num_cores <= 0:
+        raise ValueError("need at least one core")
+    if not 0 <= core_id < num_cores:
+        raise ValueError(f"core {core_id} outside [0, {num_cores})")
+    return trip * core_id // num_cores, trip * (core_id + 1) // num_cores
+
+
+def _replicated_arrays(kernel: Kernel) -> Set[str]:
+    """Arrays every core keeps a private full copy of (see module docstring)."""
+    replicated: Set[str] = set()
+    for pointer in kernel.pointers.values():
+        replicated.add(pointer.actual_target)
+    for ref in kernel.all_refs():
+        index = ref.index
+        if isinstance(index, (IndirectIndex, ModuloIndex)):
+            replicated.add(kernel.storage_target(ref.array))
+        elif isinstance(index, AffineIndex) and index.stride != 1:
+            replicated.add(kernel.storage_target(ref.array))
+    return replicated
+
+
+def _rebase_statement(stmt, lo: int):
+    """Rewrite modulo-indexed refs so the shard reproduces its slice of the
+    original access pattern (``(i+lo)*m % M == (i*m + lo*m) % M``)."""
+
+    def rebase_ref(ref: Ref) -> Ref:
+        index = ref.index
+        if isinstance(index, ModuloIndex) and lo:
+            return Ref(ref.array, ModuloIndex(
+                multiplier=index.multiplier, modulo=index.modulo,
+                offset=(index.offset + lo * index.multiplier) % index.modulo))
+        return ref
+
+    def rebase_expr(expr):
+        if isinstance(expr, Load):
+            return Load(rebase_ref(expr.ref))
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, rebase_expr(expr.lhs), rebase_expr(expr.rhs))
+        return expr
+
+    if isinstance(stmt, Assign):
+        return Assign(rebase_ref(stmt.target), rebase_expr(stmt.expr))
+    if isinstance(stmt, Reduce):
+        return Reduce(stmt.scalar, rebase_expr(stmt.expr), stmt.op)
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def shard_kernel(kernel: Kernel, core_id: int, num_cores: int) -> Kernel:
+    """The kernel core ``core_id`` of ``num_cores`` runs (see module docstring).
+
+    With ``num_cores == 1`` the result is equivalent to the input kernel.
+    Only kernels whose loops all cover the same zero-based iteration space
+    can be sharded (every kernel in this repo qualifies).
+    """
+    if not kernel.loops:
+        raise ValueError(f"kernel {kernel.name!r} has no loops to shard")
+    trip = kernel.loops[0].end
+    for loop in kernel.loops:
+        if loop.start != 0 or loop.end != trip:
+            raise ValueError(
+                f"kernel {kernel.name!r}: only kernels whose loops share one "
+                "zero-based iteration space can be sharded")
+    lo, hi = shard_bounds(trip, core_id, num_cores)
+    shard_trip = hi - lo
+    replicated = _replicated_arrays(kernel)
+
+    shard = Kernel(kernel.name)
+    for name, spec in kernel.arrays.items():
+        if name in replicated or spec.length < trip:
+            # Private full copy (tables, stack slots, short arrays).
+            shard.add_array(ArraySpec(name, spec.length, dtype=spec.dtype,
+                                      data=spec.data, mappable=spec.mappable))
+            continue
+        halo = spec.length - trip
+        length = max(1, shard_trip + halo)
+        data = spec.data[lo:lo + length] if spec.data is not None else None
+        shard.add_array(ArraySpec(name, length, dtype=spec.dtype, data=data,
+                                  mappable=spec.mappable))
+    for spec in kernel.pointers.values():
+        shard.add_pointer(dataclasses.replace(spec))
+    shard.scalars.update(kernel.scalars)
+    for loop in kernel.loops:
+        sharded = Loop(loop.var, 0, shard_trip)
+        sharded.body = [_rebase_statement(stmt, lo) for stmt in loop.body]
+        shard.add_loop(sharded)
+    shard.validate()
+    return shard
