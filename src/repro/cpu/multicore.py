@@ -16,8 +16,22 @@ the foundation of the multicore capture -> replay cycle/energy identity.
 The *executor* half of a lane is anything with the
 :class:`~repro.cpu.executor.FunctionalExecutor` surface
 (``current_instruction()``, ``execute_at(now)``, ``pc``): execution-driven
-runs use the real functional executor, trace replay uses
-:class:`~repro.trace.replay.TraceExecutor`.
+runs use the real functional executor, the ``engine="lanes"`` verification
+replay uses :class:`~repro.trace.replay.TraceExecutor`.
+
+Two drivers implement that one scheduling contract:
+
+* :func:`run_lanes` steps executor/timing :class:`CoreLane` pairs one
+  instruction at a time (execution-driven runs and lane-replay
+  verification);
+* :func:`run_resumable_lanes` drives *resumable* lane state machines
+  (the fused replay engine's :class:`~repro.trace.replay._FusedLane`),
+  handing each scheduled lane the key of the next-earliest lane so it can
+  batch instructions internally and yield exactly when the single-step
+  scheduler would have switched.
+
+Both pick lanes by the key ``(fetch_time, lane order)``, so they interleave
+— and therefore time the shared uncore — identically.
 """
 
 from __future__ import annotations
@@ -26,6 +40,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cpu.core import SimulationResult
 from repro.cpu.pipeline import OutOfOrderTimingModel
+
+_INFINITY = float("inf")
 
 
 class CoreLane:
@@ -66,6 +82,60 @@ def run_lanes(lanes: Sequence[CoreLane]) -> None:
             best.record(dyn)
         if executor.current_instruction() is None:
             active.remove(best)
+
+
+def run_resumable_lanes(lanes: Sequence) -> None:
+    """Run resumable lane state machines to completion, interleaved by the
+    same min-fetch-time / lowest-order contract as :func:`run_lanes`.
+
+    A *resumable lane* exposes ``fetch_time`` (its front-end clock),
+    ``order`` (its tie-break rank — the core id), ``done`` and
+    ``run_until(limit, limit_order)``, which must process at least one
+    instruction and keep going exactly while the lane's key
+    ``(fetch_time, order)`` stays below ``(limit, limit_order)``.  Handing
+    the scheduled lane the key of the next-earliest lane lets it batch the
+    whole run it is entitled to in one call — the interleaving (and with it
+    every shared-uncore arbitration decision) is identical to stepping one
+    instruction at a time, without paying a scheduler round per
+    instruction.
+    """
+    active = [lane for lane in lanes if not lane.done]
+    while len(active) > 2:
+        best = active[0]
+        best_key = (best.fetch_time, best.order)
+        second_key = None
+        for lane in active[1:]:
+            key = (lane.fetch_time, lane.order)
+            if key < best_key:
+                second_key = best_key
+                best_key = key
+                best = lane
+            elif second_key is None or key < second_key:
+                second_key = key
+        best.run_until(second_key[0], second_key[1])
+        if best.done:
+            active.remove(best)
+    if len(active) == 2:
+        # Two-lane fast path: no key tuples, no scans — the other lane is
+        # the limit.  Lockstepped lanes bounce here every 1-2 instructions.
+        a, b = active
+        if a.order > b.order:   # pragma: no cover - callers pass rank order
+            a, b = b, a
+        while True:
+            ta = a.fetch_time
+            tb = b.fetch_time
+            if ta <= tb:        # ties go to the lower order (a)
+                a.run_until(tb, b.order)
+                if a.done:
+                    active = [b]
+                    break
+            else:
+                b.run_until(ta, a.order)
+                if b.done:
+                    active = [a]
+                    break
+    if active:
+        active[0].run_until(_INFINITY, active[0].order)
 
 
 def lane_result(lane: CoreLane, memory_stats: dict) -> SimulationResult:

@@ -251,8 +251,12 @@ def run_parallel_lanes(compiled: Sequence[CompiledKernel], system,
     """Drive per-core executors to completion and aggregate the results.
 
     Shared between execution-driven multicore runs (functional executors)
-    and multicore trace replay (trace executors) so both interleave — and
-    therefore time — identically.
+    and the ``engine="lanes"`` verification replay (trace executors) so
+    both interleave — and therefore time — identically.  The fused
+    multicore replay engine (:mod:`repro.trace.replay`, the default for
+    replay-kind sweep cells) does not come through here: it steps its own
+    lane state machines under the same scheduling contract via
+    :func:`repro.cpu.multicore.run_resumable_lanes`.
     """
     config = core_config_for(machine)
     recorders = recorders or [None] * len(executors)

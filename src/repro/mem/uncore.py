@@ -69,6 +69,13 @@ class Uncore:
         #: between the frontier and the furthest claimed window and keeps
         #: each acquire's scan near the bandwidth frontier.
         self._frontier = 0
+        #: Upper bound on the highest window index holding any claimed
+        #: slots.  Every window above ``max(_max_window, _frontier - 1)``
+        #: is untouched, which is what lets :meth:`acquire` claim a
+        #: multi-line burst at the bandwidth frontier in O(1) — advance the
+        #: frontier over the windows the burst fills instead of writing
+        #: (and then deleting) one dict entry per window.
+        self._max_window = -1
         # Arbitration counters.
         self.requests = 0
         self.lines_requested = 0
@@ -78,32 +85,71 @@ class Uncore:
     def acquire(self, now: float, lines: int = 1) -> float:
         """Claim ``lines`` transfer slots at or after ``now``; returns the
         queueing delay (cycles) until the request's first slot is available.
+
+        The common cases are O(1) in the burst length: a request landing at
+        the bandwidth frontier (the contended steady state — every queued
+        DMA burst and miss behind other traffic) advances the frontier
+        arithmetically over the windows it fills, and a request landing
+        beyond every claimed window (the uncontended case) bulk-claims an
+        untouched range.  Only requests that interleave into partially
+        claimed windows walk them one by one.
         """
         if lines <= 0:
             return 0.0
         windows = self._windows
         capacity = self.window_lines
-        w = int(now) // self.window_cycles
-        if w < self._frontier:
-            w = self._frontier
-        while windows.get(w, 0) >= capacity:
-            w += 1
-        start_window = w
-        remaining = lines
-        while remaining > 0:
-            used = windows.get(w, 0)
-            free = capacity - used
-            if free > 0:
-                take = free if free < remaining else remaining
-                windows[w] = used + take
-                remaining -= take
-            w += 1
-        # Advance the frontier over (and drop) windows that just filled up.
         frontier = self._frontier
-        while windows.get(frontier, 0) >= capacity:
-            del windows[frontier]
-            frontier += 1
-        self._frontier = frontier
+        w = int(now) // self.window_cycles
+        if w < frontier:
+            w = frontier
+        if w > self._max_window:
+            # Every window at or after w is untouched: claim arithmetically.
+            start_window = w
+            full, rem = divmod(lines, capacity)
+            if w == frontier:
+                # The windows the burst fills sit exactly at the frontier;
+                # advancing it over them *is* the claim (a window below the
+                # frontier is full by definition), so nothing is stored but
+                # the trailing partial window.
+                frontier += full
+                self._frontier = frontier
+                if rem:
+                    windows[frontier] = rem
+                    self._max_window = frontier
+                else:
+                    self._max_window = frontier - 1
+            else:
+                # A gap of free windows stays behind this claim (the
+                # request's ``now`` outran the frontier), so its full
+                # windows must be recorded individually.
+                for ci in range(w, w + full):
+                    windows[ci] = capacity
+                if rem:
+                    windows[w + full] = rem
+                    self._max_window = w + full
+                else:
+                    self._max_window = w + full - 1
+        else:
+            # Interleaved case: walk windows, topping up partial ones.
+            while windows.get(w, 0) >= capacity:
+                w += 1
+            start_window = w
+            remaining = lines
+            while remaining > 0:
+                used = windows.get(w, 0)
+                free = capacity - used
+                if free > 0:
+                    take = free if free < remaining else remaining
+                    windows[w] = used + take
+                    remaining -= take
+                w += 1
+            if w - 1 > self._max_window:
+                self._max_window = w - 1
+            # Advance the frontier over (and drop) windows that just filled.
+            while windows.get(frontier, 0) >= capacity:
+                del windows[frontier]
+                frontier += 1
+            self._frontier = frontier
         start = start_window * self.window_cycles
         delay = start - now if start > now else 0.0
         self.requests += 1

@@ -40,6 +40,7 @@ from repro.trace.format import (
 )
 from repro.trace.capture import TraceRecorder, capture_micro, capture_workload
 from repro.trace.replay import (
+    REPLAY_ENGINES,
     ReplayValidityError,
     TraceExecutor,
     check_replay_machine,
@@ -49,6 +50,7 @@ from repro.trace.replay import (
 from repro.trace.store import EphemeralTraceStore, TraceStore
 
 __all__ = [
+    "REPLAY_ENGINES",
     "TRACE_SCHEMA",
     "MulticoreTrace",
     "Trace",

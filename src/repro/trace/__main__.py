@@ -127,6 +127,20 @@ def _cmd_replay(args) -> int:
               f"{'cycle- and energy-identical' if identical else 'MISMATCH'}")
         if not identical:
             return 1
+        if hasattr(trace, "cores"):
+            # Multicore: cross-check the fused engine against the legacy
+            # executor-driven lane replay, per-core results included.
+            lanes = replay_trace(trace, machine, engine="lanes")
+            lanes_identical = (
+                lanes.cycles == result.cycles and
+                lanes.total_energy == result.total_energy and
+                lanes.sim.memory_stats == result.sim.memory_stats and
+                lanes.sim.core_stats["per_core"] ==
+                result.sim.core_stats["per_core"])
+            print(f"verify     fused engine vs lane replay: "
+                  f"{'identical' if lanes_identical else 'MISMATCH'}")
+            if not lanes_identical:
+                return 1
     return 0
 
 

@@ -51,8 +51,13 @@ class TraceRecorder:
         self.count += 1
 
     def finish(self, key: TraceKey, fingerprint: str) -> Trace:
-        """Freeze the recorded stream into a :class:`Trace`."""
-        return Trace(
+        """Freeze the recorded stream into a :class:`Trace`.
+
+        The stream digest is computed eagerly: it is the identity the
+        replay engine's decode caches key on, so a capture-then-replay
+        sweep never pays the column hash on the hot path.
+        """
+        trace = Trace(
             key=key,
             program_fingerprint=fingerprint,
             instructions=self.count,
@@ -62,6 +67,8 @@ class TraceRecorder:
             dma_words=array("q", self.dma),
             mem_pcs=array("I", self.pcs),
         )
+        trace.stream_digest()
+        return trace
 
 
 def capture_workload(workload: str, mode: str = "hybrid",

@@ -59,7 +59,7 @@ import sys
 import zlib
 from array import array
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Version of the trace format new traces are written with.  Readers accept
 #: every schema in :data:`SUPPORTED_SCHEMAS`; the store keys traces by
@@ -335,10 +335,37 @@ class Trace:
     mem_addrs: array = field(default_factory=lambda: array("Q"))
     dma_words: array = field(default_factory=lambda: array("q"))
     mem_pcs: array = field(default_factory=lambda: array("I"))
+    #: Lazily computed :meth:`stream_digest` memo (not part of identity).
+    _stream_digest: Optional[str] = field(default=None, repr=False,
+                                          compare=False)
 
     # -- derived -----------------------------------------------------------------
     def branch_outcomes(self) -> List[bool]:
         return unpack_bits(self.branch_bits, self.branch_count)
+
+    def stream_digest(self) -> str:
+        """Cheap content digest of the dynamic-stream columns.
+
+        Hashes the raw event columns (instruction/branch counts, branch
+        bits, addresses, DMA operands) without the full serialisation
+        round-trip :attr:`content_hash` pays — this is the identity the
+        replay engine's in-process decode caches key on, so per-core streams
+        of one multicore container (and identical streams across captures)
+        share one decoded entry.  Computed once per instance.
+        """
+        if self._stream_digest is None:
+            h = hashlib.sha256()
+            # Column lengths frame the concatenated payloads: without them,
+            # bytes re-split between the address and DMA columns would
+            # collide.
+            h.update(struct.pack("<QQQQ", self.instructions,
+                                 self.branch_count, len(self.mem_addrs),
+                                 len(self.dma_words)))
+            h.update(self.branch_bits)
+            h.update(_le_bytes(self.mem_addrs))
+            h.update(_le_bytes(self.dma_words))
+            self._stream_digest = h.hexdigest()[:16]
+        return self._stream_digest
 
     @property
     def mem_count(self) -> int:
@@ -631,6 +658,19 @@ class MulticoreTrace:
     @property
     def content_hash(self) -> str:
         return hashlib.sha256(self.to_bytes()).hexdigest()[:16]
+
+    def container_digest(self) -> str:
+        """Cheap identity of the whole RPMT container: family key plus the
+        per-core :meth:`Trace.stream_digest` values, without serialising.
+        The fused replay engine's decode/L1I caches consume the per-core
+        :meth:`Trace.stream_digest` components directly; this container
+        roll-up is the matching identity for whole-container memoization
+        (and the round-trip checks in the tests).
+        """
+        h = hashlib.sha256(self.key.key_hash.encode())
+        for trace in self.cores:
+            h.update(trace.stream_digest().encode())
+        return h.hexdigest()[:16]
 
     def to_bytes(self, schema: int = TRACE_SCHEMA) -> bytes:
         if self.key.num_cores != len(self.cores):

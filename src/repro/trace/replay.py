@@ -40,12 +40,31 @@ from.  ``tests/test_trace_replay.py`` enforces the identity for every NAS
 workload; any change to ``pipeline.py`` or to the LM branches of
 ``hybrid.py`` must be mirrored here.
 
+**The fused loop is a lane state machine.**  :class:`_FusedLane` holds one
+core's fused replay state (decoded stream cursor, flat reservation tables,
+scalar timing state) and advances it with :meth:`_FusedLane.run_until`,
+which processes instructions until the lane's scheduling key
+``(fetch_time, order)`` passes a limit.  Single-core replay is one lane run
+with an infinite limit — the historical monolithic loop, bit for bit.
+Multicore replay builds one lane per core against the shared
+:class:`~repro.mem.uncore.Uncore` and interleaves them with
+:func:`~repro.cpu.multicore.run_resumable_lanes`, which implements the same
+min-fetch-time / lowest-core-id global-clock contract as the execution
+runner :func:`~repro.cpu.multicore.run_lanes` — so the shared-bus
+arbitration sees the identical request sequence and multicore replay stays
+cycle- and energy-identical to execution at the capture configuration
+while running at fused (not executor) speed.  The legacy lane replay
+(:class:`TraceExecutor` driving the real interleaved runner) is kept as
+``replay_trace(..., engine="lanes")`` — the verification baseline the
+fused engine is tested against.
+
 **Validity.**  The recorded stream depends on the *functional* machine
-parameters (``lm_size``, ``directory_entries`` — they shape compilation and
-divert behaviour) but on no timing parameter.  Replay therefore refuses a
-machine configuration whose functional parameters differ from the capture's
-(:class:`ReplayValidityError`); cache geometry, latencies, FU counts, issue
-widths, predictor sizes, DMA costs and energy parameters are all fair game.
+parameters (``lm_size``, ``directory_entries``, ``num_cores`` — they shape
+compilation and divert behaviour) but on no timing parameter.  Replay
+therefore refuses a machine configuration whose functional parameters
+differ from the capture's (:class:`ReplayValidityError`); cache geometry,
+latencies, FU counts, issue widths, predictor sizes, DMA costs, uncore
+window knobs and energy parameters are all fair game.
 """
 
 from __future__ import annotations
@@ -56,6 +75,12 @@ from typing import Optional
 
 from repro.cpu.core import SimulationResult
 from repro.cpu.executor import DynamicInstruction
+from repro.cpu.multicore import (
+    CoreLane,
+    aggregate_results,
+    lane_result,
+    run_resumable_lanes,
+)
 from repro.cpu.pipeline import CODE_BASE, CODE_INSTR_SIZE, OutOfOrderTimingModel
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG
 from repro.harness.runner import RunResult
@@ -70,8 +95,12 @@ from repro.trace.format import (
     program_fingerprint,
 )
 
-__all__ = ["ReplayValidityError", "TraceExecutor", "check_replay_machine",
-           "recover_mem_pcs", "replay_trace"]
+__all__ = ["REPLAY_ENGINES", "ReplayValidityError", "TraceExecutor",
+           "check_replay_machine", "recover_mem_pcs", "replay_trace"]
+
+#: Multicore replay engines: ``"fused"`` is the fast lane-state-machine
+#: loop, ``"lanes"`` the legacy executor-driven path kept for verification.
+REPLAY_ENGINES = ("fused", "lanes")
 
 
 class ReplayValidityError(ValueError):
@@ -84,6 +113,8 @@ _K_DGET, _K_DPUT, _K_DSYNC, _K_SETBUF = 6, 7, 8, 9
 
 #: Extension chunk for the cycle-indexed reservation lists.
 _ZEROS = [0] * 8192
+
+_INFINITY = float("inf")
 
 
 def check_replay_machine(key: TraceKey, machine: MachineConfig) -> None:
@@ -237,9 +268,14 @@ def _decode_trace(trace: Trace, hot, cold, fu_values):
 
 # Rebuilt programs, decoded dynamic sequences and instruction-fetch cache
 # simulations are cached in-process so an ablation sweep replaying one trace
-# under many machine configs pays each cost once.  Keyed by trace identity
-# (plus the relevant machine parameters for the L1I), capped LRU.
+# under many machine configs pays each cost once.  Programs are keyed by
+# trace identity (single-core) or family identity (multicore shards);
+# decodes and L1I simulations are keyed by *content* — program fingerprint
+# plus the stream digest of the per-core trace — so per-core streams of one
+# RPMT container, and identical streams across containers, share one entry.
+# All caches are capped LRU.
 _PROGRAM_CACHE: "OrderedDict[str, tuple]" = OrderedDict()
+_MC_PROGRAM_CACHE: "OrderedDict[str, tuple]" = OrderedDict()
 _DECODE_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
 _L1I_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
 _CACHE_CAP = 8
@@ -260,10 +296,41 @@ def _cached_program(key: TraceKey):
     return entry
 
 
+def _cached_parallel_program(key: TraceKey, machine: MachineConfig):
+    """Per-core shard programs + flattened replay metadata of one multicore
+    trace family, compiled once and shared across ablation points.
+
+    Compilation depends only on the key's functional parameters (already
+    validated against ``machine``), so the entry is keyed by the family
+    ``key_hash`` alone.  Cores whose shard programs are identical (same
+    :func:`program_fingerprint`) share one set of hot/cold tables.
+    """
+    entry = _MC_PROGRAM_CACHE.get(key.key_hash)
+    if entry is None:
+        from repro.harness.runner import compile_parallel_workload
+        compiled = compile_parallel_workload(key.workload, key.mode, key.scale,
+                                             machine, key.num_cores)
+        metas: dict = {}
+        cores = []
+        for comp in compiled:
+            fingerprint = program_fingerprint(comp.program)
+            meta = metas.get(fingerprint)
+            if meta is None:
+                meta = metas[fingerprint] = _program_meta(comp.program)
+            hot, cold, fu_values, phase_names = meta
+            cores.append((comp.program, comp, hot, cold, fu_values,
+                          phase_names, fingerprint))
+        entry = tuple(cores)
+        _MC_PROGRAM_CACHE[key.key_hash] = entry
+        while len(_MC_PROGRAM_CACHE) > _CACHE_CAP:
+            _MC_PROGRAM_CACHE.popitem(last=False)
+    else:
+        _MC_PROGRAM_CACHE.move_to_end(key.key_hash)
+    return entry
+
+
 def _cached_decode(trace: Trace, hot, cold, fu_values):
-    cache_key = (trace.key.key_hash, trace.program_fingerprint,
-                 trace.instructions, trace.branch_count,
-                 trace.mem_count, trace.dma_count)
+    cache_key = (trace.program_fingerprint, trace.stream_digest())
     entry = _DECODE_CACHE.get(cache_key)
     if entry is None:
         entry = _decode_trace(trace, hot, cold, fu_values)
@@ -280,8 +347,9 @@ def _l1i_stats(trace: Trace, seq, config, mem_config):
 
     The L1I is completely decoupled from the rest of the machine: only
     ``fetch_access`` touches it, its return latency is ignored by the
-    front-end model, and no data-path or DMA event ever invalidates it.  Its
-    activity is therefore a pure function of the retired index stream,
+    front-end model, and no data-path or DMA event ever invalidates it —
+    multicore included, where each core fetches from its own private L1I.
+    Its activity is therefore a pure function of the retired index stream,
     ``fetch_width`` and the L1I geometry — so replay simulates it here, once,
     through the real :class:`~repro.mem.cache.Cache` model, and memoizes the
     resulting counters across ablation points that keep these parameters.
@@ -291,8 +359,8 @@ def _l1i_stats(trace: Trace, seq, config, mem_config):
     """
     import dataclasses as _dc
     from repro.mem.cache import Cache
-    cache_key = (trace.key.key_hash, trace.program_fingerprint,
-                 trace.instructions, config.fetch_width, mem_config.l1i_size,
+    cache_key = (trace.program_fingerprint, trace.stream_digest(),
+                 config.fetch_width, mem_config.l1i_size,
                  mem_config.l1i_assoc, mem_config.line_size)
     entry = _L1I_CACHE.get(cache_key)
     if entry is None:
@@ -341,17 +409,27 @@ def recover_mem_pcs(trace: Trace) -> array:
 
 
 def replay_trace(trace: Trace,
-                 machine: Optional[MachineConfig] = None) -> RunResult:
+                 machine: Optional[MachineConfig] = None,
+                 engine: str = "fused") -> RunResult:
     """Replay ``trace`` under ``machine`` and return a full :class:`RunResult`.
 
     At the capture machine configuration the result is cycle- and
     energy-identical to execution-driven simulation; under a different
     (timing-parameter) configuration it is the re-timed run.  A
     :class:`~repro.trace.format.MulticoreTrace` replays its per-core streams
-    together against the shared uncore.
+    together against the shared uncore — through the fused interleaved
+    engine by default, or (``engine="lanes"``) through the legacy
+    executor-driven lane runner kept as the verification baseline.
+    ``engine`` selects among *multicore* engines only: a single-core
+    :class:`Trace` has exactly one (fused) replay path and ignores it.
     """
     machine = machine or PTLSIM_CONFIG
+    if engine not in REPLAY_ENGINES:
+        raise ValueError(f"unknown replay engine {engine!r}; "
+                         f"expected one of {REPLAY_ENGINES}")
     if isinstance(trace, MulticoreTrace):
+        if engine == "lanes":
+            return _replay_multicore_lanes(trace, machine)
         return _replay_multicore(trace, machine)
     check_replay_machine(trace.key, machine)
     program, compiled, hot, cold, fu_values, phase_names, fingerprint = \
@@ -363,354 +441,456 @@ def replay_trace(trace: Trace,
             "(the compiler or workload changed since capture)")
     decoded = _cached_decode(trace, hot, cold, fu_values)
     system = build_system(trace.key.mode, machine)
-    sim = _replay_timing(program, cold, phase_names, decoded, trace, system,
-                         core_config_for(machine))
+    lane = _FusedLane(0, program, cold, phase_names, decoded, trace,
+                      system, system, core_config_for(machine))
+    lane.run_until(_INFINITY, 0)
+    timing = lane.finish()
+    sim = lane_result(CoreLane(None, timing), system.stats_summary())
     energy = EnergyModel(machine.energy).compute(sim)
     return RunResult(workload=trace.key.workload, mode=trace.key.mode,
                      compiled=compiled, sim=sim, energy=energy,
                      system=system, scale=trace.key.scale)
 
 
-def _replay_timing(program, cold, phase_names, decoded, trace, system,
-                   config) -> SimulationResult:
-    """The fused replay loop (transcribed from ``OutOfOrderTimingModel``)."""
-    seq, branches, mem_addrs, dma_words, fu_counts = decoded
-    timing = OutOfOrderTimingModel(config, hierarchy=system.hierarchy)
-    c = config
+class _FusedLane:
+    """One core's fused replay loop as a resumable state machine.
 
-    # -- cached component state (the same objects execution-driven runs use) --
-    issue_width = c.issue_width
-    inv_fetch = 1.0 / c.fetch_width
-    mispredict_penalty = c.mispredict_penalty
-    predictor = timing.predictor
-    predictor_update = predictor.update
-    btb = predictor.btb
-    btb_lookup = btb.lookup
-    btb_update = btb.update
-    fus = timing.fus
-    fu_capacity = fus._capacity
-    rob = timing.rob
-    rob_size = rob.size
-    rob_times = rob._commit_times
-    rob_append = rob_times.append
-    inv_commit = 1.0 / rob.commit_width
-    lsq_size = timing.lsq.size
-    lsq_times = timing.lsq._completion_times
-    lsq_append = lsq_times.append
-    reg_ready = timing.reg_ready
-    phase_acc = [0.0] * len(phase_names)
-    sys_load = system.load
-    sys_store = system.store
-    dma_get = system.dma_get if system.use_lm else None
-    dma_put = system.dma_put if system.use_lm else None
-    dma_sync = system.dma_sync if system.use_lm else None
-    set_bufsize = system.set_buffer_size if system.use_lm else None
-    if system.use_lm:
-        lm = system.lm
-        lm_lo = system.address_map.virtual_base
-        lm_hi = lm_lo + system.address_map.size
-        lm_lat = float(lm.latency)
-    else:
-        lm = None
-        lm_lo = lm_hi = -1
-        lm_lat = 0.0
+    The per-instruction math is the line-by-line transcription of
+    ``OutOfOrderTimingModel.issue_estimate`` / ``retire`` described in the
+    module docstring, operating on this lane's own timing-model objects and
+    flat reservation tables.  The loop lives in a *generator* (:meth:`_loop`)
+    whose locals — stream cursors, the scalar timing state, every cached
+    bound method — survive across yields, so handing control between lanes
+    costs one ``send`` instead of saving and restoring the loop state; the
+    multicore scheduler bounces between lockstepped lanes every one or two
+    instructions, which is exactly where that matters.
 
-    # Pre-seed every register name so the hot loop can use direct indexing
-    # (missing keys read as 0.0 in the original, which this reproduces).
-    for inst in program.instructions:
-        for src in inst.srcs:
-            reg_ready.setdefault(src, 0.0)
+    ``system`` is the object memory and DMA operations are issued through —
+    a :class:`~repro.core.hybrid.HybridSystem` for single-core replay, a
+    :class:`~repro.core.multicore.CoreView` (ownership-checked facade) for
+    multicore — while ``mem`` is the underlying per-core
+    :class:`~repro.core.hybrid.HybridSystem` whose counters the loop syncs
+    around real calls and writes back in :meth:`finish` (the same object as
+    ``system`` in the single-core case).
+    """
 
-    # Per-cycle reservation state as flat lists (see module docstring).
-    issue_slots = [0] * 8192
-    slots_len = 8192
-    fu_tables = [[0] * 8192 for _ in fu_capacity]
-    fu_lens = [8192] * len(fu_capacity)
+    __slots__ = ("order", "trace", "config", "timing", "fetch_time", "done",
+                 "_seq", "_fu_counts", "_phase_names", "_phase_acc", "_mem",
+                 "_n", "_gen", "_state")
 
-    # -- scalar timing state (written back to the model objects at the end) --
-    fetch_time = 0.0
-    mispredictions = 0
-    last_commit = 0.0      # == rob._last_commit_time == timing.last_commit_time
-    rob_bw = 0.0           # rob._commit_bandwidth_time
-    rob_stalls = 0.0
-    lsq_stalls = 0.0
-    lsq_collapsed = 0
-    contended = 0.0        # fus.contended_cycles
+    def __init__(self, order: int, program, cold, phase_names, decoded,
+                 trace: Trace, system, mem, config):
+        seq, branches, mem_addrs, dma_words, fu_counts = decoded
+        self.order = order
+        self.trace = trace
+        self.config = config
+        self._seq = seq
+        self._n = len(seq)
+        self._fu_counts = fu_counts
+        self._phase_names = phase_names
+        self._phase_acc = [0.0] * len(phase_names)
+        self._mem = mem
+        timing = OutOfOrderTimingModel(config, hierarchy=mem.hierarchy)
+        self.timing = timing
+        self.fetch_time = 0.0
+        self.done = self._n == 0
 
-    # LM fast-path accumulators.  ``total_lat`` mirrors the system's
-    # ``total_mem_latency`` and is synchronised around real load/store calls
-    # so the float additions happen in exactly the execution order (float
-    # addition is not associative); the integer counters are exact and are
-    # added back once at the end.
-    total_lat = system.total_mem_latency
-    lm_loads = lm_stores = lm_reads = lm_writes = lm_mem_ops = 0
-    last_store_addr = system._last_store_addr
-    last_store_to_sm = system._last_store_to_sm
+        # Pre-seed every register name so the hot loop can use direct
+        # indexing (missing keys read as 0.0 in the original, which this
+        # reproduces).
+        reg_ready = timing.reg_ready
+        for inst in program.instructions:
+            for src in inst.srcs:
+                reg_ready.setdefault(src, 0.0)
 
-    # The instruction-fetch stream never interacts with the rest of the
-    # machine (see _l1i_stats), so it is simulated out-of-band and the
-    # fetch_access call disappears from this loop entirely.
-    bi = mi = di = 0
-    for h in seq:
-        (kind, fu_index, latency, dst, srcs, phase, unpipelined, index) = h
+        if self._n:
+            self._gen = self._loop(seq, cold, branches, mem_addrs, dma_words,
+                                   system)
+            next(self._gen)     # run the loop's setup to the first yield
+        else:   # defensive: programs always retire at least a HALT
+            self._gen = None
+            self._state = (0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0.0, 0,
+                           mem.total_mem_latency, 0, 0, 0, 0, 0,
+                           mem._last_store_addr, mem._last_store_to_sm, 8192)
 
-        # ---- issue estimate (pipeline.dispatch_time / issue_estimate) ----
-        t = fetch_time
-        if len(rob_times) >= rob_size:
-            oldest = rob_times[0]
-            if oldest > t:
-                rob_stalls += oldest - t
-                t = oldest
-        is_mem = kind == _K_LOAD or kind == _K_STORE
-        if is_mem and len(lsq_times) >= lsq_size:
-            oldest = lsq_times[0]
-            if oldest > t:
-                lsq_stalls += oldest - t
-                t = oldest
-        if t > fetch_time:
-            fetch_time = t
-        ready = t
-        if srcs:
-            for src in srcs:
-                r = reg_ready[src]
-                if r > ready:
-                    ready = r
-        # _find_issue_slot: when the first probed cycle has a free slot the
-        # result is max(ready, float(int(ready))) == ready; once the scan
-        # advances, float(cycle) > ready and the result is float(cycle).
-        cycle = int(ready)
-        while cycle >= slots_len:
-            issue_slots.extend(_ZEROS)
-            slots_len += 8192
-        if issue_slots[cycle] < issue_width:
-            now = ready
+    def run_until(self, limit: float, limit_order: int) -> None:
+        """Advance the lane while its key ``(fetch_time, order)`` stays below
+        ``(limit, limit_order)`` — the multicore scheduling contract.  At
+        least one instruction is processed per call (the caller only
+        schedules the earliest lane); ``limit=inf`` runs to completion.
+        """
+        if self._gen is None:       # empty stream: born done, nothing to run
+            return
+        try:
+            self._gen.send((limit, limit_order))
+        except StopIteration:
+            self.done = True
+
+    def _loop(self, seq, cold, branches, mem_addrs, dma_words, system):
+        """The fused per-instruction loop, as a generator.
+
+        Yields whenever the scheduling contract hands control to another
+        lane; every ``send`` delivers the next ``(limit, limit_order)`` key.
+        All loop state is generator-local, so a lane switch costs one
+        resume.  On exhaustion the final scalar state is packed into
+        ``_state`` for :meth:`finish`.
+        """
+        timing = self.timing
+        config = self.config
+        mem = self._mem
+        my_order = self.order
+
+        # -- cached component state (the same objects execution-driven runs
+        # use), bound to locals for the duration of the replay --
+        issue_width = config.issue_width
+        inv_fetch = 1.0 / config.fetch_width
+        mispredict_penalty = config.mispredict_penalty
+        predictor = timing.predictor
+        predictor_update = predictor.update
+        btb = predictor.btb
+        btb_lookup = btb.lookup
+        btb_update = btb.update
+        fus = timing.fus
+        fu_capacity = fus._capacity
+        rob = timing.rob
+        rob_size = rob.size
+        rob_times = rob._commit_times
+        rob_append = rob_times.append
+        inv_commit = 1.0 / rob.commit_width
+        lsq_size = timing.lsq.size
+        lsq_times = timing.lsq._completion_times
+        lsq_append = lsq_times.append
+        reg_ready = timing.reg_ready
+        phase_acc = self._phase_acc
+        sys_load = system.load
+        sys_store = system.store
+        use_lm = mem.use_lm
+        dma_get = system.dma_get if use_lm else None
+        dma_put = system.dma_put if use_lm else None
+        dma_sync = system.dma_sync if use_lm else None
+        set_bufsize = system.set_buffer_size if use_lm else None
+        if use_lm:
+            lm_lo = mem.address_map.virtual_base
+            lm_hi = lm_lo + mem.address_map.size
+            lm_lat = float(mem.lm.latency)
         else:
-            cycle += 1
-            while True:
-                if cycle >= slots_len:
-                    issue_slots.extend(_ZEROS)
-                    slots_len += 8192
-                if issue_slots[cycle] < issue_width:
-                    break
-                cycle += 1
-            now = float(cycle)
+            lm_lo = lm_hi = -1
+            lm_lat = 0.0
+        # ``system`` (a CoreView in multicore) is only *called*; attribute
+        # syncs around real load/store calls go to the underlying per-core
+        # memory system, which is what the called code reads.
+        system = mem
 
-        # ---- execute: resolve latency from the recorded stream ----
-        if kind == _K_ALU:
-            pass
-        elif kind == _K_LOAD:
-            addr = mem_addrs[mi]
-            mi += 1
-            if lm_lo <= addr < lm_hi:
-                # Inlined HybridSystem.lm_timing_access (load half).
-                lm_loads += 1
-                lm_reads += 1
-                lm_mem_ops += 1
-                total_lat += lm_lat
-                latency = lm_lat
-            else:
-                cm = cold[index]
-                system.total_mem_latency = total_lat
-                latency = sys_load(addr, guarded=cm[2], oracle_divert=cm[3],
-                                   pc=index, now=now).latency
-                total_lat = system.total_mem_latency
-        elif kind == _K_STORE:
-            addr = mem_addrs[mi]
-            mi += 1
-            if lm_lo <= addr < lm_hi:
-                # Inlined HybridSystem.lm_timing_access (store half).
-                lm_stores += 1
-                lm_writes += 1
-                lm_mem_ops += 1
-                total_lat += lm_lat
-                latency = lm_lat
-                last_store_addr = addr
-                last_store_to_sm = False
-                collapsed = False
-            else:
-                cm = cold[index]
-                system.total_mem_latency = total_lat
-                system._last_store_addr = last_store_addr
-                system._last_store_to_sm = last_store_to_sm
-                outcome = sys_store(addr, 0.0, guarded=cm[2],
-                                    oracle_divert=cm[3],
-                                    collapse_with_prev=cm[4],
-                                    pc=index, now=now)
-                total_lat = system.total_mem_latency
-                last_store_addr = system._last_store_addr
-                last_store_to_sm = system._last_store_to_sm
-                latency = outcome.latency
-                collapsed = outcome.served_by == "collapsed"
-        elif kind == _K_CBR:
-            branch_taken = branches[bi]
-            bi += 1
-            next_pc = cold[index][0] if branch_taken else index + 1
-        elif kind == _K_JMP:
-            branch_taken = True
-            next_pc = cold[index][0]
-        elif kind == _K_HALT:
-            pass
-        elif kind == _K_DGET:
-            latency = dma_get(dma_words[di], dma_words[di + 1],
-                              dma_words[di + 2], tag=cold[index][1], now=now)
-            di += 3
-        elif kind == _K_DPUT:
-            latency = dma_put(dma_words[di], dma_words[di + 1],
-                              dma_words[di + 2], tag=cold[index][1], now=now)
-            di += 3
-        elif kind == _K_DSYNC:
-            stall = dma_sync(cold[index][1], now=now)
-            latency = 1.0 + stall
-        else:  # _K_SETBUF
-            latency = set_bufsize(cold[index][1])
+        # Per-cycle reservation state as flat lists (see module docstring).
+        issue_slots = [0] * 8192
+        slots_len = 8192
+        fu_tables = [[0] * 8192 for _ in fu_capacity]
+        fu_lens = [8192] * len(fu_capacity)
 
-        # ---- retire (pipeline.retire; the issue slot search above stands
-        # in for retire's redundant second _find_issue_slot call) ----
-        capacity = fu_capacity[fu_index]
-        table = fu_tables[fu_index]
-        table_len = fu_lens[fu_index]
-        cycle = int(now)
-        if cycle >= table_len:
-            while cycle >= table_len:
-                table.extend(_ZEROS)
-                table_len += 8192
-            fu_lens[fu_index] = table_len
-        # acquire_index: a free first cycle means start == max(now,
-        # float(int(now))) == now with a zero contention charge; an advanced
-        # scan means float(cycle) > now, charged as contention.
-        if table[cycle] < capacity:
-            start = now
-        else:
-            cycle += 1
-            while True:
-                if cycle >= table_len:
-                    table.extend(_ZEROS)
-                    table_len += 8192
-                    fu_lens[fu_index] = table_len
-                if table[cycle] < capacity:
-                    break
+        # -- scalar timing state (packed into _state at the end) --
+        fetch_time = 0.0
+        mispredictions = 0
+        last_commit = 0.0  # == rob._last_commit_time == timing.last_commit_time
+        rob_bw = 0.0       # rob._commit_bandwidth_time
+        rob_stalls = 0.0
+        lsq_stalls = 0.0
+        lsq_collapsed = 0
+        contended = 0.0    # fus.contended_cycles
+
+        # LM fast-path accumulators.  ``total_lat`` mirrors the system's
+        # ``total_mem_latency`` and is synchronised around real load/store
+        # calls so the float additions happen in exactly the execution order
+        # (float addition is not associative); the integer counters are
+        # exact and are added back once at the end.
+        total_lat = system.total_mem_latency
+        lm_loads = lm_stores = lm_reads = lm_writes = lm_mem_ops = 0
+        last_store_addr = system._last_store_addr
+        last_store_to_sm = system._last_store_to_sm
+
+        i = 0
+        bi = mi = di = 0
+        n = self._n
+        limit, limit_order = yield
+
+        # The instruction-fetch stream never interacts with the rest of the
+        # machine (see _l1i_stats), so it is simulated out-of-band and the
+        # fetch_access call disappears from this loop entirely.
+        while i < n:
+            h = seq[i]
+            i += 1
+            (kind, fu_index, latency, dst, srcs, phase, unpipelined, index) = h
+
+            # ---- issue estimate (pipeline.dispatch_time / issue_estimate) ----
+            t = fetch_time
+            if len(rob_times) >= rob_size:
+                oldest = rob_times[0]
+                if oldest > t:
+                    rob_stalls += oldest - t
+                    t = oldest
+            is_mem = kind == _K_LOAD or kind == _K_STORE
+            if is_mem and len(lsq_times) >= lsq_size:
+                oldest = lsq_times[0]
+                if oldest > t:
+                    lsq_stalls += oldest - t
+                    t = oldest
+            if t > fetch_time:
+                fetch_time = t
+            ready = t
+            if srcs:
+                for src in srcs:
+                    r = reg_ready[src]
+                    if r > ready:
+                        ready = r
+            # _find_issue_slot: when the first probed cycle has a free slot
+            # the result is max(ready, float(int(ready))) == ready; once the
+            # scan advances, float(cycle) > ready and the result is
+            # float(cycle).
+            cycle = int(ready)
+            while cycle >= slots_len:
+                issue_slots.extend(_ZEROS)
+                slots_len += 8192
+            if issue_slots[cycle] < issue_width:
+                now = ready
+            else:
                 cycle += 1
-            start = float(cycle)
-            contended += start - now
-        if unpipelined:
-            occupancy = int(latency)
-            if occupancy < 1:
-                occupancy = 1
-            end = cycle + occupancy
-            if end > table_len:
-                while end > table_len:
+                while True:
+                    if cycle >= slots_len:
+                        issue_slots.extend(_ZEROS)
+                        slots_len += 8192
+                    if issue_slots[cycle] < issue_width:
+                        break
+                    cycle += 1
+                now = float(cycle)
+
+            # ---- execute: resolve latency from the recorded stream ----
+            if kind == _K_ALU:
+                pass
+            elif kind == _K_LOAD:
+                addr = mem_addrs[mi]
+                mi += 1
+                if lm_lo <= addr < lm_hi:
+                    # Inlined HybridSystem.lm_timing_access (load half).
+                    lm_loads += 1
+                    lm_reads += 1
+                    lm_mem_ops += 1
+                    total_lat += lm_lat
+                    latency = lm_lat
+                else:
+                    cm = cold[index]
+                    system.total_mem_latency = total_lat
+                    latency = sys_load(addr, guarded=cm[2], oracle_divert=cm[3],
+                                       pc=index, now=now).latency
+                    total_lat = system.total_mem_latency
+            elif kind == _K_STORE:
+                addr = mem_addrs[mi]
+                mi += 1
+                if lm_lo <= addr < lm_hi:
+                    # Inlined HybridSystem.lm_timing_access (store half).
+                    lm_stores += 1
+                    lm_writes += 1
+                    lm_mem_ops += 1
+                    total_lat += lm_lat
+                    latency = lm_lat
+                    last_store_addr = addr
+                    last_store_to_sm = False
+                    collapsed = False
+                else:
+                    cm = cold[index]
+                    system.total_mem_latency = total_lat
+                    system._last_store_addr = last_store_addr
+                    system._last_store_to_sm = last_store_to_sm
+                    outcome = sys_store(addr, 0.0, guarded=cm[2],
+                                        oracle_divert=cm[3],
+                                        collapse_with_prev=cm[4],
+                                        pc=index, now=now)
+                    total_lat = system.total_mem_latency
+                    last_store_addr = system._last_store_addr
+                    last_store_to_sm = system._last_store_to_sm
+                    latency = outcome.latency
+                    collapsed = outcome.served_by == "collapsed"
+            elif kind == _K_CBR:
+                branch_taken = branches[bi]
+                bi += 1
+                next_pc = cold[index][0] if branch_taken else index + 1
+            elif kind == _K_JMP:
+                branch_taken = True
+                next_pc = cold[index][0]
+            elif kind == _K_HALT:
+                pass
+            elif kind == _K_DGET:
+                latency = dma_get(dma_words[di], dma_words[di + 1],
+                                  dma_words[di + 2], tag=cold[index][1],
+                                  now=now)
+                di += 3
+            elif kind == _K_DPUT:
+                latency = dma_put(dma_words[di], dma_words[di + 1],
+                                  dma_words[di + 2], tag=cold[index][1],
+                                  now=now)
+                di += 3
+            elif kind == _K_DSYNC:
+                stall = dma_sync(cold[index][1], now=now)
+                latency = 1.0 + stall
+            else:  # _K_SETBUF
+                latency = set_bufsize(cold[index][1])
+
+            # ---- retire (pipeline.retire; the issue slot search above
+            # stands in for retire's redundant second _find_issue_slot
+            # call) ----
+            capacity = fu_capacity[fu_index]
+            table = fu_tables[fu_index]
+            table_len = fu_lens[fu_index]
+            cycle = int(now)
+            if cycle >= table_len:
+                while cycle >= table_len:
                     table.extend(_ZEROS)
                     table_len += 8192
                 fu_lens[fu_index] = table_len
-            for ci in range(cycle, end):
-                table[ci] += 1
-        else:
-            table[cycle] += 1
-        # take issue slot
-        scycle = int(start)
-        while scycle >= slots_len:
-            issue_slots.extend(_ZEROS)
-            slots_len += 8192
-        issue_slots[scycle] += 1
-        completion = start + latency
-        if dst is not None:
-            reg_ready[dst] = completion
-        if is_mem:
-            if kind == _K_STORE:
-                commit_completion = start + (latency if latency < 2.0 else 2.0)
-                if collapsed:
-                    lsq_collapsed += 1
+            # acquire_index: a free first cycle means start == max(now,
+            # float(int(now))) == now with a zero contention charge; an
+            # advanced scan means float(cycle) > now, charged as contention.
+            if table[cycle] < capacity:
+                start = now
+            else:
+                cycle += 1
+                while True:
+                    if cycle >= table_len:
+                        table.extend(_ZEROS)
+                        table_len += 8192
+                        fu_lens[fu_index] = table_len
+                    if table[cycle] < capacity:
+                        break
+                    cycle += 1
+                start = float(cycle)
+                contended += start - now
+            if unpipelined:
+                occupancy = int(latency)
+                if occupancy < 1:
+                    occupancy = 1
+                end = cycle + occupancy
+                if end > table_len:
+                    while end > table_len:
+                        table.extend(_ZEROS)
+                        table_len += 8192
+                    fu_lens[fu_index] = table_len
+                for ci in range(cycle, end):
+                    table[ci] += 1
+            else:
+                table[cycle] += 1
+            # take issue slot
+            scycle = int(start)
+            while scycle >= slots_len:
+                issue_slots.extend(_ZEROS)
+                slots_len += 8192
+            issue_slots[scycle] += 1
+            completion = start + latency
+            if dst is not None:
+                reg_ready[dst] = completion
+            if is_mem:
+                if kind == _K_STORE:
+                    commit_completion = start + (latency if latency < 2.0
+                                                 else 2.0)
+                    if collapsed:
+                        lsq_collapsed += 1
+                else:
+                    commit_completion = completion
+                lsq_append(completion)
             else:
                 commit_completion = completion
-            lsq_append(completion)
-        else:
-            commit_completion = completion
-            if kind >= _K_CBR:
-                if kind == _K_CBR or kind == _K_JMP:
-                    pc_addr = CODE_BASE + index * CODE_INSTR_SIZE
-                    if kind == _K_CBR:
-                        mispredicted = predictor_update(pc_addr, branch_taken)
-                    else:
-                        mispredicted = btb_lookup(pc_addr) is None
-                        predictor.predictions += 1
+                if kind >= _K_CBR:
+                    if kind == _K_CBR or kind == _K_JMP:
+                        pc_addr = CODE_BASE + index * CODE_INSTR_SIZE
+                        if kind == _K_CBR:
+                            mispredicted = predictor_update(pc_addr,
+                                                            branch_taken)
+                        else:
+                            mispredicted = btb_lookup(pc_addr) is None
+                            predictor.predictions += 1
+                            if mispredicted:
+                                predictor.mispredictions += 1
+                        if branch_taken:
+                            btb_update(pc_addr,
+                                       CODE_BASE + next_pc * CODE_INSTR_SIZE)
                         if mispredicted:
-                            predictor.mispredictions += 1
-                    if branch_taken:
-                        btb_update(pc_addr,
-                                   CODE_BASE + next_pc * CODE_INSTR_SIZE)
-                    if mispredicted:
-                        mispredictions += 1
-                        fetch_time = completion + mispredict_penalty
-        fetch_time = fetch_time + inv_fetch
-        # Serialising instructions (dma-synch, halt) drain the pipeline.
-        if (kind == _K_HALT or kind == _K_DSYNC) and completion > fetch_time:
-            fetch_time = completion
-        # in-order commit (rob.commit): last_commit always equals the commit
-        # bandwidth clock after every instruction, so the two max() calls of
-        # rob.commit collapse to one comparison against the advanced clock.
-        rob_bw = rob_bw + inv_commit
-        if commit_completion > rob_bw:
-            rob_bw = commit_completion
-        rob_append(rob_bw)
-        # The commit delta is strictly positive (bandwidth advances by
-        # 1/commit_width every instruction), so the accumulation is
-        # unconditional.
-        phase_acc[phase] += rob_bw - last_commit
-        last_commit = rob_bw
+                            mispredictions += 1
+                            fetch_time = completion + mispredict_penalty
+            fetch_time = fetch_time + inv_fetch
+            # Serialising instructions (dma-synch, halt) drain the pipeline.
+            if (kind == _K_HALT or kind == _K_DSYNC) and completion > fetch_time:
+                fetch_time = completion
+            # in-order commit (rob.commit): last_commit always equals the
+            # commit bandwidth clock after every instruction, so the two
+            # max() calls of rob.commit collapse to one comparison against
+            # the advanced clock.
+            rob_bw = rob_bw + inv_commit
+            if commit_completion > rob_bw:
+                rob_bw = commit_completion
+            rob_append(rob_bw)
+            # The commit delta is strictly positive (bandwidth advances by
+            # 1/commit_width every instruction), so the accumulation is
+            # unconditional.
+            phase_acc[phase] += rob_bw - last_commit
+            last_commit = rob_bw
 
-    # -- out-of-band instruction-fetch activity (see _l1i_stats) --
-    hierarchy = system.hierarchy
-    hierarchy.l1i.stats, hierarchy.icache_accesses = _l1i_stats(
-        trace, seq, c, hierarchy.config)
+            # ---- scheduling: yield once another lane's front end is
+            # earlier (strictly, or equal with a lower core id) ----
+            if (fetch_time > limit or (fetch_time == limit
+                                       and my_order > limit_order)) and i < n:
+                self.fetch_time = fetch_time
+                limit, limit_order = yield
 
-    # -- write the accumulated state back so the model objects and the
-    # memory system report exactly what execution-driven simulation would --
-    committed = len(seq)
-    timing.fetch_time = fetch_time
-    timing.committed = committed
-    timing.mispredictions = mispredictions
-    timing.last_commit_time = last_commit
-    timing.fu_op_counts.update(fu_counts)
-    # Commit deltas are strictly positive, so a phase accumulated exactly 0.0
-    # iff no instruction of that phase retired — execution's defaultdict
-    # would not contain it either.
-    for idx, name in enumerate(phase_names):
-        if phase_acc[idx] != 0.0:
-            timing.phase_cycles[name] = phase_acc[idx]
-    rob._last_commit_time = last_commit
-    rob._commit_bandwidth_time = rob_bw
-    rob.dispatch_stalls = rob_stalls
-    timing.lsq.occupancy_stalls = lsq_stalls
-    timing.lsq.memory_ops = len(mem_addrs)
-    timing.lsq.collapsed_stores = lsq_collapsed
-    fus.contended_cycles = contended
-    system.loads += lm_loads
-    system.stores += lm_stores
-    system.mem_ops += lm_mem_ops
-    system.total_mem_latency = total_lat
-    system._last_store_addr = last_store_addr
-    system._last_store_to_sm = last_store_to_sm
-    if lm is not None:
-        lm.reads += lm_reads
-        lm.writes += lm_writes
+        self.fetch_time = fetch_time
+        self._state = (i, bi, mi, di, fetch_time, last_commit, rob_bw,
+                       rob_stalls, lsq_stalls, lsq_collapsed, contended,
+                       mispredictions, total_lat, lm_loads, lm_stores,
+                       lm_reads, lm_writes, lm_mem_ops, last_store_addr,
+                       last_store_to_sm, slots_len)
 
-    return SimulationResult(
-        cycles=timing.cycles,
-        instructions=timing.committed,
-        phase_cycles=timing.phase_breakdown(),
-        mispredictions=timing.mispredictions,
-        branch_predictions=timing.predictor.predictions,
-        memory_stats=system.stats_summary(),
-        core_stats={
-            "ipc": timing.ipc,
-            "fu_op_counts": dict(timing.fu_op_counts),
-            "fu_contended_cycles": timing.fus.contended_cycles,
-            "rob_dispatch_stalls": timing.rob.dispatch_stalls,
-            "lsq_occupancy_stalls": timing.lsq.occupancy_stalls,
-            "lsq_collapsed_stores": timing.lsq.collapsed_stores,
-            "misprediction_rate": timing.predictor.misprediction_rate,
-        },
-    )
+    def finish(self) -> OutOfOrderTimingModel:
+        """Write the accumulated state back into the timing model and memory
+        system (so they report exactly what execution-driven simulation
+        would) and return the timing model.  Call once, after ``done``.
+        """
+        (i, bi, mi, di, fetch_time, last_commit, rob_bw, rob_stalls,
+         lsq_stalls, lsq_collapsed, contended, mispredictions, total_lat,
+         lm_loads, lm_stores, lm_reads, lm_writes, lm_mem_ops,
+         last_store_addr, last_store_to_sm, slots_len) = self._state
+        timing = self.timing
+        system = self._mem
+        phase_acc = self._phase_acc
+
+        # -- out-of-band instruction-fetch activity (see _l1i_stats) --
+        hierarchy = system.hierarchy
+        hierarchy.l1i.stats, hierarchy.icache_accesses = _l1i_stats(
+            self.trace, self._seq, self.config, hierarchy.config)
+
+        timing.fetch_time = fetch_time
+        timing.committed = self._n
+        timing.mispredictions = mispredictions
+        timing.last_commit_time = last_commit
+        timing.fu_op_counts.update(self._fu_counts)
+        # Commit deltas are strictly positive, so a phase accumulated exactly
+        # 0.0 iff no instruction of that phase retired — execution's
+        # defaultdict would not contain it either.
+        for idx, name in enumerate(self._phase_names):
+            if phase_acc[idx] != 0.0:
+                timing.phase_cycles[name] = phase_acc[idx]
+        timing.rob._last_commit_time = last_commit
+        timing.rob._commit_bandwidth_time = rob_bw
+        timing.rob.dispatch_stalls = rob_stalls
+        timing.lsq.occupancy_stalls = lsq_stalls
+        timing.lsq.memory_ops = mi
+        timing.lsq.collapsed_stores = lsq_collapsed
+        timing.fus.contended_cycles = contended
+        system.loads += lm_loads
+        system.stores += lm_stores
+        system.mem_ops += lm_mem_ops
+        system.total_mem_latency = total_lat
+        system._last_store_addr = last_store_addr
+        system._last_store_to_sm = last_store_to_sm
+        if system.use_lm:
+            system.lm.reads += lm_reads
+            system.lm.writes += lm_writes
+        return timing
 
 
 # --------------------------------------------------------------- multicore replay
@@ -729,8 +909,8 @@ class TraceExecutor:
     Exposes the :class:`~repro.cpu.executor.FunctionalExecutor` surface the
     interleaved multicore runner drives (``current_instruction()``,
     ``execute_at(now)``, ``pc``), so execution-driven multicore runs and
-    multicore replay share one timing path — the capture -> replay
-    cycle/energy identity holds by construction.
+    the ``engine="lanes"`` verification replay share one timing path — the
+    baseline the fused multicore engine is checked against.
     """
 
     def __init__(self, program, system, trace: Trace):
@@ -844,23 +1024,9 @@ class TraceExecutor:
                 "not match the rebuilt program")
 
 
-def _replay_multicore(mtrace: MulticoreTrace,
-                      machine: MachineConfig) -> RunResult:
-    """Replay a multicore capture against the shared uncore.
-
-    Rebuilds every core's shard program (compilation is deterministic given
-    the family key), then drives one :class:`TraceExecutor` per core through
-    the *same* interleaved lane runner execution uses — so at the capture
-    machine configuration cycles, activity and energy are identical to the
-    execution-driven run, and under timing-parameter overrides the whole
-    multicore (including uncore contention) is re-timed.
-    """
-    from repro.harness.runner import (
-        compile_parallel_workload,
-        run_parallel_lanes,
-    )
-    from repro.harness.systems import build_multicore_system
-
+def _check_multicore_trace(mtrace: MulticoreTrace,
+                           machine: MachineConfig) -> int:
+    """Shared validity gate of both multicore engines; returns num_cores."""
     key = mtrace.key
     check_replay_machine(key, machine)
     if key.kind != "kernel":
@@ -871,6 +1037,75 @@ def _replay_multicore(mtrace: MulticoreTrace,
         raise TraceError(
             f"multicore trace {key.label} holds {len(mtrace.cores)} core "
             f"streams but its key says {num_cores}")
+    return num_cores
+
+
+def _replay_multicore(mtrace: MulticoreTrace,
+                      machine: MachineConfig) -> RunResult:
+    """Fused multicore replay: one :class:`_FusedLane` per core, interleaved
+    under the shared uncore.
+
+    Rebuilds every core's shard program (cached per trace family —
+    compilation is deterministic given the family key) and decodes every
+    per-core stream once (cached by program fingerprint + stream digest, so
+    re-parsing the same RPMT container, or replaying it under another
+    ablation point, pays no second walk).  The lanes advance under
+    :func:`~repro.cpu.multicore.run_resumable_lanes`' min-fetch-time
+    contract — the same global clock as execution's lane runner — so at the
+    capture machine configuration cycles, activity and energy are identical
+    to the execution-driven run (and to ``engine="lanes"``), and under
+    timing-parameter overrides the whole multicore, uncore contention
+    included, is re-timed at fused speed.
+    """
+    from repro.harness.systems import build_multicore_system
+
+    key = mtrace.key
+    num_cores = _check_multicore_trace(mtrace, machine)
+    entries = _cached_parallel_program(key, machine)
+    for core_id, (entry, trace) in enumerate(zip(entries, mtrace.cores)):
+        if entry[6] != trace.program_fingerprint:
+            raise TraceError(
+                f"multicore trace {key.label} is stale: core {core_id} "
+                f"program fingerprint {trace.program_fingerprint} != rebuilt "
+                f"{entry[6]} (the compiler or workload changed since "
+                "capture)")
+    system = build_multicore_system(key.mode, machine, num_cores=num_cores)
+    config = core_config_for(machine)
+    lanes = []
+    for core_id, (entry, trace) in enumerate(zip(entries, mtrace.cores)):
+        program, comp, hot, cold, fu_values, phase_names, fingerprint = entry
+        decoded = _cached_decode(trace, hot, cold, fu_values)
+        lanes.append(_FusedLane(core_id, program, cold, phase_names, decoded,
+                                trace, system.view(core_id),
+                                system.core(core_id), config))
+    run_resumable_lanes(lanes)
+    per_core = [lane_result(CoreLane(None, lane.finish()),
+                            system.core(core_id).stats_summary())
+                for core_id, lane in enumerate(lanes)]
+    sim = aggregate_results(per_core, system.aggregate_summary())
+    energy = EnergyModel(machine.energy).compute(sim)
+    return RunResult(workload=key.workload, mode=key.mode,
+                     compiled=entries[0][1], sim=sim, energy=energy,
+                     system=system, scale=key.scale, num_cores=num_cores)
+
+
+def _replay_multicore_lanes(mtrace: MulticoreTrace,
+                            machine: MachineConfig) -> RunResult:
+    """Legacy executor-driven multicore replay (the verification baseline).
+
+    Drives one :class:`TraceExecutor` per core through the *same*
+    interleaved lane runner execution uses — identity-exact by construction
+    but only ~1x execution speed.  Kept as ``engine="lanes"`` so the fused
+    engine can be cross-checked against it (tests and ``--verify``).
+    """
+    from repro.harness.runner import (
+        compile_parallel_workload,
+        run_parallel_lanes,
+    )
+    from repro.harness.systems import build_multicore_system
+
+    key = mtrace.key
+    num_cores = _check_multicore_trace(mtrace, machine)
     compiled = compile_parallel_workload(key.workload, key.mode, key.scale,
                                          machine, num_cores)
     for core_id, (comp, trace) in enumerate(zip(compiled, mtrace.cores)):
