@@ -15,11 +15,15 @@ Measures, for every NAS workload on the hybrid machine:
 Writes the numbers to ``BENCH_trace.json`` at the repository root.  With
 ``--encoding-only`` just the encoding section is measured and *merged* into
 the existing report (the timing sweeps are expensive; the encoding numbers
-are what CI tracks per scale).
+are what CI tracks per scale).  With ``--vector-speedup`` just the
+vector-vs-fused multicore replay sweep is measured and merged, exiting
+nonzero unless the vectorized engine is result-identical and >= 3x faster.
 
 Run:  PYTHONPATH=src python benchmarks/bench_trace_replay.py [--scale small]
       PYTHONPATH=src python benchmarks/bench_trace_replay.py \
           --scale medium --encoding-only
+      PYTHONPATH=src python benchmarks/bench_trace_replay.py \
+          --scale medium --vector-speedup
 """
 
 import argparse
@@ -88,12 +92,66 @@ def measure_encoding(scale: str, report: dict, captured=None) -> bool:
     return all_identical and total_v1 >= 3 * total_v2
 
 
+def measure_vector_speedup(scale: str, report: dict, cores: int = 2,
+                           workload: str = "CG") -> bool:
+    """Fill ``report["vector_speedup"]`` for ``scale``; returns the gate.
+
+    Times the 2-core 6-point machine-ablation replay sweep twice over one
+    captured multicore trace — once with the fused engine, once with the
+    vectorized epoch-batched engine — and checks per-point result identity
+    (cycles, energy breakdown, phase cycles, memory stats).  The gate is
+    identity at every point AND vector >= 3x faster than fused.
+    """
+    machine = PTLSIM_CONFIG.with_overrides({"num_cores": cores})
+    _, trace = capture_workload(workload, "hybrid", scale, machine=machine)
+    machines = [machine.with_overrides(point) for point in ABLATION_POINTS]
+
+    # Warm both engines once: the first replay pays the per-trace decode and
+    # (for vector) the one-time C-kernel compile, which is not the sweep cost.
+    replay_trace(trace, machines[0], engine="fused")
+    replay_trace(trace, machines[0], engine="vector")
+
+    start = time.perf_counter()
+    fused_results = [replay_trace(trace, m, engine="fused") for m in machines]
+    fused_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    vector_results = [replay_trace(trace, m, engine="vector")
+                      for m in machines]
+    vector_wall = time.perf_counter() - start
+
+    identical = all(
+        v.cycles == f.cycles and
+        v.energy.as_dict() == f.energy.as_dict() and
+        v.sim.phase_cycles == f.sim.phase_cycles and
+        v.sim.memory_stats == f.sim.memory_stats
+        for v, f in zip(vector_results, fused_results))
+    speedup = fused_wall / vector_wall
+    section = report.setdefault("vector_speedup", {})
+    section[scale] = {
+        "workload": workload,
+        "cores": cores,
+        "points": len(machines),
+        "instructions": trace.instructions,
+        "fused_sweep_seconds": round(fused_wall, 3),
+        "vector_sweep_seconds": round(vector_wall, 3),
+        "speedup": round(speedup, 2),
+        "identical": identical,
+    }
+    print(f"vector  {workload} {scale} {cores}-core: fused {fused_wall:.2f}s, "
+          f"vector {vector_wall:.2f}s ({speedup:.1f}x, identical={identical})")
+    return identical and speedup >= 3.0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="small")
     parser.add_argument("--encoding-only", action="store_true",
                         help="measure only v1-vs-v2 encoded sizes and merge "
                              "them into the existing report")
+    parser.add_argument("--vector-speedup", action="store_true",
+                        help="measure only the vector-vs-fused multicore "
+                             "replay sweep and merge it into the existing "
+                             "report (exit 1 unless identical and >= 3x)")
     parser.add_argument("--output", default=None,
                         help="output JSON path (default: BENCH_trace.json "
                              "next to the repo root)")
@@ -102,12 +160,16 @@ def main() -> int:
     out = Path(args.output) if args.output else \
         Path(__file__).resolve().parent.parent / "BENCH_trace.json"
 
-    if args.encoding_only:
+    if args.encoding_only or args.vector_speedup:
         try:
             report = json.loads(out.read_text())
         except (OSError, ValueError):
             report = {}
-        ok = measure_encoding(scale, report)
+        ok = True
+        if args.encoding_only:
+            ok = measure_encoding(scale, report) and ok
+        if args.vector_speedup:
+            ok = measure_vector_speedup(scale, report) and ok
         out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"written to {out}")
         return 0 if ok else 1
@@ -115,9 +177,11 @@ def main() -> int:
     machines = [PTLSIM_CONFIG.with_overrides(point)
                 for point in ABLATION_POINTS]
     try:
-        previous_encoding = json.loads(out.read_text()).get("encoding", {})
+        previous = json.loads(out.read_text())
     except (OSError, ValueError):
-        previous_encoding = {}
+        previous = {}
+    previous_encoding = previous.get("encoding", {})
+    previous_vector = previous.get("vector_speedup", {})
     report = {
         "description": "6-point machine-config ablation sweep: "
                        "execution-driven vs trace replay",
@@ -128,9 +192,10 @@ def main() -> int:
         "machine": platform.machine(),
         "workloads": {},
         "identity": {},
-        # Encoding sections from other scales are carried over, so a full
-        # run at one scale never drops the per-scale size history.
+        # Encoding / vector-speedup sections from other scales are carried
+        # over, so a full run at one scale never drops per-scale history.
         "encoding": previous_encoding,
+        "vector_speedup": previous_vector,
     }
 
     # -- capture (once per workload; also the identity baseline) ---------------

@@ -131,6 +131,58 @@ class HybridBranchPredictor:
             ((1 << self.history_bits) - 1)
         return mispredicted
 
+    def update_batch(self, pcs: List[int], outcomes: List[bool]) -> List[bool]:
+        """Update all tables with a whole stream of conditional outcomes.
+
+        Exactly equivalent to ``[self.update(pc, t) for pc, t in zip(pcs,
+        outcomes)]`` — same table states, same history, same counters, same
+        returned mispredict flags — with the tables bound to locals so batch
+        replay pays the attribute lookups once instead of per branch.
+        """
+        gshare = self.gshare.counters
+        gshare_entries = self.gshare.entries
+        bimodal = self.bimodal.counters
+        bimodal_entries = self.bimodal.entries
+        selector = self.selector.counters
+        selector_entries = self.selector.entries
+        history = self.history
+        mask = (1 << self.history_bits) - 1
+        flags = []
+        append = flags.append
+        missed = 0
+        for pc, taken in zip(pcs, outcomes):
+            gi = ((pc ^ history) & mask) % gshare_entries
+            bi = pc % bimodal_entries
+            si = pc % selector_entries
+            gshare_pred = gshare[gi] >= 2
+            bimodal_pred = bimodal[bi] >= 2
+            prediction = gshare_pred if selector[si] >= 2 else bimodal_pred
+            mispredicted = prediction != taken
+            if mispredicted:
+                missed += 1
+            if gshare_pred != bimodal_pred:
+                if gshare_pred == taken:
+                    if selector[si] < 3:
+                        selector[si] += 1
+                elif selector[si] > 0:
+                    selector[si] -= 1
+            if taken:
+                if gshare[gi] < 3:
+                    gshare[gi] += 1
+                if bimodal[bi] < 3:
+                    bimodal[bi] += 1
+            else:
+                if gshare[gi] > 0:
+                    gshare[gi] -= 1
+                if bimodal[bi] > 0:
+                    bimodal[bi] -= 1
+            history = ((history << 1) | int(taken)) & mask
+            append(mispredicted)
+        self.history = history
+        self.predictions += len(flags)
+        self.mispredictions += missed
+        return flags
+
     @property
     def misprediction_rate(self) -> float:
         if self.predictions == 0:

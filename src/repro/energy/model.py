@@ -8,7 +8,7 @@ four-way grouping of Figure 10 (CPU, Caches, LM, Others).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cpu.core import SimulationResult
 from repro.energy.parameters import EnergyParameters
@@ -72,54 +72,80 @@ class EnergyModel:
     def __init__(self, params: Optional[EnergyParameters] = None):
         self.params = params or EnergyParameters()
 
-    def compute(self, result: SimulationResult) -> EnergyBreakdown:
-        """Compute the energy breakdown of one simulation."""
+    def energy_terms(self, result: SimulationResult
+                     ) -> List[Tuple[str, float]]:
+        """The ordered ``(component, value)`` energy terms of one simulation.
+
+        The list order is a *contract*: :meth:`compute` folds these terms
+        left to right, one float addition per term, and every engine
+        (execution-driven, fused, lanes, vector) reaches its breakdown
+        through this same reduction.  Floating-point addition is not
+        associative, so any engine that accumulated the same terms in a
+        different order (per-epoch partial sums, ``np.sum`` pairwise
+        reduction) could silently drift by an ULP — keeping the reduction
+        explicit and shared is what keeps cross-engine identity checks exact
+        equality instead of tolerance.
+        """
         p = self.params
         mem = result.memory_stats
         hier = mem["hierarchy"]
         core = result.core_stats
         fu_counts = core.get("fu_op_counts", {})
-        breakdown = EnergyBreakdown()
+        directory = mem.get("directory", {})
+        dma = mem.get("dma", {})
 
         # --- CPU: pipeline structures, register files, ALUs, misspeculation ------
         n = result.instructions
-        breakdown.cpu += n * (p.fetch_decode_per_inst + p.rename_dispatch_per_inst +
-                              p.issue_window_per_inst + p.regfile_per_inst +
-                              p.commit_per_inst)
-        breakdown.cpu += fu_counts.get("int_alu", 0) * p.int_alu_per_op
-        breakdown.cpu += fu_counts.get("fp_alu", 0) * p.fp_alu_per_op
-        breakdown.cpu += fu_counts.get("load_store", 0) * p.lsq_per_mem_op
-        breakdown.cpu += result.branch_predictions * p.branch_predictor_per_branch
-        breakdown.cpu += result.mispredictions * p.squash_per_mispredict
-        breakdown.cpu += hier["L1"]["misses"] * p.replay_per_l1_miss
+        terms: List[Tuple[str, float]] = [
+            ("cpu", n * (p.fetch_decode_per_inst + p.rename_dispatch_per_inst +
+                         p.issue_window_per_inst + p.regfile_per_inst +
+                         p.commit_per_inst)),
+            ("cpu", fu_counts.get("int_alu", 0) * p.int_alu_per_op),
+            ("cpu", fu_counts.get("fp_alu", 0) * p.fp_alu_per_op),
+            ("cpu", fu_counts.get("load_store", 0) * p.lsq_per_mem_op),
+            ("cpu", result.branch_predictions * p.branch_predictor_per_branch),
+            ("cpu", result.mispredictions * p.squash_per_mispredict),
+            ("cpu", hier["L1"]["misses"] * p.replay_per_l1_miss),
 
-        # --- Caches ----------------------------------------------------------------
-        breakdown.caches += hier["L1"]["accesses"] * p.l1_per_access
-        breakdown.caches += hier["L1I"]["accesses"] * p.l1i_per_access
-        breakdown.caches += hier["L2"]["accesses"] * p.l2_per_access
-        breakdown.caches += hier["L3"]["accesses"] * p.l3_per_access
+            # --- Caches ----------------------------------------------------------
+            ("caches", hier["L1"]["accesses"] * p.l1_per_access),
+            ("caches", hier["L1I"]["accesses"] * p.l1i_per_access),
+            ("caches", hier["L2"]["accesses"] * p.l2_per_access),
+            ("caches", hier["L3"]["accesses"] * p.l3_per_access),
 
-        # --- Local memory ------------------------------------------------------------
-        lm_accesses = mem.get("lm_accesses", 0)
-        dma_words = mem.get("dma", {}).get("words_transferred", 0)
-        breakdown.lm += (lm_accesses + dma_words) * p.lm_per_access
+            # --- Local memory ----------------------------------------------------
+            ("lm", (mem.get("lm_accesses", 0) +
+                    dma.get("words_transferred", 0)) * p.lm_per_access),
 
-        # --- Directory ----------------------------------------------------------------
-        directory = mem.get("directory", {})
-        breakdown.directory += directory.get("lookups", 0) * p.directory_per_lookup
-        breakdown.directory += directory.get("updates", 0) * p.directory_per_update
+            # --- Directory -------------------------------------------------------
+            ("directory", directory.get("lookups", 0) * p.directory_per_lookup),
+            ("directory", directory.get("updates", 0) * p.directory_per_update),
 
-        # --- Prefetcher ----------------------------------------------------------------
-        breakdown.prefetcher += hier.get("prefetches_issued", 0) * p.prefetcher_per_prefetch
-        breakdown.prefetcher += hier["L1"]["demand_accesses"] * p.prefetcher_per_training
+            # --- Prefetcher ------------------------------------------------------
+            ("prefetcher", hier.get("prefetches_issued", 0)
+             * p.prefetcher_per_prefetch),
+            ("prefetcher", hier["L1"]["demand_accesses"]
+             * p.prefetcher_per_training),
 
-        # --- DMA controller and bus -------------------------------------------------------
-        dma = mem.get("dma", {})
-        breakdown.dma += dma.get("lines_transferred", 0) * p.dma_per_line
-        breakdown.dma += (dma.get("gets", 0) + dma.get("puts", 0)) * p.dma_per_command
-        breakdown.bus += hier.get("bus_transactions", 0) * p.bus_per_transaction
+            # --- DMA controller and bus ------------------------------------------
+            ("dma", dma.get("lines_transferred", 0) * p.dma_per_line),
+            ("dma", (dma.get("gets", 0) + dma.get("puts", 0))
+             * p.dma_per_command),
+            ("bus", hier.get("bus_transactions", 0) * p.bus_per_transaction),
 
-        # --- DRAM (reported separately, excluded from the Figure 10 total) -----------------
-        breakdown.dram += (hier.get("memory_reads", 0) +
-                           hier.get("memory_writes", 0)) * p.dram_per_access
+            # --- DRAM (reported separately, excluded from the Fig. 10 total) -----
+            ("dram", (hier.get("memory_reads", 0) +
+                      hier.get("memory_writes", 0)) * p.dram_per_access),
+        ]
+        return terms
+
+    def compute(self, result: SimulationResult) -> EnergyBreakdown:
+        """Compute the energy breakdown of one simulation.
+
+        A left-fold of :meth:`energy_terms` — the one accumulation order
+        every engine shares (see the contract there).
+        """
+        breakdown = EnergyBreakdown()
+        for component, value in self.energy_terms(result):
+            setattr(breakdown, component, getattr(breakdown, component) + value)
         return breakdown

@@ -69,6 +69,19 @@ def _freeze_mapping(mapping: Optional[Mapping[str, Any]]) -> _OverrideItems:
     return tuple(sorted(mapping.items()))
 
 
+def _freeze_machine(mapping: Optional[Mapping[str, Any]]) -> _OverrideItems:
+    """Canonicalise machine overrides for hashing.
+
+    ``num_cores=1`` is dropped: single-core is the baseline machine, so a
+    cell built as ``{"num_cores": 1, ...}`` (the sweep CLI spells every
+    ``--cores`` cell that way) must hash — and hit the result store — the
+    same as one that simply omits the key.  Every other override, including
+    ``num_cores`` at 2+, is kept verbatim.
+    """
+    return tuple(kv for kv in _freeze_mapping(mapping)
+                 if kv != ("num_cores", 1))
+
+
 # ------------------------------------------------------------------------ RunSpec
 @dataclass(frozen=True)
 class RunSpec:
@@ -106,7 +119,7 @@ class RunSpec:
                       else workload.strip()),
             mode=mode.strip().lower(),
             scale=scale.strip().lower(),
-            machine=_freeze_mapping(machine),
+            machine=_freeze_machine(machine),
             kind=kind,
             params=_freeze_mapping(params),
         )
@@ -279,6 +292,7 @@ class ResultStore:
     def get(self, spec: RunSpec) -> Optional[RunRecord]:
         path = self.path_for(spec)
         try:
+            stat = path.stat()
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
             if payload.get("schema") != STORE_SCHEMA:
@@ -297,6 +311,12 @@ class ResultStore:
                 pass
             return None
         self.hits += 1
+        try:
+            # Refresh the access time explicitly (relatime/noatime mounts
+            # would starve prune()'s LRU of signal); mtime is preserved.
+            os.utime(path, ns=(time.time_ns(), stat.st_mtime_ns))
+        except OSError:
+            pass
         return record
 
     def put(self, spec: RunSpec, record: RunRecord) -> Path:
@@ -337,7 +357,8 @@ class ResultStore:
         from repro.trace.store import tmp_files_under
         return tmp_files_under(self.root, min_age_seconds)
 
-    def prune(self) -> int:
+    def prune(self, max_bytes: Optional[int] = None,
+              max_age_days: Optional[float] = None) -> int:
         """Delete entries whose on-disk schema is stale (or unreadable),
         plus ``*.tmp.<pid>`` files leaked by interrupted writers (only ones
         older than the trace store's :data:`~repro.trace.store.TMP_SWEEP_MIN_AGE`,
@@ -345,31 +366,52 @@ class ResultStore:
 
         Bumping :data:`STORE_SCHEMA` turns old entries into permanent misses
         that :meth:`get` never touches again (their hashes embed the old
-        schema); this sweeps those dead files out.  Returns the number of
-        files removed.
+        schema); this sweeps those dead files out.  With ``max_age_days`` /
+        ``max_bytes``, current-schema entries are then evicted least recently
+        used first (:meth:`get` refreshes access times), under the same
+        policy — including the path tie-break for equal atimes — as
+        :func:`repro.trace.store.evict_lru`.  Returns the number of files
+        removed.
         """
-        from repro.trace.store import TMP_SWEEP_MIN_AGE
+        from repro.trace.store import TMP_SWEEP_MIN_AGE, evict_lru
         removed = 0
+        live: List[Tuple[float, int, Path]] = []
         if self.root.is_dir():
             for entry in self.root.glob("*/*.json"):
                 try:
+                    stat = entry.stat()
                     with open(entry, "r", encoding="utf-8") as fh:
                         stale = json.load(fh).get("schema") != STORE_SCHEMA
                 except (OSError, ValueError):
                     stale = True
+                    stat = None
                 if stale:
                     try:
                         entry.unlink()
                         removed += 1
                     except OSError:
                         pass
+                elif stat is not None:
+                    live.append((stat.st_atime, stat.st_size, entry))
         for entry in self._tmp_files(TMP_SWEEP_MIN_AGE):
             try:
                 entry.unlink()
                 removed += 1
             except OSError:
                 pass
-        return removed
+
+        evicted = [0]
+
+        def unlink(path: Path, size: int) -> bool:
+            try:
+                path.unlink()
+            except OSError:
+                return False
+            evicted[0] += 1
+            return True
+
+        evict_lru(live, unlink, max_bytes=max_bytes, max_age_days=max_age_days)
+        return removed + evicted[0]
 
     def disk_stats(self) -> Dict[str, int]:
         """On-disk shape: entries, bytes, stale-schema files, leaked temps."""
@@ -774,8 +816,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             core_counts = [int(c) for c in args.cores.split(",")]
         except ValueError:
             raise SystemExit(f"--cores expects integers, got {args.cores!r}")
-        machines = [dict(overrides, num_cores=n) if n != 1 else dict(overrides)
-                    for n in core_counts]
+        # num_cores=1 is safe to spell explicitly: _freeze_machine drops it,
+        # so the 1-core cell hashes identically to a plain single-core spec.
+        machines = [dict(overrides, num_cores=n) for n in core_counts]
     else:
         machines = [overrides]
     sweep = SweepSpec.create(

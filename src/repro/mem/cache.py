@@ -160,6 +160,69 @@ class Cache:
                 stats.misses += 1
         return hit
 
+    def access_batch(self, addrs, is_write: bool = False, *,
+                     kind: str = "demand", fill_misses: bool = False):
+        """Perform one :meth:`access` per address; returns the hit flags.
+
+        Exactly equivalent to ``[self.access(a, is_write, kind=kind) for a
+        in addrs]`` — same tag/LRU/dirty state, same statistics — and, with
+        ``fill_misses``, to additionally calling :meth:`fill(a)` after every
+        miss (the instruction-fetch pattern).  Set/tag math and the set table
+        are bound to locals so batch replay pays them once per slice instead
+        of once per access.
+        """
+        line_size = self.line_size
+        num_sets = self.num_sets
+        sets = self._sets
+        assoc = self.assoc
+        write_back = self.write_back
+        dirty_on_hit = is_write and write_back
+        setdefault = sets.setdefault
+        flags = []
+        append = flags.append
+        hits = 0
+        fills = 0
+        evictions = 0
+        writebacks = 0
+        for addr in addrs:
+            line = addr - (addr % line_size)
+            s = sets.get((line // line_size) % num_sets)
+            hit = s is not None and line in s
+            if hit:
+                hits += 1
+                s.move_to_end(line)
+                if dirty_on_hit:
+                    s[line] = True
+            elif fill_misses:
+                if s is None:
+                    s = setdefault((line // line_size) % num_sets,
+                                   OrderedDict())
+                fills += 1
+                if len(s) >= assoc:
+                    _, victim_dirty = s.popitem(last=False)
+                    evictions += 1
+                    if victim_dirty and write_back:
+                        writebacks += 1
+                s[line] = False
+            append(hit)
+        stats = self.stats
+        count = len(flags)
+        stats.accesses += count + fills
+        if kind == "demand":
+            stats.demand_accesses += count
+            stats.hits += hits
+            stats.misses += count - hits
+        elif kind == "prefetch":
+            stats.prefetch_lookups += count
+        elif kind == "writethrough":
+            stats.writethrough_accesses += count
+        elif kind == "dma":
+            stats.dma_lookups += count
+        stats.fills += fills
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        return flags
+
     def fill(self, addr: int, dirty: bool = False,
              is_prefetch: bool = False) -> Optional[Tuple[int, bool]]:
         """Place the line containing ``addr`` in the cache.

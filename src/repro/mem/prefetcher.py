@@ -101,6 +101,61 @@ class StreamPrefetcher:
         self.issued += len(prefetches)
         return prefetches
 
+    def train_batch(self, pcs, addrs):
+        """Observe a whole slice of demand accesses; one result per access.
+
+        Exactly equivalent to ``[self.train(pc, a) for pc, a in zip(pcs,
+        addrs)]`` — same table/stride/confidence state, same counters, same
+        per-access prefetch lists — with the table and geometry bound to
+        locals so batch replay pays them once per slice.
+        """
+        line_size = self.line_size
+        table = self._table
+        table_size = self.table_size
+        degree = self.degree
+        distance = self.distance
+        issued = 0
+        collisions = 0
+        out = []
+        append = out.append
+        for pc, addr in zip(pcs, addrs):
+            line_addr = addr - (addr % line_size)
+            entry = table.get(pc)
+            if entry is None:
+                if len(table) >= table_size:
+                    table.popitem(last=False)
+                    collisions += 1
+                table[pc] = _StreamEntry(line_addr)
+                append(())
+                continue
+            table.move_to_end(pc)
+            stride = line_addr - entry.last_addr
+            if stride == 0:
+                append(())
+                continue
+            if stride == entry.stride:
+                entry.confidence = min(entry.confidence + 1, 3)
+            else:
+                entry.stride = stride
+                entry.confidence = 0
+            entry.last_addr = line_addr
+            if entry.confidence < 1:
+                append(())
+                continue
+            prefetches = []
+            base = line_addr + entry.stride * distance
+            for i in range(1, degree + 1):
+                target = base + entry.stride * i
+                line = target - (target % line_size)
+                if line not in prefetches:
+                    prefetches.append(line)
+            issued += len(prefetches)
+            append(prefetches)
+        self.trainings += len(out)
+        self.issued += issued
+        self.collisions += collisions
+        return out
+
     def reset(self) -> None:
         self._table.clear()
         self.trainings = 0

@@ -127,6 +127,20 @@ def _cmd_replay(args) -> int:
               f"{'cycle- and energy-identical' if identical else 'MISMATCH'}")
         if not identical:
             return 1
+        # The vectorized engine must agree with fused exactly — the epoch
+        # batching is a pure reformulation of the same timing model.
+        vector = replay_trace(trace, machine, engine="vector")
+        vector_identical = (
+            vector.cycles == result.cycles and
+            vector.total_energy == result.total_energy and
+            vector.sim.memory_stats == result.sim.memory_stats and
+            (not hasattr(trace, "cores") or
+             vector.sim.core_stats["per_core"] ==
+             result.sim.core_stats["per_core"]))
+        print(f"verify     vector engine vs fused replay: "
+              f"{'identical' if vector_identical else 'MISMATCH'}")
+        if not vector_identical:
+            return 1
         if hasattr(trace, "cores"):
             # Multicore: cross-check the fused engine against the legacy
             # executor-driven lane replay, per-core results included.

@@ -1,0 +1,516 @@
+"""Optional C inner loop for the vector replay engine.
+
+The vector engine's per-instruction recurrence (issue estimate -> latency ->
+retire) is pure scalar arithmetic over flat arrays once the oracle/flag
+passes have resolved every data-dependent outcome — exactly the shape a
+small C kernel executes 50-100x faster than CPython.  This module compiles
+that kernel at import-from-use time with the system C compiler and exposes
+it through :mod:`ctypes`; everything degrades gracefully:
+
+* no compiler, a failed compile, or ``REPRO_NO_CKERNEL=1`` in the
+  environment -> :func:`load` returns ``None`` and the engine falls back to
+  the pure-Python loop (bit-identical, just slower);
+* the compiled shared object is cached on disk keyed by the source hash, so
+  the one-time compile cost (~1s) is paid once per machine.
+
+Identity is preserved by construction: the C code is a line-for-line
+transcription of ``_VectorLane._loop`` using the same IEEE-754 doubles in
+the same operation order (compiled with ``-ffp-contract=off`` so no FMA
+contraction reorders rounding), the same truncation (C integer casts equal
+Python ``int()`` for the non-negative times involved), and the same MSHR
+merge/expire/full-stall decisions.  The epoch structure maps onto the
+C/Python boundary: ``vr_run`` executes uncore-free slices entirely in C and
+returns at every *event* instruction (DMA issue, dma-sync, set-bufsize,
+halt, and — multicore — memory misses that arbitrate on the shared uncore);
+the Python caller performs the epoch yield-check and the event's uncore/DMA
+bookkeeping, then re-enters C.  Both sides operate on the same state
+vectors, so interleaving them is seamless.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+# ---- state vector layout, mirrored by the C side -------------------------
+# fs (float64): scalar timing state + cross-call scratch
+FS_FETCH = 0        # fetch_time
+FS_LASTC = 1        # last_commit
+FS_ROBBW = 2        # rob commit-bandwidth time
+FS_ROBST = 3        # rob dispatch stalls
+FS_LSQST = 4        # lsq occupancy stalls
+FS_CONT = 5         # fu contended cycles
+FS_TOTAL = 6        # total memory latency
+FS_HIER = 7         # hierarchy latency
+FS_TSAVE = 8        # issue-estimate t, between vr_issue and vr_retire
+FS_NOWSAVE = 9      # issue-estimate now, between vr_issue and vr_retire
+FS_LEN = 10
+
+# is (int64): cursors + integer counters
+IS_RP = 0           # rob ring position
+IS_LP = 1           # lsq ring position
+IS_LI = 2           # miss-line cursor
+IS_GI = 3           # guard-entry cursor
+IS_FI = 4           # branch-flag cursor
+IS_RI = 5           # live-route cursor
+IS_CYCSAVE = 6      # issue-estimate cycle, between vr_issue and vr_retire
+IS_PRES = 7         # presence stalls
+IS_MSHR_CNT = 8     # live MSHR entries
+IS_MSHR_ALLOC = 9   # MSHR allocations
+IS_MSHR_MERGE = 10  # MSHR merges
+IS_MSHR_FULL = 11   # MSHR full stalls
+IS_LEN = 12
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef struct {
+    /* caller-owned state vectors (see _ckernel.py for the layout) */
+    double *fs; int64_t *is;
+    /* caller-owned stream columns */
+    const uint8_t *vk; const int32_t *fu; const double *lat;
+    const int32_t *dst; const int32_t *soff; const int32_t *sid;
+    const int32_t *phase; const uint8_t *unpip;
+    const uint8_t *lroutes; const int64_t *mlines; const int32_t *gent;
+    const uint8_t *flags;
+    /* caller-owned structure state */
+    double *reg_ready; double *rob_ring; double *lsq_ring;
+    uint8_t *present; double *ready_t;
+    int64_t *mshr_ln; double *mshr_tm;
+    double *phase_acc;
+    const int64_t *fu_capacity;
+    /* scalars */
+    double inv_fetch, inv_commit, mispredict_penalty;
+    double l1_lat, lm_lat, b_l2, b_l3, b_mem;
+    int64_t issue_width, rob_size, lsq_size, mshr_entries, n_fu;
+    int64_t multicore;
+    /* kernel-owned per-cycle reservation tables (grown on demand) */
+    int32_t *slots; int64_t slots_cap;
+    int32_t **fut; int64_t *fut_cap;
+} VCtx;
+
+#define INIT_CAP 65536
+
+static int grow_i32(int32_t **buf, int64_t *cap, int64_t need)
+{
+    int64_t c = *cap;
+    while (need >= c) c <<= 1;
+    int32_t *nb = (int32_t *)realloc(*buf, (size_t)c * sizeof(int32_t));
+    if (!nb) return -1;
+    memset(nb + *cap, 0, (size_t)(c - *cap) * sizeof(int32_t));
+    *buf = nb;
+    *cap = c;
+    return 0;
+}
+
+VCtx *vr_new(double *fs, int64_t *is,
+             const uint8_t *vk, const int32_t *fu, const double *lat,
+             const int32_t *dst, const int32_t *soff, const int32_t *sid,
+             const int32_t *phase, const uint8_t *unpip,
+             const uint8_t *lroutes, const int64_t *mlines,
+             const int32_t *gent, const uint8_t *flags,
+             double *reg_ready, double *rob_ring, double *lsq_ring,
+             uint8_t *present, double *ready_t,
+             int64_t *mshr_ln, double *mshr_tm,
+             double *phase_acc, const int64_t *fu_capacity,
+             double inv_fetch, double inv_commit, double mispredict_penalty,
+             double l1_lat, double lm_lat,
+             double b_l2, double b_l3, double b_mem,
+             int64_t issue_width, int64_t rob_size, int64_t lsq_size,
+             int64_t mshr_entries, int64_t n_fu, int64_t multicore)
+{
+    VCtx *g = (VCtx *)calloc(1, sizeof(VCtx));
+    if (!g) return NULL;
+    g->fs = fs; g->is = is;
+    g->vk = vk; g->fu = fu; g->lat = lat; g->dst = dst;
+    g->soff = soff; g->sid = sid; g->phase = phase; g->unpip = unpip;
+    g->lroutes = lroutes; g->mlines = mlines; g->gent = gent;
+    g->flags = flags;
+    g->reg_ready = reg_ready; g->rob_ring = rob_ring; g->lsq_ring = lsq_ring;
+    g->present = present; g->ready_t = ready_t;
+    g->mshr_ln = mshr_ln; g->mshr_tm = mshr_tm;
+    g->phase_acc = phase_acc; g->fu_capacity = fu_capacity;
+    g->inv_fetch = inv_fetch; g->inv_commit = inv_commit;
+    g->mispredict_penalty = mispredict_penalty;
+    g->l1_lat = l1_lat; g->lm_lat = lm_lat;
+    g->b_l2 = b_l2; g->b_l3 = b_l3; g->b_mem = b_mem;
+    g->issue_width = issue_width; g->rob_size = rob_size;
+    g->lsq_size = lsq_size; g->mshr_entries = mshr_entries;
+    g->n_fu = n_fu; g->multicore = multicore;
+    g->slots = (int32_t *)calloc(INIT_CAP, sizeof(int32_t));
+    g->slots_cap = INIT_CAP;
+    g->fut = (int32_t **)calloc((size_t)n_fu, sizeof(int32_t *));
+    g->fut_cap = (int64_t *)calloc((size_t)n_fu, sizeof(int64_t));
+    if (!g->slots || !g->fut || !g->fut_cap) goto fail;
+    for (int64_t j = 0; j < n_fu; j++) {
+        g->fut[j] = (int32_t *)calloc(INIT_CAP, sizeof(int32_t));
+        g->fut_cap[j] = INIT_CAP;
+        if (!g->fut[j]) goto fail;
+    }
+    return g;
+fail:
+    if (g->fut)
+        for (int64_t j = 0; j < n_fu; j++) free(g->fut[j]);
+    free(g->fut); free(g->fut_cap); free(g->slots); free(g);
+    return NULL;
+}
+
+void vr_free(VCtx *g)
+{
+    if (!g) return;
+    if (g->fut)
+        for (int64_t j = 0; j < g->n_fu; j++) free(g->fut[j]);
+    free(g->fut); free(g->fut_cap); free(g->slots);
+    free(g);
+}
+
+/* MSHRFile.request: expire, merge, full-stall, allocate — same decisions,
+ * same floats.  The dict becomes a compacting (line, completion) array;
+ * every dict operation transcribed here is order-independent, so the array
+ * form is exact. */
+static double mshr_req(VCtx *g, int64_t line, double now, double full_latency)
+{
+    int64_t *ml = g->mshr_ln;
+    double *mt = g->mshr_tm;
+    int64_t c = g->is[8];           /* IS_MSHR_CNT */
+    int64_t w = 0;
+    for (int64_t j = 0; j < c; j++) {       /* _expire(now) */
+        if (mt[j] > now) { ml[w] = ml[j]; mt[w] = mt[j]; w++; }
+    }
+    c = w;
+    for (int64_t j = 0; j < c; j++) {       /* merge */
+        if (ml[j] == line) {
+            g->is[10] += 1;                 /* IS_MSHR_MERGE */
+            g->is[8] = c;
+            double rem = mt[j] - now;
+            return rem > 0.0 ? rem : 0.0;
+        }
+    }
+    double start = now;
+    if (c >= g->mshr_entries) {             /* full: wait for the earliest */
+        double earliest = mt[0];
+        for (int64_t j = 1; j < c; j++)
+            if (mt[j] < earliest) earliest = mt[j];
+        g->is[11] += 1;                     /* IS_MSHR_FULL */
+        if (earliest > start) start = earliest;
+        w = 0;
+        for (int64_t j = 0; j < c; j++) {   /* _expire(start) */
+            if (mt[j] > start) { ml[w] = ml[j]; mt[w] = mt[j]; w++; }
+        }
+        c = w;
+    }
+    double completion = start + full_latency;
+    ml[c] = line; mt[c] = completion; c++;
+    g->is[9] += 1;                          /* IS_MSHR_ALLOC */
+    g->is[8] = c;
+    return completion - now;
+}
+
+/* Issue estimate: ROB/LSQ occupancy stalls, register readiness, issue-slot
+ * scan.  Writes the stall accumulators, leaves fetch_time untouched (the
+ * occupancy bump is deferred to retire_one so the caller's epoch checks see
+ * the pre-instruction key).  Returns now; t/cycle go to the out-params. */
+static double issue_one(VCtx *g, int64_t i, int ismem,
+                        double *t_out, int64_t *cycle_out)
+{
+    double *fs = g->fs;
+    int64_t *is = g->is;
+    double t = fs[0];                       /* FS_FETCH */
+    double oldest = g->rob_ring[is[0]];
+    if (oldest > t) { fs[3] += oldest - t; t = oldest; }
+    if (ismem) {
+        oldest = g->lsq_ring[is[1]];
+        if (oldest > t) { fs[4] += oldest - t; t = oldest; }
+    }
+    double ready = t;
+    int32_t a = g->soff[i], b = g->soff[i + 1];
+    for (int32_t s = a; s < b; s++) {
+        double r = g->reg_ready[g->sid[s]];
+        if (r > ready) ready = r;
+    }
+    int64_t cycle = (int64_t)ready;
+    double now;
+    if (cycle >= g->slots_cap &&
+        grow_i32(&g->slots, &g->slots_cap, cycle))
+        return -1.0;
+    if (g->slots[cycle] < g->issue_width) {
+        now = ready;
+    } else {
+        for (;;) {
+            cycle++;
+            if (cycle >= g->slots_cap &&
+                grow_i32(&g->slots, &g->slots_cap, cycle))
+                return -1.0;
+            if (g->slots[cycle] < g->issue_width) break;
+        }
+        now = (double)cycle;
+    }
+    *t_out = t;
+    *cycle_out = cycle;
+    return now;
+}
+
+/* Retire: deferred fetch-time bump, FU scan, reservation bookkeeping,
+ * commit/ROB/phase accounting.  Returns 0, or -1 on allocation failure. */
+static int retire_one(VCtx *g, int64_t i, double latency,
+                      double t, int64_t cycle, double now)
+{
+    double *fs = g->fs;
+    int64_t *is = g->is;
+    if (t > fs[0]) fs[0] = t;
+    int32_t fui = g->fu[i];
+    int64_t capv = g->fu_capacity[fui];
+    int32_t *table = g->fut[fui];
+    int64_t tcap = g->fut_cap[fui];
+    double start;
+    if (cycle >= tcap) {
+        if (grow_i32(&g->fut[fui], &g->fut_cap[fui], cycle)) return -1;
+        table = g->fut[fui]; tcap = g->fut_cap[fui];
+    }
+    if (table[cycle] < capv) {
+        start = now;
+    } else {
+        for (;;) {
+            cycle++;
+            if (cycle >= tcap) {
+                if (grow_i32(&g->fut[fui], &g->fut_cap[fui], cycle))
+                    return -1;
+                table = g->fut[fui]; tcap = g->fut_cap[fui];
+            }
+            if (table[cycle] < capv) break;
+        }
+        start = (double)cycle;
+        fs[5] += start - now;
+    }
+    if (g->unpip[i]) {
+        int64_t occ = (int64_t)latency;
+        if (occ < 1) occ = 1;
+        int64_t end = cycle + occ;
+        if (end > tcap) {
+            if (grow_i32(&g->fut[fui], &g->fut_cap[fui], end)) return -1;
+            table = g->fut[fui]; tcap = g->fut_cap[fui];
+        }
+        for (int64_t c2 = cycle; c2 < end; c2++) table[c2] += 1;
+    } else {
+        table[cycle] += 1;
+    }
+    if (cycle >= g->slots_cap &&
+        grow_i32(&g->slots, &g->slots_cap, cycle))
+        return -1;
+    g->slots[cycle] += 1;
+    double completion = start + latency;
+    int32_t d = g->dst[i];
+    if (d >= 0) g->reg_ready[d] = completion;
+    uint8_t k = g->vk[i];
+    double commit;
+    if (k >= 1 && k <= 6) {                 /* memory op */
+        g->lsq_ring[is[1]] = completion;
+        is[1] += 1;
+        if (is[1] == g->lsq_size) is[1] = 0;
+        if (k & 1) commit = completion;     /* load */
+        else commit = start + (latency < 2.0 ? latency : 2.0);
+    } else {
+        commit = completion;
+        if (k == 7) {                       /* branch: consume the flag */
+            if (g->flags[is[4]])
+                fs[0] = completion + g->mispredict_penalty;
+            is[4] += 1;
+        }
+    }
+    fs[0] = fs[0] + g->inv_fetch;
+    if (k >= 11 && completion > fs[0]) fs[0] = completion;  /* drain */
+    double rob_bw = fs[2] + g->inv_commit;
+    if (commit > rob_bw) rob_bw = commit;
+    fs[2] = rob_bw;
+    g->rob_ring[is[0]] = rob_bw;
+    is[0] += 1;
+    if (is[0] == g->rob_size) is[0] = 0;
+    g->phase_acc[g->phase[i]] += rob_bw - fs[1];
+    fs[1] = rob_bw;
+    return 0;
+}
+
+/* Run instructions [i, n) until an event the caller must handle: any DMA /
+ * sync / set-bufsize / halt (vk >= 8), or — multicore — a live memory op
+ * routed to the shared uncore (route 5).  Returns the index of the first
+ * unprocessed instruction (== n when the stream is finished), or -1 on
+ * allocation failure. */
+int64_t vr_run(VCtx *g, int64_t i, int64_t n)
+{
+    const uint8_t *vk = g->vk;
+    double *fs = g->fs;
+    int64_t *is = g->is;
+    for (; i < n; i++) {
+        uint8_t k = vk[i];
+        if (k >= 8) break;
+        int ismem = (k >= 1 && k <= 6);
+        uint8_t r = 0;
+        if (k >= 5 && k <= 6) {
+            r = g->lroutes[is[5]];
+            if (r == 5 && g->multicore) break;
+        }
+        double t;
+        int64_t cycle;
+        double now = issue_one(g, i, ismem, &t, &cycle);
+        if (now < 0.0) return -1;
+        double latency = g->lat[i];
+        if (ismem) {
+            if (k <= 4) {                   /* static LM / L1 route */
+                fs[6] += latency;
+                if (k >= 3) fs[7] += latency;
+            } else {                        /* live route */
+                is[5] += 1;
+                if (r == 1) {               /* guarded directory hit */
+                    int32_t e = g->gent[is[3]];
+                    is[3] += 1;
+                    double stall = 0.0;
+                    double rt = g->ready_t[e];
+                    if (!g->present[e] && now < rt) {
+                        stall = rt - now;
+                        is[7] += 1;
+                    }
+                    if (now >= rt) g->present[e] = 1;
+                    latency = g->lm_lat + stall;
+                    fs[6] += latency;
+                } else {                    /* L2 / L3 / memory miss */
+                    int64_t line = g->mlines[is[2]];
+                    is[2] += 1;
+                    double beyond = r == 3 ? g->b_l2
+                                  : r == 4 ? g->b_l3 : g->b_mem;
+                    latency = g->l1_lat + mshr_req(g, line, now, beyond);
+                    fs[6] += latency;
+                    fs[7] += latency;
+                }
+            }
+        }
+        if (retire_one(g, i, latency, t, cycle, now)) return -1;
+    }
+    return i;
+}
+
+/* Single-instruction halves for the Python-handled event ops. */
+double vr_issue(VCtx *g, int64_t i)
+{
+    uint8_t k = g->vk[i];
+    int ismem = (k >= 1 && k <= 6);
+    double t;
+    int64_t cycle;
+    double now = issue_one(g, i, ismem, &t, &cycle);
+    g->fs[8] = t;           /* FS_TSAVE */
+    g->fs[9] = now;         /* FS_NOWSAVE */
+    g->is[6] = cycle;       /* IS_CYCSAVE */
+    return now;
+}
+
+int64_t vr_retire(VCtx *g, int64_t i, double latency)
+{
+    return retire_one(g, i, latency, g->fs[8], g->is[6], g->fs[9]);
+}
+
+double vr_mshr(VCtx *g, int64_t line, double now, double beyond)
+{
+    return mshr_req(g, line, now, beyond);
+}
+"""
+
+_KERNEL = None
+_KERNEL_TRIED = False
+
+
+class _Kernel:
+    """ctypes bindings of the compiled kernel."""
+
+    def __init__(self, lib: ctypes.CDLL):
+        P = ctypes.c_void_p
+        D = ctypes.c_double
+        I = ctypes.c_int64
+        self.lib = lib
+        self.new = lib.vr_new
+        self.new.restype = P
+        self.new.argtypes = [P] * 23 + [D] * 8 + [I] * 6
+        self.free = lib.vr_free
+        self.free.restype = None
+        self.free.argtypes = [P]
+        self.run = lib.vr_run
+        self.run.restype = I
+        self.run.argtypes = [P, I, I]
+        self.issue = lib.vr_issue
+        self.issue.restype = D
+        self.issue.argtypes = [P, I]
+        self.retire = lib.vr_retire
+        self.retire.restype = I
+        self.retire.argtypes = [P, I, D]
+        self.mshr = lib.vr_mshr
+        self.mshr.restype = D
+        self.mshr.argtypes = [P, I, D, D]
+
+
+class CtxHandle:
+    """Owns one kernel context; freed deterministically or by the GC."""
+
+    __slots__ = ("_kern", "ptr")
+
+    def __init__(self, kern: _Kernel, ptr: int):
+        self._kern = kern
+        self.ptr = ptr
+
+    def close(self) -> None:
+        if self.ptr:
+            self._kern.free(self.ptr)
+            self.ptr = None
+
+    def __del__(self):
+        self.close()
+
+
+def _compile() -> "_Kernel | None":
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = os.path.join(tempfile.gettempdir(), "repro-vector-cc")
+    so_path = os.path.join(cache_dir, f"vrkernel-{digest}.so")
+    if not os.path.exists(so_path):
+        os.makedirs(cache_dir, exist_ok=True)
+        src_path = os.path.join(cache_dir, f"vrkernel-{digest}.c")
+        with open(src_path, "w") as fh:
+            fh.write(_C_SOURCE)
+        tmp_so = so_path + f".tmp{os.getpid()}"
+        for cc in ("cc", "gcc", "clang"):
+            try:
+                proc = subprocess.run(
+                    [cc, "-O2", "-shared", "-fPIC", "-ffp-contract=off",
+                     "-o", tmp_so, src_path],
+                    capture_output=True, timeout=120)
+            except (OSError, subprocess.TimeoutExpired):
+                continue
+            if proc.returncode == 0:
+                os.replace(tmp_so, so_path)
+                break
+        else:
+            return None
+    try:
+        return _Kernel(ctypes.CDLL(so_path))
+    except OSError:
+        return None
+
+
+def load() -> "_Kernel | None":
+    """The compiled kernel, or ``None`` (no compiler / disabled / failed).
+
+    ``REPRO_NO_CKERNEL=1`` is consulted on every call so tests can flip the
+    pure-Python path on and off within one process; the compile itself is
+    attempted at most once.
+    """
+    global _KERNEL, _KERNEL_TRIED
+    if os.environ.get("REPRO_NO_CKERNEL"):
+        return None
+    if not _KERNEL_TRIED:
+        _KERNEL_TRIED = True
+        try:
+            _KERNEL = _compile()
+        except Exception:
+            _KERNEL = None
+    return _KERNEL

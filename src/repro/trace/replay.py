@@ -98,9 +98,11 @@ from repro.trace.format import (
 __all__ = ["REPLAY_ENGINES", "ReplayValidityError", "TraceExecutor",
            "check_replay_machine", "recover_mem_pcs", "replay_trace"]
 
-#: Multicore replay engines: ``"fused"`` is the fast lane-state-machine
-#: loop, ``"lanes"`` the legacy executor-driven path kept for verification.
-REPLAY_ENGINES = ("fused", "lanes")
+#: Replay engines: ``"fused"`` is the scalar lane-state-machine loop,
+#: ``"vector"`` the epoch-batched engine (:mod:`repro.trace.vector`) that
+#: precomputes structure updates out of the timing loop, ``"lanes"`` the
+#: legacy executor-driven path kept for verification.
+REPLAY_ENGINES = ("fused", "vector", "lanes")
 
 
 class ReplayValidityError(ValueError):
@@ -367,19 +369,14 @@ def _l1i_stats(trace: Trace, seq, config, mem_config):
         l1i = Cache("L1I", mem_config.l1i_size, mem_config.l1i_assoc,
                     mem_config.line_size, mem_config.l1i_latency,
                     write_back=False)
-        access = l1i.access
-        fill = l1i.fill
         fetch_width = config.fetch_width
-        accesses = 0
-        for h in seq:
-            index = h[7]
-            if index % fetch_width:
-                continue
-            addr = CODE_BASE + index * CODE_INSTR_SIZE
-            accesses += 1
-            if not access(addr, False):
-                fill(addr)
-        entry = (l1i.stats, accesses)
+        # access_batch(..., fill_misses=True) is exactly access()+fill()
+        # per miss: the L1I is write-through, so fills never produce the
+        # dirty-victim writebacks that would make the two diverge.
+        addrs = [CODE_BASE + h[7] * CODE_INSTR_SIZE
+                 for h in seq if not h[7] % fetch_width]
+        l1i.access_batch(addrs, False, fill_misses=True)
+        entry = (l1i.stats, len(addrs))
         _L1I_CACHE[cache_key] = entry
         while len(_L1I_CACHE) > _CACHE_CAP:
             _L1I_CACHE.popitem(last=False)
@@ -418,15 +415,26 @@ def replay_trace(trace: Trace,
     (timing-parameter) configuration it is the re-timed run.  A
     :class:`~repro.trace.format.MulticoreTrace` replays its per-core streams
     together against the shared uncore — through the fused interleaved
-    engine by default, or (``engine="lanes"``) through the legacy
-    executor-driven lane runner kept as the verification baseline.
-    ``engine`` selects among *multicore* engines only: a single-core
-    :class:`Trace` has exactly one (fused) replay path and ignores it.
+    engine by default, through the epoch-batched vectorized engine
+    (``engine="vector"``, see :mod:`repro.trace.vector`), or
+    (``engine="lanes"``) through the legacy executor-driven lane runner
+    kept as the verification baseline.  A single-core :class:`Trace`
+    supports ``"fused"`` (default; ``"lanes"`` falls back to it) and
+    ``"vector"``.  All engines are bit-identical; they differ in speed
+    only.
     """
     machine = machine or PTLSIM_CONFIG
     if engine not in REPLAY_ENGINES:
         raise ValueError(f"unknown replay engine {engine!r}; "
                          f"expected one of {REPLAY_ENGINES}")
+    if engine == "vector":
+        from repro.trace.vector import (
+            replay_multicore_vector,
+            replay_single_vector,
+        )
+        if isinstance(trace, MulticoreTrace):
+            return replay_multicore_vector(trace, machine)
+        return replay_single_vector(trace, machine)
     if isinstance(trace, MulticoreTrace):
         if engine == "lanes":
             return _replay_multicore_lanes(trace, machine)

@@ -87,6 +87,50 @@ def tmp_files_under(root: Path, min_age_seconds: float = 0.0) -> List[Path]:
     return out
 
 
+def evict_lru(live: List[Tuple[float, int, Path]],
+              unlink: Callable[[Path, int], bool],
+              max_bytes: Optional[int] = None,
+              max_age_days: Optional[float] = None,
+              ) -> List[Tuple[float, int, Path]]:
+    """Apply age and capacity eviction to ``(atime, size, path)`` records.
+
+    The one LRU policy shared by :meth:`TraceStore.prune` and the sweep
+    engine's ``ResultStore.prune``.  With ``max_age_days``, records whose
+    access time is older than the cutoff are evicted; with ``max_bytes``,
+    records are evicted oldest-access-first until the surviving total fits.
+    Equal access times are routine (filesystems round atimes coarsely, and a
+    sweep touches many entries in the same instant), so ties are broken by
+    *path* — deterministic and insertion-stable — never by size, which would
+    otherwise evict the largest entry of a tie regardless of recency.
+
+    ``unlink(path, size)`` performs the removal (and any accounting) and
+    returns False if the file could not be removed; such records survive.
+    Returns the surviving records.
+    """
+    now = time.time()
+    if max_age_days is not None:
+        cutoff = now - max_age_days * 86400.0
+        survivors = []
+        for atime, size, path in live:
+            if atime >= cutoff or not unlink(path, size):
+                survivors.append((atime, size, path))
+        live = survivors
+    if max_bytes is not None:
+        total = sum(size for _, size, _ in live)
+        live.sort(key=lambda rec: (rec[0], str(rec[2])))
+        survivors = []
+        for index, (atime, size, path) in enumerate(live):
+            if total <= max_bytes:
+                survivors.extend(live[index:])
+                break
+            if unlink(path, size):
+                total -= size
+            else:
+                survivors.append((atime, size, path))
+        live = survivors
+    return live
+
+
 def _file_schema(path: Path) -> Optional[int]:
     """The schema stamped in a trace file's binary header (None = unreadable)."""
     try:
@@ -240,27 +284,9 @@ class TraceStore:
                 else:
                     live.append((stat.st_atime, stat.st_size, path))
 
-        now = time.time()
-        survivors: List[Tuple[float, int, Path]] = []
-        if max_age_days is not None:
-            cutoff = now - max_age_days * 86400.0
-            for atime, size, path in live:
-                if atime >= cutoff or not unlink(path, "evicted", size):
-                    survivors.append((atime, size, path))
-            live = survivors
-        if max_bytes is not None:
-            total = sum(size for _, size, _ in live)
-            live.sort()                                   # oldest atime first
-            survivors = []
-            for index, (atime, size, path) in enumerate(live):
-                if total <= max_bytes:
-                    survivors.extend(live[index:])
-                    break
-                if unlink(path, "evicted", size):
-                    total -= size
-                else:
-                    survivors.append((atime, size, path))
-            live = survivors
+        live = evict_lru(live,
+                         lambda path, size: unlink(path, "evicted", size),
+                         max_bytes=max_bytes, max_age_days=max_age_days)
         counts["kept"] = len(live)
         counts["kept_bytes"] = sum(size for _, size, _ in live)
         return counts

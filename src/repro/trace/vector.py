@@ -1,0 +1,1297 @@
+"""Epoch-batched vectorized replay: ``replay_trace(engine="vector")``.
+
+The fused replay engine (:mod:`repro.trace.replay`) already skips the
+frontend, but it still re-times one instruction at a time through the *real*
+memory-system objects — every SM access walks ``HybridSystem.load`` /
+``MemoryHierarchy.access``, every branch walks the predictor tables, with
+attribute syncs around each call.  The vector engine splits that work by
+*data dependence* instead:
+
+* **Structure updates are batched out of the timing loop.**  Cache tag/LRU
+  evolution, directory hit/miss outcomes, prefetcher training and branch
+  predictor table updates are all *timing-independent*: they depend only on
+  the recorded program-order stream, never on the clock.  One **oracle
+  pass** per (trace, cache-geometry) pair drives the whole stream through a
+  scratch memory system built for that geometry and records, per memory
+  op, which level serves it (a dense route code), the miss line addresses,
+  and the final activity counters; one **flags pass** per (trace, predictor
+  geometry) resolves every conditional branch through the batched
+  :meth:`~repro.cpu.branch_predictor.HybridBranchPredictor.update_batch`
+  entry point (provably equivalent to N scalar updates) and every jump
+  through the BTB, yielding a flat mispredict-flag stream.  Ablation points
+  that share a geometry share the pass — the 6-point ``medium`` machine
+  sweep pays 3 oracle passes and 1 flags pass instead of 6 full re-walks.
+
+* **Inside an epoch, the scalar lane recurrence remains.**  Issue/retire
+  times form a data-dependent recurrence (ROB/LSQ occupancy, register
+  readiness, issue-slot and FU reservations), so the in-epoch timing walk
+  stays the fused scalar transcription — but stripped to pure arithmetic:
+  latencies come from the precomputed route codes (``lm``, ``l1``,
+  ``mshr.request(line, now, beyond)``), mispredict redirects from the flag
+  stream, registers from a dense-int remap.  Only two *live* structures
+  remain in the loop: the MSHR file (merge/occupancy depends on real
+  clocks) and, multicore, the shared uncore arbiter.
+
+* **Epochs break only at contention-relevant events.**  Multicore lanes run
+  free — whole slices of private work per resume — and yield to the global
+  min-fetch-time scheduler only immediately *before* an instruction that
+  touches the shared uncore (a DMA burst or a demand miss routed to
+  memory).  Everything between two uncore events commutes across cores, so
+  the shared arbiter still observes the exact fused/execution request
+  order and multicore identity is preserved while lane switches drop from
+  every-other-instruction to per-uncore-event.
+
+The result is bit-identical to ``engine="fused"`` (which stays as the
+verification baseline, exactly like ``engine="lanes"`` does for fused):
+same cycles, same phase breakdown, same activity counters, same energy —
+enforced by ``tests/test_vector_replay.py`` over every NAS kernel, both
+system modes and 1/2/4 cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from array import array
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.cpu.branch_predictor import HybridBranchPredictor
+from repro.cpu.multicore import (
+    CoreLane,
+    aggregate_results,
+    lane_result,
+    run_resumable_lanes,
+)
+from repro.cpu.pipeline import CODE_BASE, CODE_INSTR_SIZE, OutOfOrderTimingModel
+from repro.energy.model import EnergyModel
+from repro.harness.config import MachineConfig
+from repro.harness.runner import RunResult
+from repro.harness.systems import build_system, core_config_for
+from repro.trace import _ckernel
+from repro.trace.format import MulticoreTrace, Trace, TraceError
+from repro.trace.replay import (
+    _INFINITY,
+    _ZEROS,
+    _cached_decode,
+    _cached_parallel_program,
+    _cached_program,
+    _check_multicore_trace,
+    _l1i_stats,
+    check_replay_machine,
+)
+
+__all__ = ["replay_multicore_vector", "replay_single_vector"]
+
+# Dense route codes, one per memory operation (LM-plain ops included):
+# which structure serves it, resolved once per (trace, geometry) by the
+# oracle pass.  Routes 3/4/5 carry their miss line address out-of-band.
+_R_LM, _R_GUARD, _R_L1, _R_L2, _R_L3, _R_MEM, _R_COLLAPSED = 0, 1, 2, 3, 4, 5, 6
+
+# Oracle routes are the expensive pass and are shared across every ablation
+# point with the same cache geometry; flags/streams are cheap but small.
+# Caps sized so a 4-core sweep over a handful of geometries never thrashes.
+_ORACLE_CACHE: "OrderedDict[tuple, _OracleRoutes]" = OrderedDict()
+_FLAGS_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_VTAB_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_SEQ3_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_ORACLE_CAP = 24
+_SMALL_CAP = 16
+_SEQ3_CAP = 12      # seq3 lists are per-point and large; bound them harder
+
+# In-loop opcodes ("vkind"), one per *dynamic occurrence*: the stream builder
+# folds the oracle's route into the opcode, so the timing loop never re-derives
+# what kind of work an instruction is.  Static-latency memory ops (LM hits,
+# L1 hits, collapsed stores) carry their final latency in the stream; only
+# "live" ops (MSHR misses, guarded directory hits, uncore-arbitrated memory
+# misses) are resolved in-loop.  Loads are odd, stores even (the retire path
+# applies the 2-cycle store-commit cap by parity); DMA/sync/halt are >= 8 and
+# the frontend-drain pair (dsync, halt) is >= 11.
+#   0 ALU            1 load->LM       2 store->LM/collapsed
+#   3 load->L1 hit   4 store->L1 hit  5 live load   6 live store
+#   7 branch (CBR/JMP)
+#   8 dma-get   9 dma-put   10 set-bufsize   11 dma-sync   12 halt
+_VK_BY_KIND = {0: 0, 3: 7, 4: 7, 5: 12, 6: 8, 7: 9, 8: 11, 9: 10}
+
+
+class _OracleRoutes:
+    """Timing-independent routing of one stream under one cache geometry."""
+
+    __slots__ = ("routes", "miss_lines", "guard_entries", "dma_nlines",
+                 "dget_entries", "n_dir", "collapsed", "patch")
+
+    def __init__(self, routes, miss_lines, guard_entries, dma_nlines,
+                 dget_entries, n_dir, patch):
+        self.routes = routes              # bytes, one code per memory op
+        self.miss_lines = miss_lines      # array("q"), routes 3/4/5 in order
+        self.guard_entries = guard_entries  # array("i"), route 1 in order
+        self.dma_nlines = dma_nlines      # array("i"), per dget/dput in order
+        self.dget_entries = dget_entries  # array("i"), per dget (-1: no dir)
+        self.n_dir = n_dir                # directory entries (presence arrays)
+        self.collapsed = routes.count(_R_COLLAPSED)
+        self.patch = patch                # final activity counters to install
+
+
+def _geometry_key(mode: str, machine: MachineConfig, multicore: bool) -> tuple:
+    """Everything the oracle routing depends on (timing knobs excluded)."""
+    c = machine.cache_based().memory if mode == "cache" else machine.memory
+    return (mode, multicore, c.line_size, c.l1_size, c.l1_assoc,
+            c.l2_size, c.l2_assoc, c.l3_size, c.l3_assoc,
+            c.prefetch_enabled, c.prefetch_table_size, c.prefetch_degree,
+            c.prefetch_distance, machine.lm_size, machine.directory_entries)
+
+
+def _cached_oracle(trace: Trace, decoded, cold, mode: str,
+                   machine: MachineConfig, multicore: bool) -> _OracleRoutes:
+    key = (trace.program_fingerprint, trace.stream_digest(),
+           _geometry_key(mode, machine, multicore))
+    entry = _ORACLE_CACHE.get(key)
+    if entry is None:
+        entry = _oracle_routes(decoded, cold, mode, machine, multicore)
+        _ORACLE_CACHE[key] = entry
+        while len(_ORACLE_CACHE) > _ORACLE_CAP:
+            _ORACLE_CACHE.popitem(last=False)
+    else:
+        _ORACLE_CACHE.move_to_end(key)
+    return entry
+
+
+def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
+                   multicore: bool) -> _OracleRoutes:
+    """Resolve every memory/DMA event of a stream against a scratch system.
+
+    The scratch system is the same per-core :func:`build_system` product the
+    replay point uses; it is driven with the *real* ``load``/``store``/DMA
+    calls at ``now=0.0``.  Cache, directory and prefetcher state evolution is
+    timing-independent (tag/LRU/valid updates never consult the clock), so
+    the served-by level of every access — and every final activity counter —
+    is exactly what any re-timed run observes.  Clock-dependent scratch state
+    (MSHR contents, presence stalls, latencies) is simply discarded: the
+    timing loop recomputes those against the live point system.  In
+    multicore, the per-core systems are independent for everything functional
+    (private caches/LM/directory; the shared memory/bus counters commute and
+    are summed at apply time), and the multicore wrapper's dma-put directory
+    unmap is transcribed below so guarded hit/miss sequences match.
+    """
+    seq, branches, mem_addrs, dma_words, fu_counts = decoded
+    S = build_system(mode, machine)
+    hierarchy = S.hierarchy
+    line_size = hierarchy.config.line_size
+    use_lm = S.use_lm
+    directory = S.directory
+    load = S.load
+    store = S.store
+    if use_lm:
+        lm_lo = S.address_map.virtual_base
+        lm_hi = lm_lo + S.address_map.size
+        translate = S.address_map.translate
+    else:
+        lm_lo = lm_hi = -1
+        translate = None
+    routes = bytearray()
+    routes_append = routes.append
+    miss_lines = array("q")
+    lines_append = miss_lines.append
+    guard_entries = array("i")
+    dma_nlines = array("i")
+    dget_entries = array("i")
+    lm_plain_loads = lm_plain_stores = 0
+    mi = di = 0
+    for h in seq:
+        kind = h[0]
+        if kind == 1:        # load
+            addr = mem_addrs[mi]
+            mi += 1
+            if lm_lo <= addr < lm_hi:
+                lm_plain_loads += 1
+                routes_append(_R_LM)
+                continue
+            index = h[7]
+            cm = cold[index]
+            out = load(addr, guarded=cm[2], oracle_divert=cm[3],
+                       pc=index, now=0.0)
+            served = out.served_by
+            if served == "L1":
+                routes_append(_R_L1)
+            elif served == "LM":
+                if cm[2]:   # guarded hit: presence stall recomputed live
+                    routes_append(_R_GUARD)
+                    guard_entries.append(
+                        directory._tag_index[addr & directory.base_mask])
+                else:       # oracle-divert hit: plain LM latency
+                    routes_append(_R_LM)
+            elif served == "L2":
+                routes_append(_R_L2)
+                lines_append(addr - addr % line_size)
+            elif served == "L3":
+                routes_append(_R_L3)
+                lines_append(addr - addr % line_size)
+            else:           # MEM
+                routes_append(_R_MEM)
+                lines_append(addr - addr % line_size)
+        elif kind == 2:      # store
+            addr = mem_addrs[mi]
+            mi += 1
+            if lm_lo <= addr < lm_hi:
+                lm_plain_stores += 1
+                S._last_store_addr = addr
+                S._last_store_to_sm = False
+                routes_append(_R_LM)
+                continue
+            index = h[7]
+            cm = cold[index]
+            out = store(addr, 0.0, guarded=cm[2], oracle_divert=cm[3],
+                        collapse_with_prev=cm[4], pc=index, now=0.0)
+            served = out.served_by
+            if served == "L1":
+                routes_append(_R_L1)
+            elif served == "LM":
+                if cm[2]:
+                    routes_append(_R_GUARD)
+                    guard_entries.append(
+                        directory._tag_index[addr & directory.base_mask])
+                else:
+                    routes_append(_R_LM)
+            elif served == "collapsed":
+                routes_append(_R_COLLAPSED)
+            elif served == "L2":
+                routes_append(_R_L2)
+                lines_append(addr - addr % line_size)
+            elif served == "L3":
+                routes_append(_R_L3)
+                lines_append(addr - addr % line_size)
+            else:           # MEM
+                routes_append(_R_MEM)
+                lines_append(addr - addr % line_size)
+        elif kind == 6:      # dma-get
+            lm_v = dma_words[di]
+            sm = dma_words[di + 1]
+            size = dma_words[di + 2]
+            di += 3
+            first = sm - sm % line_size
+            end = sm + size - 1
+            dma_nlines.append((end - end % line_size - first) // line_size + 1)
+            S.dma_get(lm_v, sm, size, tag=cold[h[7]][1], now=0.0)
+            if directory.is_configured:
+                dget_entries.append(translate(lm_v) // directory.buffer_size)
+            else:
+                dget_entries.append(-1)
+        elif kind == 7:      # dma-put
+            lm_v = dma_words[di]
+            sm = dma_words[di + 1]
+            size = dma_words[di + 2]
+            di += 3
+            first = sm - sm % line_size
+            end = sm + size - 1
+            dma_nlines.append((end - end % line_size - first) // line_size + 1)
+            S.dma_put(lm_v, sm, size, tag=cold[h[7]][1], now=0.0)
+            if multicore and directory.is_configured:
+                # MulticoreHybridSystem.dma_put: write-back ends the chunk's
+                # LM residence, unmapping the issuing core's directory entry.
+                lm_offset = translate(lm_v)
+                entry = directory.entries[directory.buffer_index(lm_offset)]
+                if entry.valid and entry.tag == (sm & directory.base_mask):
+                    directory.invalidate_buffer(lm_offset)
+        elif kind == 8:      # dma-sync (timing only; keeps the syncs counter)
+            S.dma_sync(cold[h[7]][1], now=0.0)
+        elif kind == 9:      # set-bufsize
+            S.set_buffer_size(cold[h[7]][1])
+    prefetcher = hierarchy.prefetcher
+    patch = {
+        "loads": S.loads + lm_plain_loads,
+        "stores": S.stores + lm_plain_stores,
+        "guarded_loads": S.guarded_loads,
+        "guarded_stores": S.guarded_stores,
+        "collapsed_stores": S.collapsed_stores,
+        "mem_ops": S.mem_ops + lm_plain_loads + lm_plain_stores,
+        "last_store_addr": S._last_store_addr,
+        "last_store_to_sm": S._last_store_to_sm,
+        "demand_accesses": hierarchy.demand_accesses,
+        "l1": hierarchy.l1.stats,
+        "l2": hierarchy.l2.stats,
+        "l3": hierarchy.l3.stats,
+        "memory_reads": hierarchy.memory.reads,
+        "memory_writes": hierarchy.memory.writes,
+        "bus_transactions": hierarchy.bus.transactions,
+        "bus_dma_transactions": hierarchy.bus.dma_transactions,
+        "bus_bytes": hierarchy.bus.bytes_transferred,
+        "pf_trainings": prefetcher.trainings,
+        "pf_issued": prefetcher.issued,
+        "pf_collisions": prefetcher.collisions,
+    }
+    n_dir = 0
+    if use_lm:
+        n_dir = len(directory.entries)
+        patch.update({
+            "lm_reads": S.lm.reads + lm_plain_loads,
+            "lm_writes": S.lm.writes + lm_plain_stores,
+            "agu": (S.agu.guarded_loads, S.agu.guarded_stores,
+                    S.agu.diverted_loads, S.agu.diverted_stores),
+            "dir_lookups": directory.stats.lookups,
+            "dir_hits": directory.stats.hits,
+            "dir_misses": directory.stats.misses,
+            "dir_updates": directory.stats.updates,
+            "dir_configurations": directory.stats.configurations,
+            "dma_gets": S.dmac.gets,
+            "dma_puts": S.dmac.puts,
+            "dma_syncs": S.dmac.syncs,
+            "dma_words": S.dmac.words_transferred,
+            "dma_lines": S.dmac.lines_transferred,
+        })
+    return _OracleRoutes(bytes(routes), miss_lines, guard_entries, dma_nlines,
+                         dget_entries, n_dir, patch)
+
+
+def _cached_flags(trace: Trace, decoded, cold, config) -> tuple:
+    key = (trace.program_fingerprint, trace.stream_digest(),
+           config.predictor_entries, config.btb_entries, config.btb_assoc)
+    entry = _FLAGS_CACHE.get(key)
+    if entry is None:
+        entry = _branch_flags(decoded, cold, config)
+        _FLAGS_CACHE[key] = entry
+        while len(_FLAGS_CACHE) > _SMALL_CAP:
+            _FLAGS_CACHE.popitem(last=False)
+    else:
+        _FLAGS_CACHE.move_to_end(key)
+    return entry
+
+
+def _branch_flags(decoded, cold, config) -> tuple:
+    """Mispredict flag per branch event, resolved through the real predictor.
+
+    The direction tables (gshare/bimodal/selector/history) and the BTB are
+    disjoint structures: conditional outcomes depend only on the former, jump
+    flags only on the latter.  So the conditional stream goes through the
+    batched :meth:`update_batch` (exactly equivalent to N sequential
+    updates), and one in-order pass replays the BTB: jumps probe it, every
+    taken branch (conditional or jump) installs its target — the same
+    sequence the fused loop performs.
+
+    Returns ``(flags, predictions, mispredictions, btb_hits, btb_misses)``
+    with one flag per conditional-branch/jump in retirement order.
+    """
+    seq, branches, mem_addrs, dma_words, fu_counts = decoded
+    predictor = HybridBranchPredictor(entries=config.predictor_entries,
+                                      btb_entries=config.btb_entries,
+                                      btb_assoc=config.btb_assoc,
+                                      ras_entries=config.ras_entries)
+    cbr_pcs = []
+    cbr_takens = []
+    events = []     # (is_jmp, pc_addr, taken, target_addr)
+    events_append = events.append
+    bi = 0
+    for h in seq:
+        kind = h[0]
+        if kind == 3:
+            index = h[7]
+            taken = branches[bi]
+            bi += 1
+            pc_addr = CODE_BASE + index * CODE_INSTR_SIZE
+            cbr_pcs.append(pc_addr)
+            cbr_takens.append(taken)
+            next_pc = cold[index][0] if taken else index + 1
+            events_append((False, pc_addr, taken,
+                           CODE_BASE + next_pc * CODE_INSTR_SIZE))
+        elif kind == 4:
+            index = h[7]
+            pc_addr = CODE_BASE + index * CODE_INSTR_SIZE
+            events_append((True, pc_addr, True,
+                           CODE_BASE + cold[index][0] * CODE_INSTR_SIZE))
+    cbr_flags = predictor.update_batch(cbr_pcs, cbr_takens)
+    btb = predictor.btb
+    btb_lookup = btb.lookup
+    btb_update = btb.update
+    flags = bytearray(len(events))
+    ci = 0
+    for ei, (is_jmp, pc_addr, taken, target) in enumerate(events):
+        if is_jmp:
+            flags[ei] = btb_lookup(pc_addr) is None
+        else:
+            flags[ei] = cbr_flags[ci]
+            ci += 1
+        if taken:
+            btb_update(pc_addr, target)
+    return (bytes(flags), len(events), sum(flags), btb.hits, btb.misses)
+
+
+def _cached_vstream(trace: Trace, hot, cold, seq, oracle_routes, mode: str,
+                    machine: MachineConfig, multicore: bool,
+                    lm_lat: float, l1_lat: float) -> tuple:
+    """The fully-prefolded timing stream for one (trace, point) pair.
+
+    Two cache levels: the *vtab* (per-pc vkind variants + dense register
+    remap) depends only on the program and the two static latencies, so every
+    ablation point that keeps ``lm``/``l1`` latencies shares it; the *seq3*
+    stream (one picked variant per retired instruction, plus the compact
+    live-route side channel) additionally depends on the oracle's routing and
+    is shared across points with the same cache geometry.
+    """
+    fp = trace.program_fingerprint
+    vkey = (fp, lm_lat, l1_lat)
+    vtab = _VTAB_CACHE.get(vkey)
+    if vtab is None:
+        vtab = _build_vtab(hot, cold, lm_lat, l1_lat)
+        _VTAB_CACHE[vkey] = vtab
+        while len(_VTAB_CACHE) > _SMALL_CAP:
+            _VTAB_CACHE.popitem(last=False)
+    else:
+        _VTAB_CACHE.move_to_end(vkey)
+    plain, memvar, n_regs = vtab
+    skey = (fp, trace.stream_digest(),
+            _geometry_key(mode, machine, multicore), lm_lat, l1_lat)
+    entry = _SEQ3_CACHE.get(skey)
+    if entry is None:
+        seq3, lroutes = _build_seq3(seq, oracle_routes, plain, memvar)
+        entry = (seq3, lroutes, n_regs, _build_cols(seq3))
+        _SEQ3_CACHE[skey] = entry
+        while len(_SEQ3_CACHE) > _SEQ3_CAP:
+            _SEQ3_CACHE.popitem(last=False)
+    else:
+        _SEQ3_CACHE.move_to_end(skey)
+    return entry
+
+
+def _build_vtab(hot, cold, lm_lat: float, l1_lat: float) -> tuple:
+    """Per-pc vkind variants with registers remapped to dense ints.
+
+    Every tuple is ``(vk, fu_index, latency, dst, srcs, phase, unpipelined,
+    is_mem)``.  ``dst`` is -1 for none; a fresh ``[0.0] * n_regs`` readiness
+    list reproduces the fused engine's missing-key-reads-as-0.0 dict exactly.
+    Memory pcs get one variant per static route (LM / L1 / live / collapsed)
+    with the final latency prefolded; DMA/sync pcs carry their transfer *tag*
+    in the latency slot (the loop computes their real latency and never reads
+    the slot as a time).
+    """
+    reg_ids: dict = {}
+    plain = []      # per-pc tuple for non-memory pcs, else None
+    memvar = []     # per-pc (lm, l1, live, collapsed) variants, else None
+    for pc, (kind, fu_index, latency, dst, srcs, phase, unpipelined,
+             _index) in enumerate(hot):
+        dst_i = -1 if dst is None else reg_ids.setdefault(dst, len(reg_ids))
+        srcs_i = tuple(reg_ids.setdefault(s, len(reg_ids)) for s in srcs)
+        if kind == 1:       # load
+            memvar.append((
+                (1, fu_index, lm_lat, dst_i, srcs_i, phase, unpipelined, True),
+                (3, fu_index, l1_lat, dst_i, srcs_i, phase, unpipelined, True),
+                (5, fu_index, 0.0, dst_i, srcs_i, phase, unpipelined, True),
+                None))
+            plain.append(None)
+        elif kind == 2:     # store (collapsed second store is free)
+            memvar.append((
+                (2, fu_index, lm_lat, dst_i, srcs_i, phase, unpipelined, True),
+                (4, fu_index, l1_lat, dst_i, srcs_i, phase, unpipelined, True),
+                (6, fu_index, 0.0, dst_i, srcs_i, phase, unpipelined, True),
+                (2, fu_index, 0.0, dst_i, srcs_i, phase, unpipelined, True)))
+            plain.append(None)
+        else:
+            vk = _VK_BY_KIND[kind]
+            lat = latency
+            if vk == 8 or vk == 9 or vk == 11:
+                lat = cold[pc][1]       # the DMA tag rides in the slot
+            plain.append((vk, fu_index, lat, dst_i, srcs_i, phase,
+                          unpipelined, False))
+            memvar.append(None)
+    return plain, memvar, len(reg_ids)
+
+
+def _build_seq3(seq, routes, plain, memvar) -> tuple:
+    """Pick one vtab variant per retired instruction from the oracle routes.
+
+    Returns ``(seq3, lroutes)``: the stream of prefolded tuples plus the
+    compact route codes (bytes) of the *live* memory ops only, consumed in
+    order by the loop's vk-5/6 dispatch.
+    """
+    seq3 = []
+    append = seq3.append
+    lroutes = bytearray()
+    lappend = lroutes.append
+    mi = 0
+    for h in seq:
+        b = plain[h[7]]
+        if b is not None:
+            append(b)
+            continue
+        r = routes[mi]
+        mi += 1
+        v = memvar[h[7]]
+        if r == _R_LM:
+            append(v[0])
+        elif r == _R_L1:
+            append(v[1])
+        elif r == _R_COLLAPSED:
+            append(v[3])
+        else:
+            append(v[2])
+            lappend(r)
+    return seq3, bytes(lroutes)
+
+
+def _build_cols(seq3) -> tuple:
+    """Columnar views of a seq3 stream for the optional C inner loop.
+
+    One flat array per tuple slot (sources as CSR offsets + ids).  The C
+    kernel never reads the latency slot of event ops (vk >= 8 always bounce
+    to Python, which still holds the tuples), so their tag payload is stored
+    as 0.0.
+    """
+    n = len(seq3)
+    vk = np.empty(n, np.uint8)
+    fu = np.empty(n, np.int32)
+    lat = np.empty(n, np.float64)
+    dst = np.empty(n, np.int32)
+    phase = np.empty(n, np.int32)
+    unpip = np.empty(n, np.uint8)
+    soff = np.empty(n + 1, np.int32)
+    sid_list = []
+    extend = sid_list.extend
+    off = 0
+    for i, h in enumerate(seq3):
+        k = h[0]
+        vk[i] = k
+        fu[i] = h[1]
+        lat[i] = h[2] if k < 8 else 0.0
+        dst[i] = h[3]
+        soff[i] = off
+        srcs = h[4]
+        if srcs:
+            extend(srcs)
+            off += len(srcs)
+        phase[i] = h[5]
+        unpip[i] = 1 if h[6] else 0
+    soff[n] = off
+    sid = np.asarray(sid_list, np.int32) if sid_list else np.zeros(0, np.int32)
+    return (vk, fu, lat, dst, soff, sid, phase, unpip)
+
+
+class _VectorLane:
+    """One core's vector replay loop as a resumable state machine.
+
+    The issue/retire arithmetic is the same line-by-line fused transcription
+    of ``OutOfOrderTimingModel.issue_estimate`` / ``retire``; memory and
+    branch outcomes come from the precomputed route/flag streams; the only
+    live structures are the point system's MSHR file and (multicore) the
+    shared uncore.  Lanes yield to the scheduler only immediately before an
+    uncore event — see the module docstring.
+    """
+
+    __slots__ = ("order", "trace", "config", "timing", "fetch_time", "done",
+                 "_seq", "_n", "_fu_counts", "_phase_names", "_phase_acc",
+                 "_mem", "_oracle", "_flags", "_gen", "_state")
+
+    def __init__(self, order: int, phase_names, decoded, vstream,
+                 trace: Trace, mem, config, oracle: _OracleRoutes, flags,
+                 uncore=None):
+        seq, branches, mem_addrs, dma_words, fu_counts = decoded
+        seq3, lroutes, n_regs, cols = vstream
+        self.order = order
+        self.trace = trace
+        self.config = config
+        self._seq = seq
+        self._n = len(seq)
+        self._fu_counts = fu_counts
+        self._phase_names = phase_names
+        self._phase_acc = [0.0] * len(phase_names)
+        self._mem = mem
+        self._oracle = oracle
+        self._flags = flags
+        timing = OutOfOrderTimingModel(config, hierarchy=mem.hierarchy)
+        self.timing = timing
+        self.fetch_time = 0.0
+        self.done = self._n == 0
+        if self._n:
+            kern = _ckernel.load()
+            if kern is not None:
+                self._gen = self._loop_c(seq3, lroutes, cols, n_regs,
+                                         uncore, kern)
+            else:
+                self._gen = self._loop(seq3, lroutes, n_regs, uncore)
+            next(self._gen)     # run the loop's setup to the first yield
+        else:   # defensive: programs always retire at least a HALT
+            self._gen = None
+            self._state = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                           mem.total_mem_latency, 0.0, 0)
+
+    def run_until(self, limit: float, limit_order: int) -> None:
+        """Advance the lane while its key ``(fetch_time, order)`` stays below
+        ``(limit, limit_order)`` — the multicore scheduling contract."""
+        if self._gen is None:
+            return
+        try:
+            self._gen.send((limit, limit_order))
+        except StopIteration:
+            self.done = True
+
+    def _loop(self, seq3, lroutes, n_regs, uncore):
+        """The vector per-instruction loop, as a generator.
+
+        Same resume protocol as the fused lane: every ``send`` delivers the
+        next ``(limit, limit_order)`` key; the final scalar state is packed
+        into ``_state`` for :meth:`finish`.
+
+        Identity notes on the three deviations from the fused shape:
+
+        * The fused engine's ``if t > fetch_time: fetch_time = t`` bump is
+          deferred from the issue estimate to the top of retire.  Nothing
+          reads ``fetch_time`` in between *except* the epoch-break checks,
+          which must observe the pre-instruction value — the key the fused
+          scheduler sorts lanes by when it parks a lane between instructions.
+        * The ROB/LSQ deques become fixed rings prefilled with 0.0: before
+          the deque would be full the fused code skips the occupancy check,
+          and ``0.0 > t`` is never true for ``t >= 0``, so the prefilled
+          slots are exact no-ops.
+        * ``int(now)`` / ``int(start)`` in retire are replaced by the cycle
+          cursors the scans already hold: ``now`` is either ``ready`` (whose
+          ``int`` was just taken) or ``float(cycle)`` from a scan, so the
+          truncations are always available as ints.
+        """
+        config = self.config
+        mem = self._mem
+        my_order = self.order
+        oracle = self._oracle
+
+        # -- precomputed streams --
+        miss_lines = oracle.miss_lines
+        guard_entries = oracle.guard_entries
+        dma_nlines = oracle.dma_nlines
+        dget_entries = oracle.dget_entries
+        flags = self._flags[0]
+
+        # -- cached config / live-structure bindings --
+        issue_width = config.issue_width
+        inv_fetch = 1.0 / config.fetch_width
+        mispredict_penalty = config.mispredict_penalty
+        timing = self.timing
+        fu_capacity = timing.fus._capacity
+        rob_size = timing.rob.size
+        inv_commit = 1.0 / timing.rob.commit_width
+        lsq_size = timing.lsq.size
+        phase_acc = self._phase_acc
+        c = mem.hierarchy.config
+        l1_lat = float(c.l1_latency)
+        b_l2 = float(c.l2_latency)
+        b_l3 = float(c.l2_latency + c.l3_latency)
+        b_mem = float(c.l2_latency + c.l3_latency + c.memory_latency)
+        mshr_request = mem.hierarchy.mshr.request
+        use_lm = mem.use_lm
+        if use_lm:
+            lm_lat = float(mem.lm.latency)
+            dma_setup = mem.dmac.setup_latency
+            dma_per_line = mem.dmac.per_line_latency
+        else:
+            lm_lat = 0.0
+            dma_setup = dma_per_line = 0
+        pause = uncore is not None
+        uncore_acquire = uncore.acquire if pause else None
+
+        # -- lane-local replicas of the clock-dependent structures --
+        # Directory presence bits/ready times (guarded-hit stalls) and the
+        # DMA controller's outstanding-transfer map (dma-sync waits): both
+        # are per-core and depend on real clocks, so the loop carries them as
+        # plain locals — exact transcriptions of CoherenceDirectory.lookup's
+        # stall/latch and DMAController timing.
+        n_dir = oracle.n_dir
+        present = [True] * n_dir
+        ready_t = [0.0] * n_dir
+        outstanding: dict = {}
+
+        # -- per-cycle reservation state, flat (same trick as fused) --
+        issue_slots = [0] * 8192
+        fu_tables = [[0] * 8192 for _ in fu_capacity]
+
+        # -- dense register readiness --
+        reg_ready = [0.0] * n_regs
+
+        # -- ROB/LSQ occupancy as rings (see the identity notes above) --
+        rob_ring = [0.0] * rob_size
+        rp = 0
+        lsq_ring = [0.0] * lsq_size
+        lp = 0
+
+        # -- scalar timing state --
+        fetch_time = 0.0
+        last_commit = 0.0
+        rob_bw = 0.0
+        rob_stalls = 0.0
+        lsq_stalls = 0.0
+        contended = 0.0
+        total_lat = mem.total_mem_latency   # == 0.0 on a fresh system
+        hier_lat = 0.0
+        presence_stalls = 0
+
+        li = gi = ni = gei = fi = ri = 0
+        limit, limit_order = yield
+
+        for h in seq3:
+            (vk, fu_index, latency, dst, srcs, phase, unpipelined,
+             is_mem) = h
+
+            # ---- issue estimate (fused transcription) ----
+            t = fetch_time
+            oldest = rob_ring[rp]
+            if oldest > t:
+                rob_stalls += oldest - t
+                t = oldest
+            if is_mem:
+                oldest = lsq_ring[lp]
+                if oldest > t:
+                    lsq_stalls += oldest - t
+                    t = oldest
+            ready = t
+            for src in srcs:
+                r = reg_ready[src]
+                if r > ready:
+                    ready = r
+            cycle = int(ready)
+            try:
+                if issue_slots[cycle] < issue_width:
+                    now = ready
+                else:
+                    while True:
+                        cycle += 1
+                        try:
+                            if issue_slots[cycle] < issue_width:
+                                break
+                        except IndexError:
+                            while cycle >= len(issue_slots):
+                                issue_slots.extend(_ZEROS)
+                            break
+                    now = float(cycle)
+            except IndexError:
+                while cycle >= len(issue_slots):
+                    issue_slots.extend(_ZEROS)
+                now = ready
+
+            # ---- execute: latency prefolded or resolved live ----
+            if is_mem:
+                if vk <= 4:         # static route: LM or L1 hit
+                    total_lat += latency
+                    if vk >= 3:
+                        hier_lat += latency
+                else:               # vk 5/6: live load/store
+                    r = lroutes[ri]
+                    ri += 1
+                    if r == 3:      # L2 hit through the MSHR file
+                        line = miss_lines[li]
+                        li += 1
+                        latency = l1_lat + mshr_request(line, now, b_l2)
+                        total_lat += latency
+                        hier_lat += latency
+                    elif r == 5:    # memory (uncore-arbitrated, multicore)
+                        # Epoch break: yield before touching the shared
+                        # arbiter once another lane's front end is earlier
+                        # (strictly, or equal with a lower core id).
+                        if pause:
+                            if fetch_time > limit or (
+                                    fetch_time == limit
+                                    and my_order > limit_order):
+                                self.fetch_time = fetch_time
+                                limit, limit_order = yield
+                            beyond = b_mem + uncore_acquire(now, 1)
+                        else:
+                            beyond = b_mem
+                        line = miss_lines[li]
+                        li += 1
+                        latency = l1_lat + mshr_request(line, now, beyond)
+                        total_lat += latency
+                        hier_lat += latency
+                    elif r == 4:    # L3 hit through the MSHR file
+                        line = miss_lines[li]
+                        li += 1
+                        latency = l1_lat + mshr_request(line, now, b_l3)
+                        total_lat += latency
+                        hier_lat += latency
+                    else:           # r == 1: guarded dir hit (presence stall)
+                        e = guard_entries[gi]
+                        gi += 1
+                        stall = 0.0
+                        rt = ready_t[e]
+                        if not present[e] and now < rt:
+                            stall = rt - now
+                            presence_stalls += 1
+                        if now >= rt:
+                            present[e] = True
+                        latency = lm_lat + stall
+                        total_lat += latency
+            elif vk >= 8:
+                if vk <= 9:         # dma-get / dma-put issue
+                    if pause:       # epoch break, as for route-5 misses
+                        if fetch_time > limit or (
+                                fetch_time == limit
+                                and my_order > limit_order):
+                            self.fetch_time = fetch_time
+                            limit, limit_order = yield
+                        nlines = dma_nlines[ni]
+                        queue = uncore_acquire(now, nlines)
+                    else:
+                        nlines = dma_nlines[ni]
+                        queue = 0.0
+                    ni += 1
+                    completion_d = now + queue + float(
+                        dma_setup + nlines * dma_per_line)
+                    tag = latency   # the DMA tag rides in the latency slot
+                    lst = outstanding.get(tag)
+                    if lst is None:
+                        outstanding[tag] = [completion_d]
+                    else:
+                        lst.append(completion_d)
+                    if vk == 8:
+                        e = dget_entries[gei]
+                        gei += 1
+                        if e >= 0:
+                            present[e] = False
+                            ready_t[e] = completion_d
+                    latency = 1.0
+                elif vk == 11:      # dma-sync (DMAController.dma_sync)
+                    tag = latency
+                    if tag is None:
+                        pending = [x for lst in outstanding.values()
+                                   for x in lst]
+                    else:
+                        lst = outstanding.get(tag)
+                        pending = lst if lst else None
+                    if pending:
+                        finish_t = max(pending)
+                        wait_until = finish_t if finish_t > now else now
+                        for k in list(outstanding):
+                            kept = [x for x in outstanding[k]
+                                    if x > wait_until]
+                            if kept:
+                                outstanding[k] = kept
+                            else:
+                                del outstanding[k]
+                        stall = finish_t - now
+                        latency = 1.0 + stall if stall > 0.0 else 1.0
+                    else:
+                        latency = 1.0
+                elif vk == 10:      # set-bufsize
+                    latency = 1.0
+                # vk == 12 (halt): static latency stands
+
+            # ---- retire (fused transcription; the occupancy bump of the
+            # issue estimate lands here, past the epoch checks) ----
+            if t > fetch_time:
+                fetch_time = t
+            capacity = fu_capacity[fu_index]
+            table = fu_tables[fu_index]
+            try:
+                if table[cycle] < capacity:
+                    start = now
+                else:
+                    while True:
+                        cycle += 1
+                        try:
+                            if table[cycle] < capacity:
+                                break
+                        except IndexError:
+                            while cycle >= len(table):
+                                table.extend(_ZEROS)
+                            break
+                    start = float(cycle)
+                    contended += start - now
+            except IndexError:
+                while cycle >= len(table):
+                    table.extend(_ZEROS)
+                start = now
+            if unpipelined:
+                occupancy = int(latency)
+                if occupancy < 1:
+                    occupancy = 1
+                end = cycle + occupancy
+                while end > len(table):
+                    table.extend(_ZEROS)
+                for ci in range(cycle, end):
+                    table[ci] += 1
+            else:
+                table[cycle] += 1
+            try:
+                issue_slots[cycle] += 1
+            except IndexError:
+                while cycle >= len(issue_slots):
+                    issue_slots.extend(_ZEROS)
+                issue_slots[cycle] += 1
+            completion = start + latency
+            if dst >= 0:
+                reg_ready[dst] = completion
+            if is_mem:
+                lsq_ring[lp] = completion
+                lp += 1
+                if lp == lsq_size:
+                    lp = 0
+                if vk & 1:          # load
+                    commit_completion = completion
+                else:               # store: 2-cycle commit cap
+                    commit_completion = start + (latency if latency < 2.0
+                                                 else 2.0)
+            else:
+                commit_completion = completion
+                if vk == 7:         # branch: consume the mispredict flag
+                    if flags[fi]:
+                        fetch_time = completion + mispredict_penalty
+                    fi += 1
+            fetch_time = fetch_time + inv_fetch
+            if vk >= 11 and completion > fetch_time:
+                fetch_time = completion    # dsync/halt drain the front end
+            rob_bw = rob_bw + inv_commit
+            if commit_completion > rob_bw:
+                rob_bw = commit_completion
+            rob_ring[rp] = rob_bw
+            rp += 1
+            if rp == rob_size:
+                rp = 0
+            phase_acc[phase] += rob_bw - last_commit
+            last_commit = rob_bw
+
+        self.fetch_time = fetch_time
+        self._state = (fetch_time, last_commit, rob_bw, rob_stalls,
+                       lsq_stalls, contended, total_lat, hier_lat,
+                       presence_stalls)
+
+    def _loop_c(self, seq3, lroutes, cols, n_regs, uncore, kern):
+        """The vector loop with the compiled inner kernel.
+
+        Same resume protocol and identical results as :meth:`_loop` (the C
+        code is a transcription of the same recurrence — see
+        :mod:`repro.trace._ckernel`).  ``vr_run`` executes entire epochs of
+        uncore-free instructions; this generator handles only the *event*
+        instructions it stops at — the epoch yield-check, DMA/uncore/dsync
+        bookkeeping (which stays in Python, on the same shared state vectors)
+        and the re-entry.
+        """
+        config = self.config
+        mem = self._mem
+        my_order = self.order
+        oracle = self._oracle
+        timing = self.timing
+        fu_capacity = timing.fus._capacity
+
+        c = mem.hierarchy.config
+        l1_lat = float(c.l1_latency)
+        b_mem = float(c.l2_latency + c.l3_latency + c.memory_latency)
+        mshr = mem.hierarchy.mshr
+        if mem.use_lm:
+            lm_lat = float(mem.lm.latency)
+            dma_setup = mem.dmac.setup_latency
+            dma_per_line = mem.dmac.per_line_latency
+        else:
+            lm_lat = 0.0
+            dma_setup = dma_per_line = 0
+        pause = uncore is not None
+        uncore_acquire = uncore.acquire if pause else None
+
+        # -- shared state vectors (layout in _ckernel) and structure arrays --
+        fs = np.zeros(_ckernel.FS_LEN)
+        iv = np.zeros(_ckernel.IS_LEN, np.int64)
+        reg_ready = np.zeros(n_regs)
+        rob_ring = np.zeros(timing.rob.size)
+        lsq_ring = np.zeros(timing.lsq.size)
+        n_dir = oracle.n_dir
+        present = np.ones(n_dir, np.uint8)
+        ready_t = np.zeros(n_dir)
+        mshr_ln = np.zeros(mshr.num_entries, np.int64)
+        mshr_tm = np.zeros(mshr.num_entries)
+        phase_acc = np.zeros(len(self._phase_names))
+        fu_caps = np.asarray(fu_capacity, np.int64)
+        vk_a, fu_a, lat_a, dst_a, soff_a, sid_a, phase_a, unpip_a = cols
+        lr_np = np.frombuffer(lroutes, np.uint8)
+        miss_np = np.frombuffer(oracle.miss_lines, np.int64) \
+            if len(oracle.miss_lines) else np.zeros(0, np.int64)
+        gent_np = np.frombuffer(oracle.guard_entries, np.int32) \
+            if len(oracle.guard_entries) else np.zeros(0, np.int32)
+        flags_np = np.frombuffer(self._flags[0], np.uint8)
+        dma_nlines = oracle.dma_nlines
+        dget_entries = oracle.dget_entries
+
+        ptr = kern.new(
+            fs.ctypes.data, iv.ctypes.data,
+            vk_a.ctypes.data, fu_a.ctypes.data, lat_a.ctypes.data,
+            dst_a.ctypes.data, soff_a.ctypes.data, sid_a.ctypes.data,
+            phase_a.ctypes.data, unpip_a.ctypes.data,
+            lr_np.ctypes.data, miss_np.ctypes.data, gent_np.ctypes.data,
+            flags_np.ctypes.data,
+            reg_ready.ctypes.data, rob_ring.ctypes.data, lsq_ring.ctypes.data,
+            present.ctypes.data, ready_t.ctypes.data,
+            mshr_ln.ctypes.data, mshr_tm.ctypes.data,
+            phase_acc.ctypes.data, fu_caps.ctypes.data,
+            1.0 / config.fetch_width, 1.0 / timing.rob.commit_width,
+            float(config.mispredict_penalty),
+            l1_lat, lm_lat,
+            float(c.l2_latency), float(c.l2_latency + c.l3_latency), b_mem,
+            config.issue_width, timing.rob.size, timing.lsq.size,
+            mshr.num_entries, len(fu_capacity), 1 if pause else 0)
+        if not ptr:
+            raise MemoryError("vector kernel context allocation failed")
+        handle = _ckernel.CtxHandle(kern, ptr)
+
+        outstanding: dict = {}
+        ni = gei = 0
+        run = kern.run
+        issue = kern.issue
+        retire = kern.retire
+        mshr_c = kern.mshr
+        i = 0
+        n = self._n
+        limit, limit_order = yield
+        try:
+            while True:
+                i = run(ptr, i, n)
+                if i < 0:
+                    raise MemoryError("vector kernel allocation failure")
+                if i >= n:
+                    break
+                h = seq3[i]
+                vk = h[0]
+                # Epoch break before any shared-uncore touch: a route-5 miss
+                # (vk 5/6 — the only live ops the kernel bounces when
+                # multicore) or a DMA burst (vk 8/9).
+                if pause and vk <= 9:
+                    fetch_time = fs[0]
+                    if fetch_time > limit or (fetch_time == limit
+                                              and my_order > limit_order):
+                        self.fetch_time = float(fetch_time)
+                        limit, limit_order = yield
+                now = issue(ptr, i)
+                if vk <= 6:         # route-5 load/store (multicore only)
+                    iv[5] += 1      # consume the peeked live route
+                    line = int(miss_np[iv[2]])
+                    iv[2] += 1
+                    beyond = b_mem + uncore_acquire(now, 1)
+                    latency = l1_lat + mshr_c(ptr, line, now, beyond)
+                    fs[6] += latency
+                    fs[7] += latency
+                elif vk <= 9:       # dma-get / dma-put issue
+                    nlines = dma_nlines[ni]
+                    ni += 1
+                    queue = uncore_acquire(now, nlines) if pause else 0.0
+                    completion_d = now + queue + float(
+                        dma_setup + nlines * dma_per_line)
+                    tag = h[2]      # the DMA tag rides in the latency slot
+                    lst = outstanding.get(tag)
+                    if lst is None:
+                        outstanding[tag] = [completion_d]
+                    else:
+                        lst.append(completion_d)
+                    if vk == 8:
+                        e = dget_entries[gei]
+                        gei += 1
+                        if e >= 0:
+                            present[e] = 0
+                            ready_t[e] = completion_d
+                    latency = 1.0
+                elif vk == 11:      # dma-sync (DMAController.dma_sync)
+                    tag = h[2]
+                    if tag is None:
+                        pending = [x for lst in outstanding.values()
+                                   for x in lst]
+                    else:
+                        lst = outstanding.get(tag)
+                        pending = lst if lst else None
+                    if pending:
+                        finish_t = max(pending)
+                        wait_until = finish_t if finish_t > now else now
+                        for k in list(outstanding):
+                            kept = [x for x in outstanding[k]
+                                    if x > wait_until]
+                            if kept:
+                                outstanding[k] = kept
+                            else:
+                                del outstanding[k]
+                        stall = finish_t - now
+                        latency = 1.0 + stall if stall > 0.0 else 1.0
+                    else:
+                        latency = 1.0
+                elif vk == 10:      # set-bufsize
+                    latency = 1.0
+                else:               # halt: static latency from the stream
+                    latency = h[2]
+                if retire(ptr, i, latency) < 0:
+                    raise MemoryError("vector kernel allocation failure")
+                i += 1
+        finally:
+            handle.close()
+
+        # The point system's MSHR ran inside the kernel; push its counters
+        # back into the live object (stats_summary reads mshr_merges).
+        mshr.allocations = int(iv[9])
+        mshr.merges = int(iv[10])
+        mshr.full_stalls = int(iv[11])
+        self._phase_acc = [float(x) for x in phase_acc]
+        fetch_time = float(fs[0])
+        self.fetch_time = fetch_time
+        self._state = (fetch_time, float(fs[1]), float(fs[2]), float(fs[3]),
+                       float(fs[4]), float(fs[5]), float(fs[6]), float(fs[7]),
+                       int(iv[7]))
+
+    def finish(self) -> OutOfOrderTimingModel:
+        """Install the accumulated timing state and the oracle's activity
+        counters into the live timing model / memory system and return the
+        timing model.  Shared memory/bus counters are *not* written here —
+        the caller applies them once via :func:`_apply_shared` (they are
+        shared objects in multicore).  Call once, after ``done``.
+        """
+        (fetch_time, last_commit, rob_bw, rob_stalls, lsq_stalls, contended,
+         total_lat, hier_lat, presence_stalls) = self._state
+        timing = self.timing
+        system = self._mem
+        oracle = self._oracle
+        patch = oracle.patch
+        phase_acc = self._phase_acc
+
+        hierarchy = system.hierarchy
+        hierarchy.l1i.stats, hierarchy.icache_accesses = _l1i_stats(
+            self.trace, self._seq, self.config, hierarchy.config)
+
+        timing.fetch_time = fetch_time
+        timing.committed = self._n
+        timing.mispredictions = self._flags[2]
+        timing.last_commit_time = last_commit
+        timing.fu_op_counts.update(self._fu_counts)
+        for idx, name in enumerate(self._phase_names):
+            if phase_acc[idx] != 0.0:
+                timing.phase_cycles[name] = phase_acc[idx]
+        timing.rob._last_commit_time = last_commit
+        timing.rob._commit_bandwidth_time = rob_bw
+        timing.rob.dispatch_stalls = rob_stalls
+        timing.lsq.occupancy_stalls = lsq_stalls
+        timing.lsq.memory_ops = len(oracle.routes)
+        timing.lsq.collapsed_stores = oracle.collapsed
+        timing.fus.contended_cycles = contended
+        predictor = timing.predictor
+        predictor.predictions = self._flags[1]
+        predictor.mispredictions = self._flags[2]
+        predictor.btb.hits = self._flags[3]
+        predictor.btb.misses = self._flags[4]
+
+        system.loads = patch["loads"]
+        system.stores = patch["stores"]
+        system.guarded_loads = patch["guarded_loads"]
+        system.guarded_stores = patch["guarded_stores"]
+        system.collapsed_stores = patch["collapsed_stores"]
+        system.mem_ops = patch["mem_ops"]
+        system.total_mem_latency = total_lat
+        system._last_store_addr = patch["last_store_addr"]
+        system._last_store_to_sm = patch["last_store_to_sm"]
+        hierarchy.demand_accesses = patch["demand_accesses"]
+        hierarchy.total_latency = hier_lat
+        hierarchy.l1.stats = dataclasses.replace(patch["l1"])
+        hierarchy.l2.stats = dataclasses.replace(patch["l2"])
+        hierarchy.l3.stats = dataclasses.replace(patch["l3"])
+        prefetcher = hierarchy.prefetcher
+        prefetcher.trainings = patch["pf_trainings"]
+        prefetcher.issued = patch["pf_issued"]
+        prefetcher.collisions = patch["pf_collisions"]
+        if system.use_lm:
+            system.lm.reads = patch["lm_reads"]
+            system.lm.writes = patch["lm_writes"]
+            agu = system.agu
+            (agu.guarded_loads, agu.guarded_stores,
+             agu.diverted_loads, agu.diverted_stores) = patch["agu"]
+            stats = system.directory.stats
+            stats.lookups = patch["dir_lookups"]
+            stats.hits = patch["dir_hits"]
+            stats.misses = patch["dir_misses"]
+            stats.updates = patch["dir_updates"]
+            stats.configurations = patch["dir_configurations"]
+            stats.presence_stalls = presence_stalls
+            dmac = system.dmac
+            dmac.gets = patch["dma_gets"]
+            dmac.puts = patch["dma_puts"]
+            dmac.syncs = patch["dma_syncs"]
+            dmac.words_transferred = patch["dma_words"]
+            dmac.lines_transferred = patch["dma_lines"]
+        return timing
+
+
+def _apply_shared(memory, bus, patches) -> None:
+    """Install the summed shared memory/bus activity of all lanes.
+
+    Must run after every lane's :meth:`_VectorLane.finish` and *before* any
+    ``stats_summary()`` is collected — in multicore, every per-core summary
+    reads these shared objects.
+    """
+    memory.reads = sum(p["memory_reads"] for p in patches)
+    memory.writes = sum(p["memory_writes"] for p in patches)
+    bus.transactions = sum(p["bus_transactions"] for p in patches)
+    bus.dma_transactions = sum(p["bus_dma_transactions"] for p in patches)
+    bus.bytes_transferred = sum(p["bus_bytes"] for p in patches)
+
+
+def replay_single_vector(trace: Trace, machine: MachineConfig) -> RunResult:
+    """Single-core vector replay — bit-identical to the fused engine."""
+    check_replay_machine(trace.key, machine)
+    program, compiled, hot, cold, fu_values, phase_names, fingerprint = \
+        _cached_program(trace.key)
+    if fingerprint != trace.program_fingerprint:
+        raise TraceError(
+            f"trace {trace.key.label} is stale: program fingerprint "
+            f"{trace.program_fingerprint} != rebuilt {fingerprint} "
+            "(the compiler or workload changed since capture)")
+    decoded = _cached_decode(trace, hot, cold, fu_values)
+    config = core_config_for(machine)
+    mode = trace.key.mode
+    oracle = _cached_oracle(trace, decoded, cold, mode, machine, False)
+    flags = _cached_flags(trace, decoded, cold, config)
+    system = build_system(mode, machine)
+    lm_lat = float(system.lm.latency) if system.use_lm else 0.0
+    l1_lat = float(system.hierarchy.config.l1_latency)
+    vstream = _cached_vstream(trace, hot, cold, decoded[0], oracle.routes,
+                              mode, machine, False, lm_lat, l1_lat)
+    lane = _VectorLane(0, phase_names, decoded, vstream, trace,
+                       system, config, oracle, flags)
+    lane.run_until(_INFINITY, 0)
+    timing = lane.finish()
+    _apply_shared(system.hierarchy.memory, system.hierarchy.bus,
+                  [oracle.patch])
+    sim = lane_result(CoreLane(None, timing), system.stats_summary())
+    energy = EnergyModel(machine.energy).compute(sim)
+    return RunResult(workload=trace.key.workload, mode=mode,
+                     compiled=compiled, sim=sim, energy=energy,
+                     system=system, scale=trace.key.scale)
+
+
+def replay_multicore_vector(mtrace: MulticoreTrace,
+                            machine: MachineConfig) -> RunResult:
+    """Multicore vector replay: one :class:`_VectorLane` per core under the
+    shared uncore, interleaved by the same min-fetch-time scheduler as the
+    fused engine — epoch breaks at uncore events keep the arbitration order
+    identical (see the module docstring)."""
+    from repro.harness.systems import build_multicore_system
+
+    key = mtrace.key
+    num_cores = _check_multicore_trace(mtrace, machine)
+    entries = _cached_parallel_program(key, machine)
+    for core_id, (entry, trace) in enumerate(zip(entries, mtrace.cores)):
+        if entry[6] != trace.program_fingerprint:
+            raise TraceError(
+                f"multicore trace {key.label} is stale: core {core_id} "
+                f"program fingerprint {trace.program_fingerprint} != rebuilt "
+                f"{entry[6]} (the compiler or workload changed since "
+                "capture)")
+    system = build_multicore_system(key.mode, machine, num_cores=num_cores)
+    config = core_config_for(machine)
+    lanes = []
+    patches = []
+    for core_id, (entry, trace) in enumerate(zip(entries, mtrace.cores)):
+        program, comp, hot, cold, fu_values, phase_names, fingerprint = entry
+        decoded = _cached_decode(trace, hot, cold, fu_values)
+        oracle = _cached_oracle(trace, decoded, cold, key.mode, machine, True)
+        flags = _cached_flags(trace, decoded, cold, config)
+        mem = system.core(core_id)
+        lm_lat = float(mem.lm.latency) if mem.use_lm else 0.0
+        l1_lat = float(mem.hierarchy.config.l1_latency)
+        vstream = _cached_vstream(trace, hot, cold, decoded[0], oracle.routes,
+                                  key.mode, machine, True, lm_lat, l1_lat)
+        lanes.append(_VectorLane(core_id, phase_names, decoded, vstream,
+                                 trace, mem, config, oracle,
+                                 flags, uncore=system.uncore))
+        patches.append(oracle.patch)
+    run_resumable_lanes(lanes)
+    timings = [lane.finish() for lane in lanes]
+    _apply_shared(system.uncore.memory, system.uncore.bus, patches)
+    per_core = [lane_result(CoreLane(None, timing),
+                            system.core(core_id).stats_summary())
+                for core_id, timing in enumerate(timings)]
+    sim = aggregate_results(per_core, system.aggregate_summary())
+    energy = EnergyModel(machine.energy).compute(sim)
+    return RunResult(workload=key.workload, mode=key.mode,
+                     compiled=entries[0][1], sim=sim, energy=energy,
+                     system=system, scale=key.scale, num_cores=num_cores)

@@ -44,6 +44,41 @@ def test_spec_hash_distinguishes_every_axis():
         "CG", "hybrid", "tiny", machine={"directory_entries": 8}).spec_hash
 
 
+def test_spec_hash_num_cores_one_is_the_baseline():
+    """A cell spelled ``num_cores=1`` (the sweep CLI builds every ``--cores``
+    cell that way) must hash — and hit the store — identically to a plain
+    single-core spec; 2+ cores must stay a distinct axis."""
+    explicit = RunSpec.create("CG", "hybrid", "tiny", machine={"num_cores": 1})
+    plain = RunSpec.create("CG", "hybrid", "tiny")
+    mixed = RunSpec.create("CG", "hybrid", "tiny",
+                           machine={"num_cores": 1, "core.issue_width": 2})
+    assert explicit == plain
+    assert explicit.spec_hash == plain.spec_hash
+    assert mixed.spec_hash == RunSpec.create(
+        "CG", "hybrid", "tiny", machine={"core.issue_width": 2}).spec_hash
+    assert plain.spec_hash != RunSpec.create(
+        "CG", "hybrid", "tiny", machine={"num_cores": 2}).spec_hash
+
+
+def test_spec_hash_num_cores_stable_across_processes():
+    """The three spellings of a 1-core cell (CLI-style ``num_cores=1``,
+    programmatic, plain) must produce one spec hash, and the same hash in a
+    fresh interpreter — the store is shared across processes and CI runs."""
+    script = (
+        "from repro.harness.sweep import RunSpec;"
+        "print(RunSpec.create('CG', 'hybrid', 'tiny',"
+        "                     machine={'num_cores': 1}).spec_hash);"
+        "print(RunSpec.create('CG', 'hybrid', 'tiny').spec_hash)")
+    env = dict(os.environ, PYTHONHASHSEED="77")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.path.dirname(__file__), os.pardir, "src"),
+                    env.get("PYTHONPATH")) if p)
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, check=True)
+    hashes = set(proc.stdout.split())
+    assert hashes == {RunSpec.create("CG", "hybrid", "tiny").spec_hash}
+
+
 def test_spec_roundtrips_through_dict():
     spec = RunSpec.create("CG", "hybrid", "tiny",
                           machine={"memory.prefetch_enabled": False})
@@ -57,6 +92,64 @@ def test_sweep_spec_cells_cartesian_product():
     cells = sweep.cells()
     assert len(cells) == 2 * 2 * 1 * 2
     assert len({c.spec_hash for c in cells}) == len(cells)
+
+
+def _stub_record(spec, payload_bytes=0):
+    return RunRecord(
+        workload=spec.workload, mode=spec.mode, scale=spec.scale,
+        kind=spec.kind, spec_hash=spec.spec_hash,
+        machine_overrides=dict(spec.machine), params=dict(spec.params),
+        cycles=1.0, instructions=1, phase_cycles={}, mispredictions=0,
+        branch_predictions=0, memory_stats={"pad": "x" * payload_bytes},
+        core_stats={}, energy={"total": 1.0})
+
+
+def test_result_store_get_refreshes_atime(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    spec = RunSpec.create("CG", "hybrid", "tiny")
+    path = store.put(spec, _stub_record(spec))
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns - 10 ** 12, stat.st_mtime_ns))
+    aged = path.stat().st_atime_ns
+    assert store.get(spec) is not None
+    assert path.stat().st_atime_ns > aged
+
+
+def test_result_store_prune_lru_breaks_atime_ties_by_path(tmp_path):
+    """Under equal access times (coarse filesystem timestamps make ties
+    routine) eviction order is pinned to path order — never to size, which
+    would evict the largest entry of a tie regardless of recency."""
+    store = ResultStore(tmp_path / "cache")
+    specs = sorted((RunSpec.create(w, "hybrid", "tiny")
+                    for w in ("CG", "IS", "EP")),
+                   key=lambda spec: str(store.path_for(spec)))
+    # Sizes strictly *decreasing* in path order: the path tie-break evicts
+    # the first path (the largest file), while the old size-sorted tie-break
+    # would have evicted the smallest file (the last path) first.
+    paths = [store.put(spec, _stub_record(spec, payload_bytes=pad))
+             for spec, pad in zip(specs, (800, 400, 0))]
+    sizes = [path.stat().st_size for path in paths]
+    assert sizes == sorted(sizes, reverse=True) and len(set(sizes)) == 3
+    for path in paths:
+        stat = path.stat()
+        os.utime(path, ns=(1_000_000_000_000_000_000, stat.st_mtime_ns))
+    removed = store.prune(max_bytes=sum(sizes) - 1)
+    assert removed == 1
+    assert not paths[0].exists()            # first in path order
+    assert paths[1].exists() and paths[2].exists()
+
+
+def test_result_store_prune_max_age_uses_atime(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    old_spec, new_spec = (RunSpec.create(w, "hybrid", "tiny")
+                          for w in ("CG", "IS"))
+    old_path = store.put(old_spec, _stub_record(old_spec))
+    new_path = store.put(new_spec, _stub_record(new_spec))
+    stat = old_path.stat()
+    ninety_days = 90 * 86400 * 10 ** 9
+    os.utime(old_path, ns=(stat.st_atime_ns - ninety_days, stat.st_mtime_ns))
+    assert store.prune(max_age_days=30) == 1
+    assert not old_path.exists() and new_path.exists()
 
 
 # ------------------------------------------------------------- machine overrides

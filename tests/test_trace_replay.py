@@ -538,6 +538,45 @@ def test_trace_store_prune_evicts_lru_by_atime(tmp_path):
     assert counts["evicted"] == 2 and counts["kept"] == 0
 
 
+def test_evict_lru_breaks_atime_ties_by_path_not_size():
+    """Equal access times (coarse filesystem stamps make ties routine) must
+    evict in *path* order — deterministic and insertion-stable — never in
+    size order, which silently evicted the largest entry of every tie."""
+    from pathlib import PurePosixPath
+
+    from repro.trace.store import evict_lru
+
+    removed = []
+    records = [(5.0, size, PurePosixPath(f"store/{name}.trace"))
+               for name, size in (("aa", 300), ("bb", 200), ("cc", 100))]
+    survivors = evict_lru(
+        list(records), lambda path, size: removed.append(path) or True,
+        max_bytes=250)
+    # Path order evicts aa then bb; the old (atime, size, path) sort would
+    # have taken cc (the smallest) first.
+    assert removed == [records[0][2], records[1][2]]
+    assert survivors == [records[2]]
+    # Unremovable files survive and keep counting against the budget.
+    survivors = evict_lru(list(records), lambda path, size: False,
+                          max_bytes=250)
+    assert sorted(survivors) == sorted(records)
+
+
+def test_trace_store_prune_equal_atimes_evicts_in_path_order(tmp_path):
+    store = TraceStore(tmp_path)
+    paths = []
+    for workload in ["CG", "IS", "EP"]:
+        _, trace = capture_workload(workload, "hybrid", "tiny")
+        paths.append(store.put(trace))
+    for path in paths:
+        os.utime(path, (1_500_000.0, 1_500_000.0))
+    by_path = sorted(paths, key=str)
+    counts = store.prune(max_bytes=sum(p.stat().st_size for p in paths) - 1)
+    assert counts["evicted"] == 1
+    assert not by_path[0].exists()              # first in path order
+    assert by_path[1].exists() and by_path[2].exists()
+
+
 def test_result_store_prune_sweeps_tmp_files(tmp_path):
     store = ResultStore(tmp_path / "cache")
     spec = RunSpec.create("CG", "hybrid", "tiny")
