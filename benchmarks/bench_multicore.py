@@ -31,11 +31,16 @@ Run:  PYTHONPATH=src python benchmarks/bench_multicore.py [--scale small]
 
 import argparse
 import dataclasses
-import json
 import platform
 import time
 from pathlib import Path
 
+from _bench_util import (
+    default_report_path,
+    guard_exit,
+    load_report,
+    write_report,
+)
 from repro.harness.config import PTLSIM_CONFIG
 from repro.harness.experiments import MACHINE_ABLATION_POINTS, scalability_sweep
 from repro.harness.runner import run_workload
@@ -232,18 +237,14 @@ def main() -> int:
     core_counts = tuple(int(c) for c in args.cores.split(","))
 
     out = Path(args.output) if args.output else \
-        Path(__file__).resolve().parent.parent / "BENCH_multicore.json"
+        default_report_path("BENCH_multicore.json")
 
     if args.replay_speedup:
-        try:
-            report = json.loads(out.read_text())
-        except (OSError, ValueError):
-            report = {}
+        report = load_report(out)
         section = measure_replay_speedup(workloads, core_counts, args.scale)
         report["replay_speedup"] = section
-        out.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"\nreport written to {out}")
-        return 0 if section["all_pass"] else 1
+        write_report(out, report)
+        return guard_exit(section["all_pass"])
 
     report = {
         "description": "Shared-uncore multicore timing model: scalability "
@@ -262,11 +263,10 @@ def main() -> int:
                                                 args.scale)
     report["replay_speedup"] = measure_replay_speedup(
         workloads, core_counts, args.scale, captured=captured)
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nreport written to {out}")
+    write_report(out, report)
     ok = (report["replay"]["all_identical"]
           and report["replay_speedup"]["all_pass"])
-    return 0 if ok else 1
+    return guard_exit(ok)
 
 
 if __name__ == "__main__":

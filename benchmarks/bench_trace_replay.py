@@ -27,11 +27,17 @@ Run:  PYTHONPATH=src python benchmarks/bench_trace_replay.py [--scale small]
 """
 
 import argparse
-import json
 import platform
 import time
 from pathlib import Path
 
+from _bench_util import (
+    default_report_path,
+    guard_exit,
+    load_report,
+    profile_engines,
+    write_report,
+)
 from repro.harness.config import PTLSIM_CONFIG
 from repro.harness.experiments import MACHINE_ABLATION_POINTS
 from repro.harness.runner import run_workload
@@ -136,6 +142,9 @@ def measure_vector_speedup(scale: str, report: dict, cores: int = 2,
         "vector_sweep_seconds": round(vector_wall, 3),
         "speedup": round(speedup, 2),
         "identical": identical,
+        # One extra recorded replay per engine (outside the timed sweeps):
+        # where the wall-clock goes, per phase, and the engine's counters.
+        "phase_profile": profile_engines(trace, machines[0]),
     }
     print(f"vector  {workload} {scale} {cores}-core: fused {fused_wall:.2f}s, "
           f"vector {vector_wall:.2f}s ({speedup:.1f}x, identical={identical})")
@@ -158,28 +167,21 @@ def main() -> int:
     args = parser.parse_args()
     scale = args.scale
     out = Path(args.output) if args.output else \
-        Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+        default_report_path("BENCH_trace.json")
 
     if args.encoding_only or args.vector_speedup:
-        try:
-            report = json.loads(out.read_text())
-        except (OSError, ValueError):
-            report = {}
+        report = load_report(out)
         ok = True
         if args.encoding_only:
             ok = measure_encoding(scale, report) and ok
         if args.vector_speedup:
             ok = measure_vector_speedup(scale, report) and ok
-        out.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"written to {out}")
-        return 0 if ok else 1
+        write_report(out, report)
+        return guard_exit(ok)
 
     machines = [PTLSIM_CONFIG.with_overrides(point)
                 for point in ABLATION_POINTS]
-    try:
-        previous = json.loads(out.read_text())
-    except (OSError, ValueError):
-        previous = {}
+    previous = load_report(out)
     previous_encoding = previous.get("encoding", {})
     previous_vector = previous.get("vector_speedup", {})
     report = {
@@ -273,8 +275,7 @@ def main() -> int:
           f"-> {total_exec / total_replay:.1f}x")
 
     measure_encoding(scale, report, captured=captured_hybrid)
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"written to {out}")
+    write_report(out, report)
     return 0
 
 

@@ -84,7 +84,35 @@ def run_lanes(lanes: Sequence[CoreLane]) -> None:
             active.remove(best)
 
 
-def run_resumable_lanes(lanes: Sequence) -> None:
+class _TimedLane:
+    """Timing proxy around a resumable lane: records each scheduler grant
+    as a ``[fetch_time before, fetch_time after)`` span on a timeline
+    recorder.  Only instantiated when a timeline is requested, so the
+    recorder-off scheduling path is untouched."""
+
+    __slots__ = ("_lane", "_timeline", "order")
+
+    def __init__(self, lane, timeline):
+        self._lane = lane
+        self._timeline = timeline
+        self.order = lane.order
+
+    @property
+    def fetch_time(self):
+        return self._lane.fetch_time
+
+    @property
+    def done(self):
+        return self._lane.done
+
+    def run_until(self, limit, limit_order):
+        lane = self._lane
+        start = lane.fetch_time
+        lane.run_until(limit, limit_order)
+        self._timeline.lane_span(self.order, start, lane.fetch_time)
+
+
+def run_resumable_lanes(lanes: Sequence, timeline=None) -> None:
     """Run resumable lane state machines to completion, interleaved by the
     same min-fetch-time / lowest-order contract as :func:`run_lanes`.
 
@@ -98,7 +126,14 @@ def run_resumable_lanes(lanes: Sequence) -> None:
     every shared-uncore arbitration decision) is identical to stepping one
     instruction at a time, without paying a scheduler round per
     instruction.
+
+    ``timeline`` (a :class:`repro.obs.timeline.TimelineRecorder`) wraps each
+    lane in a timing proxy that records per-grant run spans; the scheduling
+    decisions are unchanged because the proxies mirror ``fetch_time`` /
+    ``order`` / ``done`` exactly.
     """
+    if timeline is not None:
+        lanes = [_TimedLane(lane, timeline) for lane in lanes]
     active = [lane for lane in lanes if not lane.done]
     while len(active) > 2:
         best = active[0]

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG
 from repro.harness.systems import SYSTEM_MODES
 
@@ -284,6 +285,10 @@ class ResultStore:
         self.misses = 0
         self.corrupted = 0
         self.writes = 0
+        self.evictions = 0
+        #: Lifetime counters already folded into the sidecar (so repeated
+        #: :meth:`persist_stats` calls only add this session's delta).
+        self._persisted: Dict[str, int] = {}
 
     def path_for(self, spec: RunSpec) -> Path:
         h = spec.spec_hash
@@ -408,6 +413,7 @@ class ResultStore:
             except OSError:
                 return False
             evicted[0] += 1
+            self.evictions += 1
             return True
 
         evict_lru(live, unlink, max_bytes=max_bytes, max_age_days=max_age_days)
@@ -427,11 +433,23 @@ class ResultStore:
                     stale += 1
                 entries += 1
         return {"entries": entries, "bytes": total, "stale_schema": stale,
-                "tmp_files": len(self._tmp_files())}
+                "tmp_files": len(self._tmp_files()),
+                "lifetime": self.lifetime_stats()}
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "corrupted": self.corrupted, "writes": self.writes}
+                "corrupted": self.corrupted, "writes": self.writes,
+                "evictions": self.evictions}
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Session counters merged with the sidecar's persisted lifetime."""
+        from repro.trace.store import combined_lifetime_stats
+        return combined_lifetime_stats(self.root, self.stats(), self._persisted)
+
+    def persist_stats(self) -> Dict[str, int]:
+        """Fold this session's counter deltas into the on-disk sidecar."""
+        from repro.trace.store import persist_sidecar_stats
+        return persist_sidecar_stats(self.root, self.stats(), self._persisted)
 
 
 # ----------------------------------------------------------------------- execution
@@ -538,6 +556,7 @@ def _prepare_replay_traces(misses: Sequence[RunSpec], trace_store,
                if trace_store.get(key) is None]
     if not missing:
         return spec_family
+    obs.incr("sweep.capture_once", len(missing))
     say(f"sweep: capturing {len(missing)} trace "
         f"famil{'y' if len(missing) == 1 else 'ies'} before replay fan-out")
     if use_pool and workers > 1 and trace_root is not None and len(missing) > 1:
@@ -562,7 +581,7 @@ def _prepare_replay_traces(misses: Sequence[RunSpec], trace_store,
 def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
               store: Optional[ResultStore] = None,
               base_machine: Optional[MachineConfig] = None,
-              echo=None, trace_store=None) -> List[RunRecord]:
+              echo=None, trace_store=None, timeline=None) -> List[RunRecord]:
     """Execute ``specs``, serving store hits and fanning misses out.
 
     Returns one record per spec, in input order.  ``workers > 1`` runs the
@@ -575,8 +594,16 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
     ``store``, else one in-memory store — and each (workload, mode, scale,
     functional-config) family is captured exactly once, before the fan-out,
     no matter how many machine configs replay it or how the sweep is cached.
+
+    ``timeline`` (a :class:`repro.obs.timeline.TimelineRecorder`) records a
+    wall-clock pipeline view: one span per simulated cell, sized by its
+    ``sim_wall_seconds`` and ending when the engine collected it, laid out
+    on one track per worker slot.
     """
     say = echo or (lambda msg: None)
+    log = obs.get_logger()
+    rec = obs.get_recorder()
+    sweep_start = time.perf_counter()
     records: Dict[RunSpec, RunRecord] = {}
     misses: List[RunSpec] = []
     for spec in specs:
@@ -585,8 +612,12 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
         cached = store.get(spec) if store is not None else None
         if cached is not None:
             records[spec] = cached
+            rec.incr("sweep.store.hit")
         else:
             misses.append(spec)
+            rec.incr("sweep.store.miss")
+
+    finished = [0]      # completion rank -> timeline worker-slot track
 
     def finish(spec: RunSpec, record: RunRecord) -> None:
         # Persist each cell as soon as it completes, so an interrupted sweep
@@ -594,6 +625,21 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
         records[spec] = record
         if store is not None:
             store.put(spec, record)
+        rec.incr("sweep.cell.finished")
+        log.info("cell done %s (%.2fs simulated wall)", spec.label,
+                 record.sim_wall_seconds)
+        if timeline is not None:
+            # The cell's span ends when the engine collected it and reaches
+            # back over its measured simulation wall-clock — an approximate
+            # but faithful picture of pipeline occupancy per worker slot.
+            t_end = time.perf_counter() - sweep_start
+            t_start = t_end - record.sim_wall_seconds
+            tid = finished[0] % max(1, workers)
+            finished[0] += 1
+            timeline.label(tid, f"worker slot {tid}")
+            timeline.wall_span(spec.label,
+                               t_start if t_start > 0.0 else 0.0, t_end,
+                               tid=tid, args={"spec_hash": record.spec_hash})
         say(f"  done {spec.label}")
     # A live base_machine cannot cross the process boundary (workers rebuild
     # the machine from the spec's overrides), so it forces inline execution.
@@ -627,12 +673,15 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
         import concurrent.futures as cf
         try:
             with cf.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_execute_payload,
-                                       {"spec": spec.as_dict(),
-                                        "trace_root": trace_root,
-                                        "trace_blob": family_blobs.get(
-                                            spec_family.get(spec))}): spec
-                           for spec in misses}
+                futures = {}
+                for spec in misses:
+                    rec.incr("sweep.pool.dispatched")
+                    log.info("cell start %s", spec.label)
+                    futures[pool.submit(_execute_payload,
+                                        {"spec": spec.as_dict(),
+                                         "trace_root": trace_root,
+                                         "trace_blob": family_blobs.get(
+                                             spec_family.get(spec))})] = spec
                 for future in cf.as_completed(futures):
                     spec = futures[future]
                     finish(spec, RunRecord.from_dict(future.result()))
@@ -643,8 +692,14 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
             say(f"sweep: process pool failed ({exc!r}); finishing inline")
     for spec in misses:  # serial path (workers==1, custom machine, or fallback)
         if spec not in records:  # skip cells a failed pool already finished
+            log.info("cell start %s", spec.label)
             finish(spec, execute_spec(spec, base_machine, trace_root=trace_root,
                                       trace_store=trace_store))
+    # Fold this sweep's trace-store counters into its lifetime sidecar (the
+    # in-memory store has none; pool workers' short-lived instances are not
+    # captured — the sidecar tracks the coordinating process).
+    if trace_store is not None and hasattr(trace_store, "persist_stats"):
+        trace_store.persist_stats()
     return [records[spec] for spec in specs]
 
 
@@ -805,6 +860,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="print result- and trace-store statistics and exit")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="also dump the records to this JSON file")
+    parser.add_argument("--timeline", dest="timeline_path", default=None,
+                        metavar="OUT.json",
+                        help="write a wall-clock pipeline timeline of the "
+                             "sweep (Chrome trace-event JSON; open in "
+                             "Perfetto or chrome://tracing)")
     args = parser.parse_args(argv)
 
     overrides = _parse_overrides(args.overrides)
@@ -828,12 +888,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.stats:
         if store is None:
             raise SystemExit("--stats is meaningless with --no-cache")
+
+        def _lifetime_line(lifetime: Dict[str, int]) -> str:
+            return (f"  lifetime: {lifetime.get('hits', 0)} hit(s), "
+                    f"{lifetime.get('misses', 0)} miss(es), "
+                    f"{lifetime.get('writes', 0)} write(s), "
+                    f"{lifetime.get('evictions', 0)} eviction(s), "
+                    f"{lifetime.get('corrupted', 0)} corrupted")
+
         disk = store.disk_stats()
         print(f"result store at {store.root}: {disk['entries']} entr"
               f"{'y' if disk['entries'] == 1 else 'ies'}, {disk['bytes']} "
               f"bytes, {disk['stale_schema']} stale-schema file(s), "
               f"{disk['tmp_files']} leaked tmp file(s) "
               f"(schema {STORE_SCHEMA})")
+        print(_lifetime_line(disk["lifetime"]))
         from repro.trace import TRACE_SCHEMA, TraceStore
         traces = TraceStore(store.root)
         tdisk = traces.disk_stats()
@@ -841,6 +910,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{tdisk['bytes']} bytes, {tdisk['stale_schema']} stale-schema "
               f"file(s), {tdisk['tmp_files']} leaked tmp file(s) "
               f"(schema {TRACE_SCHEMA})")
+        print(_lifetime_line(tdisk["lifetime"]))
         return 0
     if store is not None and args.clear_cache:
         print(f"cleared {store.clear()} store entries under {store.root}")
@@ -860,14 +930,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cells = [RunSpec.create(c.workload, c.mode, c.scale,
                                 machine=dict(c.machine), kind="replay")
                  for c in cells]
+    timeline = None
+    if args.timeline_path:
+        from repro.obs.timeline import TimelineRecorder
+        timeline = TimelineRecorder()
     start = time.perf_counter()
     try:
-        records = run_sweep(cells, workers=args.workers, store=store, echo=print)
+        records = run_sweep(cells, workers=args.workers, store=store,
+                            echo=print, timeline=timeline)
     except (KeyError, ValueError) as exc:
         # Unknown workload / mode / config field: show the message, not a
         # worker-process traceback.
         raise SystemExit(f"error: {exc}")
     wall = time.perf_counter() - start
+    if store is not None:
+        store.persist_stats()
+    if timeline is not None:
+        count = timeline.write(args.timeline_path)
+        print(f"pipeline timeline ({count} event(s)) written to "
+              f"{args.timeline_path}")
 
     print(f"\n{'Workload':<10s} {'Mode':<14s} {'Scale':<7s} {'Cycles':>14s} "
           f"{'Instr':>10s} {'IPC':>6s} {'Energy (nJ)':>14s}  {'Hash':<16s}")

@@ -81,6 +81,11 @@ class Uncore:
         self.lines_requested = 0
         self.contended_requests = 0
         self.queue_delay_cycles = 0.0
+        #: Optional :class:`repro.obs.timeline.TimelineRecorder`; when set,
+        #: every acquire reports its claim (bus occupancy / DMA bursts).
+        #: acquire only fires on demand misses and DMA, never per
+        #: instruction, so the None check costs nothing measurable.
+        self.timeline = None
 
     def acquire(self, now: float, lines: int = 1) -> float:
         """Claim ``lines`` transfer slots at or after ``now``; returns the
@@ -157,6 +162,9 @@ class Uncore:
         if delay > 0.0:
             self.contended_requests += 1
             self.queue_delay_cycles += delay
+        if self.timeline is not None:
+            self.timeline.bus_claim(now, delay, lines,
+                                    self.window_cycles, self.window_lines)
         return delay
 
     def stats_summary(self) -> dict:

@@ -90,6 +90,7 @@ def _cmd_capture(args) -> int:
               f"{trace.dma_count} DMA commands")
     print(f"artifact   {path} ({path.stat().st_size} bytes, "
           f"hash {trace.content_hash}, captured in {wall:.2f}s)")
+    store.persist_stats()
     return 0
 
 
@@ -104,13 +105,21 @@ def _cmd_replay(args) -> int:
     trace, captured = ensure_trace(key, store=store)
     if captured is not None:
         print(f"captured {key.label} first (no stored trace)")
+    timeline = None
+    if args.timeline_path:
+        from repro.obs.timeline import TimelineRecorder
+        timeline = TimelineRecorder()
     start = time.perf_counter()
-    result = replay_trace(trace, machine)
+    result = replay_trace(trace, machine, timeline=timeline)
     wall = time.perf_counter() - start
     print(_summary("replay", result))
     if overrides:
         print(f"overrides  {', '.join(f'{k}={v}' for k, v in sorted(overrides.items()))}")
     print(f"replayed   {trace.instructions} instructions in {wall:.2f}s")
+    store.persist_stats()
+    if timeline is not None:
+        count = timeline.write(args.timeline_path)
+        print(f"timeline   {count} event(s) written to {args.timeline_path}")
     if args.verify:
         from repro.harness.runner import run_workload
         start = time.perf_counter()
@@ -208,6 +217,7 @@ def _cmd_prune(args) -> int:
           f"stale-schema, {counts['tmp_files']} tmp, {counts['evicted']} "
           f"LRU-evicted ({counts['freed_bytes']} bytes freed); "
           f"{counts['kept']} trace(s), {counts['kept_bytes']} bytes kept")
+    store.persist_stats()
     return 0
 
 
@@ -227,6 +237,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_cell_args(p_replay)
     p_replay.add_argument("--verify", action="store_true",
                           help="also run execution-driven and check identity")
+    p_replay.add_argument("--timeline", dest="timeline_path", default=None,
+                          metavar="OUT.json",
+                          help="write a simulated-time timeline of the replay "
+                               "(Chrome trace-event JSON: per-core lane "
+                               "run/stall spans, bus occupancy, DMA bursts; "
+                               "open in Perfetto or chrome://tracing)")
     p_replay.set_defaults(func=_cmd_replay)
 
     p_ls = sub.add_parser("ls", help="list stored traces")

@@ -73,6 +73,7 @@ from array import array
 from collections import OrderedDict
 from typing import Optional
 
+from repro import obs
 from repro.cpu.core import SimulationResult
 from repro.cpu.executor import DynamicInstruction
 from repro.cpu.multicore import (
@@ -286,14 +287,17 @@ _CACHE_CAP = 8
 def _cached_program(key: TraceKey):
     entry = _PROGRAM_CACHE.get(key.key_hash)
     if entry is None:
-        program, compiled = _rebuild_program(key)
-        hot, cold, fu_values, phase_names = _program_meta(program)
-        entry = (program, compiled, hot, cold, fu_values, phase_names,
-                 program_fingerprint(program))
+        obs.incr("replay.program.miss")
+        with obs.phase("replay.program"):
+            program, compiled = _rebuild_program(key)
+            hot, cold, fu_values, phase_names = _program_meta(program)
+            entry = (program, compiled, hot, cold, fu_values, phase_names,
+                     program_fingerprint(program))
         _PROGRAM_CACHE[key.key_hash] = entry
         while len(_PROGRAM_CACHE) > _CACHE_CAP:
             _PROGRAM_CACHE.popitem(last=False)
     else:
+        obs.incr("replay.program.hit")
         _PROGRAM_CACHE.move_to_end(key.key_hash)
     return entry
 
@@ -309,24 +313,28 @@ def _cached_parallel_program(key: TraceKey, machine: MachineConfig):
     """
     entry = _MC_PROGRAM_CACHE.get(key.key_hash)
     if entry is None:
-        from repro.harness.runner import compile_parallel_workload
-        compiled = compile_parallel_workload(key.workload, key.mode, key.scale,
-                                             machine, key.num_cores)
-        metas: dict = {}
-        cores = []
-        for comp in compiled:
-            fingerprint = program_fingerprint(comp.program)
-            meta = metas.get(fingerprint)
-            if meta is None:
-                meta = metas[fingerprint] = _program_meta(comp.program)
-            hot, cold, fu_values, phase_names = meta
-            cores.append((comp.program, comp, hot, cold, fu_values,
-                          phase_names, fingerprint))
-        entry = tuple(cores)
+        obs.incr("replay.program.miss")
+        with obs.phase("replay.program"):
+            from repro.harness.runner import compile_parallel_workload
+            compiled = compile_parallel_workload(key.workload, key.mode,
+                                                 key.scale, machine,
+                                                 key.num_cores)
+            metas: dict = {}
+            cores = []
+            for comp in compiled:
+                fingerprint = program_fingerprint(comp.program)
+                meta = metas.get(fingerprint)
+                if meta is None:
+                    meta = metas[fingerprint] = _program_meta(comp.program)
+                hot, cold, fu_values, phase_names = meta
+                cores.append((comp.program, comp, hot, cold, fu_values,
+                              phase_names, fingerprint))
+            entry = tuple(cores)
         _MC_PROGRAM_CACHE[key.key_hash] = entry
         while len(_MC_PROGRAM_CACHE) > _CACHE_CAP:
             _MC_PROGRAM_CACHE.popitem(last=False)
     else:
+        obs.incr("replay.program.hit")
         _MC_PROGRAM_CACHE.move_to_end(key.key_hash)
     return entry
 
@@ -335,11 +343,14 @@ def _cached_decode(trace: Trace, hot, cold, fu_values):
     cache_key = (trace.program_fingerprint, trace.stream_digest())
     entry = _DECODE_CACHE.get(cache_key)
     if entry is None:
-        entry = _decode_trace(trace, hot, cold, fu_values)
+        obs.incr("replay.decode.miss")
+        with obs.phase("replay.decode"):
+            entry = _decode_trace(trace, hot, cold, fu_values)
         _DECODE_CACHE[cache_key] = entry
         while len(_DECODE_CACHE) > _CACHE_CAP:
             _DECODE_CACHE.popitem(last=False)
     else:
+        obs.incr("replay.decode.hit")
         _DECODE_CACHE.move_to_end(cache_key)
     return entry
 
@@ -366,21 +377,24 @@ def _l1i_stats(trace: Trace, seq, config, mem_config):
                  mem_config.l1i_assoc, mem_config.line_size)
     entry = _L1I_CACHE.get(cache_key)
     if entry is None:
-        l1i = Cache("L1I", mem_config.l1i_size, mem_config.l1i_assoc,
-                    mem_config.line_size, mem_config.l1i_latency,
-                    write_back=False)
-        fetch_width = config.fetch_width
-        # access_batch(..., fill_misses=True) is exactly access()+fill()
-        # per miss: the L1I is write-through, so fills never produce the
-        # dirty-victim writebacks that would make the two diverge.
-        addrs = [CODE_BASE + h[7] * CODE_INSTR_SIZE
-                 for h in seq if not h[7] % fetch_width]
-        l1i.access_batch(addrs, False, fill_misses=True)
-        entry = (l1i.stats, len(addrs))
+        obs.incr("replay.l1i.miss")
+        with obs.phase("replay.l1i"):
+            l1i = Cache("L1I", mem_config.l1i_size, mem_config.l1i_assoc,
+                        mem_config.line_size, mem_config.l1i_latency,
+                        write_back=False)
+            fetch_width = config.fetch_width
+            # access_batch(..., fill_misses=True) is exactly access()+fill()
+            # per miss: the L1I is write-through, so fills never produce the
+            # dirty-victim writebacks that would make the two diverge.
+            addrs = [CODE_BASE + h[7] * CODE_INSTR_SIZE
+                     for h in seq if not h[7] % fetch_width]
+            l1i.access_batch(addrs, False, fill_misses=True)
+            entry = (l1i.stats, len(addrs))
         _L1I_CACHE[cache_key] = entry
         while len(_L1I_CACHE) > _CACHE_CAP:
             _L1I_CACHE.popitem(last=False)
     else:
+        obs.incr("replay.l1i.hit")
         _L1I_CACHE.move_to_end(cache_key)
     stats, accesses = entry
     return _dc.replace(stats), accesses
@@ -407,7 +421,8 @@ def recover_mem_pcs(trace: Trace) -> array:
 
 def replay_trace(trace: Trace,
                  machine: Optional[MachineConfig] = None,
-                 engine: str = "fused") -> RunResult:
+                 engine: str = "fused",
+                 timeline=None) -> RunResult:
     """Replay ``trace`` under ``machine`` and return a full :class:`RunResult`.
 
     At the capture machine configuration the result is cycle- and
@@ -422,6 +437,10 @@ def replay_trace(trace: Trace,
     supports ``"fused"`` (default; ``"lanes"`` falls back to it) and
     ``"vector"``.  All engines are bit-identical; they differ in speed
     only.
+
+    ``timeline`` (a :class:`repro.obs.timeline.TimelineRecorder`) captures
+    the simulated-time activity of the run: per-core lane run spans and —
+    multicore — shared-bus occupancy and DMA bursts from the uncore.
     """
     machine = machine or PTLSIM_CONFIG
     if engine not in REPLAY_ENGINES:
@@ -433,12 +452,12 @@ def replay_trace(trace: Trace,
             replay_single_vector,
         )
         if isinstance(trace, MulticoreTrace):
-            return replay_multicore_vector(trace, machine)
-        return replay_single_vector(trace, machine)
+            return replay_multicore_vector(trace, machine, timeline=timeline)
+        return replay_single_vector(trace, machine, timeline=timeline)
     if isinstance(trace, MulticoreTrace):
         if engine == "lanes":
-            return _replay_multicore_lanes(trace, machine)
-        return _replay_multicore(trace, machine)
+            return _replay_multicore_lanes(trace, machine, timeline=timeline)
+        return _replay_multicore(trace, machine, timeline=timeline)
     check_replay_machine(trace.key, machine)
     program, compiled, hot, cold, fu_values, phase_names, fingerprint = \
         _cached_program(trace.key)
@@ -451,8 +470,11 @@ def replay_trace(trace: Trace,
     system = build_system(trace.key.mode, machine)
     lane = _FusedLane(0, program, cold, phase_names, decoded, trace,
                       system, system, core_config_for(machine))
-    lane.run_until(_INFINITY, 0)
-    timing = lane.finish()
+    with obs.phase("replay.timing"):
+        lane.run_until(_INFINITY, 0)
+        timing = lane.finish()
+    if timeline is not None:
+        timeline.lane_span(0, 0.0, lane.fetch_time)
     sim = lane_result(CoreLane(None, timing), system.stats_summary())
     energy = EnergyModel(machine.energy).compute(sim)
     return RunResult(workload=trace.key.workload, mode=trace.key.mode,
@@ -1049,7 +1071,8 @@ def _check_multicore_trace(mtrace: MulticoreTrace,
 
 
 def _replay_multicore(mtrace: MulticoreTrace,
-                      machine: MachineConfig) -> RunResult:
+                      machine: MachineConfig,
+                      timeline=None) -> RunResult:
     """Fused multicore replay: one :class:`_FusedLane` per core, interleaved
     under the shared uncore.
 
@@ -1078,6 +1101,8 @@ def _replay_multicore(mtrace: MulticoreTrace,
                 f"{entry[6]} (the compiler or workload changed since "
                 "capture)")
     system = build_multicore_system(key.mode, machine, num_cores=num_cores)
+    if timeline is not None:
+        system.uncore.timeline = timeline
     config = core_config_for(machine)
     lanes = []
     for core_id, (entry, trace) in enumerate(zip(entries, mtrace.cores)):
@@ -1086,7 +1111,8 @@ def _replay_multicore(mtrace: MulticoreTrace,
         lanes.append(_FusedLane(core_id, program, cold, phase_names, decoded,
                                 trace, system.view(core_id),
                                 system.core(core_id), config))
-    run_resumable_lanes(lanes)
+    with obs.phase("replay.timing"):
+        run_resumable_lanes(lanes, timeline=timeline)
     per_core = [lane_result(CoreLane(None, lane.finish()),
                             system.core(core_id).stats_summary())
                 for core_id, lane in enumerate(lanes)]
@@ -1098,7 +1124,8 @@ def _replay_multicore(mtrace: MulticoreTrace,
 
 
 def _replay_multicore_lanes(mtrace: MulticoreTrace,
-                            machine: MachineConfig) -> RunResult:
+                            machine: MachineConfig,
+                            timeline=None) -> RunResult:
     """Legacy executor-driven multicore replay (the verification baseline).
 
     Drives one :class:`TraceExecutor` per core through the *same*
@@ -1125,6 +1152,10 @@ def _replay_multicore_lanes(mtrace: MulticoreTrace,
                 f"{fingerprint} (the compiler or workload changed since "
                 "capture)")
     system = build_multicore_system(key.mode, machine, num_cores=num_cores)
+    if timeline is not None:
+        # The per-instruction lane runner has no batched grants to record;
+        # the lanes engine still reports bus occupancy through the uncore.
+        system.uncore.timeline = timeline
     executors = [TraceExecutor(comp.program, system.view(core_id), trace)
                  for core_id, (comp, trace)
                  in enumerate(zip(compiled, mtrace.cores))]

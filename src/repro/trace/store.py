@@ -21,6 +21,7 @@ hit — until the store fits ``max_bytes`` / ``max_age_days``.
 
 from __future__ import annotations
 
+import json
 import os
 import struct
 import time
@@ -40,6 +41,61 @@ from repro.trace.format import (
 
 #: Subdirectory of the cache root holding trace artifacts.
 TRACE_SUBDIR = "traces"
+
+#: Name of the lifetime-counter sidecar file at a store's root (JSON
+#: content).  The extension is deliberately not ``.json``/``.trace``: the
+#: trace store nests under the result store's root, so the sidecar at
+#: ``<cache>/traces/`` must not match the result store's ``*/*.json`` entry
+#: glob (which would count — and prune — it as a stale entry).
+STATS_SIDECAR = "stats.meta"
+
+
+def load_sidecar_stats(root: Path) -> Dict[str, int]:
+    """The lifetime counters persisted at ``root`` (empty when absent)."""
+    try:
+        data = json.loads((root / STATS_SIDECAR).read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    return {str(k): int(v) for k, v in data.items()
+            if isinstance(v, (int, float))}
+
+
+def persist_sidecar_stats(root: Path, session: Dict[str, int],
+                          persisted: Dict[str, int]) -> Dict[str, int]:
+    """Merge a store's not-yet-persisted session counters into its sidecar.
+
+    ``persisted`` is the caller's snapshot of what it already flushed; only
+    the delta since then is added, so repeated calls never double-count.
+    The write is atomic (tmp + rename); concurrent writers may lose each
+    other's increments — the counters are operational telemetry, not
+    accounting, so last-writer-wins is acceptable.  Returns the merged
+    lifetime counters and updates ``persisted`` in place.
+    """
+    lifetime = load_sidecar_stats(root)
+    for key, value in session.items():
+        delta = value - persisted.get(key, 0)
+        if delta:
+            lifetime[key] = lifetime.get(key, 0) + delta
+    persisted.update(session)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        tmp = root / f"{STATS_SIDECAR}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(lifetime, sort_keys=True) + "\n")
+        os.replace(tmp, root / STATS_SIDECAR)
+    except OSError:
+        pass
+    return lifetime
+
+
+def combined_lifetime_stats(root: Path, session: Dict[str, int],
+                            persisted: Dict[str, int]) -> Dict[str, int]:
+    """Sidecar counters plus this session's not-yet-persisted deltas."""
+    lifetime = load_sidecar_stats(root)
+    for key, value in session.items():
+        lifetime[key] = lifetime.get(key, 0) + value - persisted.get(key, 0)
+    return lifetime
 
 #: Tmp files younger than this (seconds) are presumed to belong to a live
 #: writer (between ``write_bytes`` and ``os.replace``) and are not swept.
@@ -155,6 +211,9 @@ class TraceStore:
         self.misses = 0
         self.corrupted = 0
         self.writes = 0
+        self.evictions = 0
+        #: Counter values already flushed to the sidecar by persist_stats().
+        self._persisted: Dict[str, int] = {}
 
     def path_for(self, key: TraceKey) -> Path:
         h = key.key_hash
@@ -225,7 +284,8 @@ class TraceStore:
         return tmp_files_under(self.root, min_age_seconds)
 
     def disk_stats(self) -> Dict[str, int]:
-        """On-disk shape: entries, bytes, stale-schema files, leaked temps."""
+        """On-disk shape: entries, bytes, stale-schema files, leaked temps,
+        plus the lifetime hit/miss/eviction counters (sidecar + session)."""
         entries = stale = total = 0
         if self.root.is_dir():
             for path in self.root.glob("*/*.trace"):
@@ -237,7 +297,8 @@ class TraceStore:
                 if _file_schema(path) != TRACE_SCHEMA:
                     stale += 1
         return {"entries": entries, "bytes": total, "stale_schema": stale,
-                "tmp_files": len(self._tmp_files())}
+                "tmp_files": len(self._tmp_files()),
+                "lifetime": self.lifetime_stats()}
 
     def prune(self, max_bytes: Optional[int] = None,
               max_age_days: Optional[float] = None) -> Dict[str, int]:
@@ -262,6 +323,8 @@ class TraceStore:
                 return False
             counts[bucket] += 1
             counts["freed_bytes"] += size
+            if bucket == "evicted":
+                self.evictions += 1
             return True
 
         for path in self._tmp_files(TMP_SWEEP_MIN_AGE):
@@ -341,7 +404,18 @@ class TraceStore:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "corrupted": self.corrupted, "writes": self.writes}
+                "corrupted": self.corrupted, "writes": self.writes,
+                "evictions": self.evictions}
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Counters across every session: sidecar plus unflushed deltas."""
+        return combined_lifetime_stats(self.root, self.stats(),
+                                       self._persisted)
+
+    def persist_stats(self) -> Dict[str, int]:
+        """Flush this session's counter deltas into the sidecar file."""
+        return persist_sidecar_stats(self.root, self.stats(),
+                                     self._persisted)
 
 
 class EphemeralTraceStore:
@@ -358,6 +432,7 @@ class EphemeralTraceStore:
         self.misses = 0
         self.corrupted = 0
         self.writes = 0
+        self.evictions = 0
 
     def get(self, key: TraceKey) -> Optional[Trace]:
         trace = self._traces.get(key.key_hash)
@@ -376,4 +451,5 @@ class EphemeralTraceStore:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "corrupted": self.corrupted, "writes": self.writes}
+                "corrupted": self.corrupted, "writes": self.writes,
+                "evictions": self.evictions}

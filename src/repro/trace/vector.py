@@ -56,6 +56,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import obs
 from repro.cpu.branch_predictor import HybridBranchPredictor
 from repro.cpu.multicore import (
     CoreLane,
@@ -147,11 +148,14 @@ def _cached_oracle(trace: Trace, decoded, cold, mode: str,
            _geometry_key(mode, machine, multicore))
     entry = _ORACLE_CACHE.get(key)
     if entry is None:
-        entry = _oracle_routes(decoded, cold, mode, machine, multicore)
+        obs.incr("vector.oracle.miss")
+        with obs.phase("vector.oracle"):
+            entry = _oracle_routes(decoded, cold, mode, machine, multicore)
         _ORACLE_CACHE[key] = entry
         while len(_ORACLE_CACHE) > _ORACLE_CAP:
             _ORACLE_CACHE.popitem(last=False)
     else:
+        obs.incr("vector.oracle.hit")
         _ORACLE_CACHE.move_to_end(key)
     return entry
 
@@ -347,11 +351,14 @@ def _cached_flags(trace: Trace, decoded, cold, config) -> tuple:
            config.predictor_entries, config.btb_entries, config.btb_assoc)
     entry = _FLAGS_CACHE.get(key)
     if entry is None:
-        entry = _branch_flags(decoded, cold, config)
+        obs.incr("vector.flags.miss")
+        with obs.phase("vector.flags"):
+            entry = _branch_flags(decoded, cold, config)
         _FLAGS_CACHE[key] = entry
         while len(_FLAGS_CACHE) > _SMALL_CAP:
             _FLAGS_CACHE.popitem(last=False)
     else:
+        obs.incr("vector.flags.hit")
         _FLAGS_CACHE.move_to_end(key)
     return entry
 
@@ -430,7 +437,8 @@ def _cached_vstream(trace: Trace, hot, cold, seq, oracle_routes, mode: str,
     vkey = (fp, lm_lat, l1_lat)
     vtab = _VTAB_CACHE.get(vkey)
     if vtab is None:
-        vtab = _build_vtab(hot, cold, lm_lat, l1_lat)
+        with obs.phase("vector.prelower"):
+            vtab = _build_vtab(hot, cold, lm_lat, l1_lat)
         _VTAB_CACHE[vkey] = vtab
         while len(_VTAB_CACHE) > _SMALL_CAP:
             _VTAB_CACHE.popitem(last=False)
@@ -441,12 +449,15 @@ def _cached_vstream(trace: Trace, hot, cold, seq, oracle_routes, mode: str,
             _geometry_key(mode, machine, multicore), lm_lat, l1_lat)
     entry = _SEQ3_CACHE.get(skey)
     if entry is None:
-        seq3, lroutes = _build_seq3(seq, oracle_routes, plain, memvar)
-        entry = (seq3, lroutes, n_regs, _build_cols(seq3))
+        obs.incr("vector.prelower.miss")
+        with obs.phase("vector.prelower"):
+            seq3, lroutes = _build_seq3(seq, oracle_routes, plain, memvar)
+            entry = (seq3, lroutes, n_regs, _build_cols(seq3))
         _SEQ3_CACHE[skey] = entry
         while len(_SEQ3_CACHE) > _SEQ3_CAP:
             _SEQ3_CACHE.popitem(last=False)
     else:
+        obs.incr("vector.prelower.hit")
         _SEQ3_CACHE.move_to_end(skey)
     return entry
 
@@ -719,6 +730,9 @@ class _VectorLane:
         presence_stalls = 0
 
         li = gi = ni = gei = fi = ri = 0
+        # Rare-event accounting (uncore-relevant events only), reported once
+        # to the recorder after the loop.
+        ev_mem_miss = ev_dma = ev_dsync = 0
         limit, limit_order = yield
 
         for h in seq3:
@@ -780,6 +794,7 @@ class _VectorLane:
                         # Epoch break: yield before touching the shared
                         # arbiter once another lane's front end is earlier
                         # (strictly, or equal with a lower core id).
+                        ev_mem_miss += 1
                         if pause:
                             if fetch_time > limit or (
                                     fetch_time == limit
@@ -814,6 +829,7 @@ class _VectorLane:
                         total_lat += latency
             elif vk >= 8:
                 if vk <= 9:         # dma-get / dma-put issue
+                    ev_dma += 1
                     if pause:       # epoch break, as for route-5 misses
                         if fetch_time > limit or (
                                 fetch_time == limit
@@ -842,6 +858,7 @@ class _VectorLane:
                             ready_t[e] = completion_d
                     latency = 1.0
                 elif vk == 11:      # dma-sync (DMAController.dma_sync)
+                    ev_dsync += 1
                     tag = latency
                     if tag is None:
                         pending = [x for lst in outstanding.values()
@@ -941,6 +958,12 @@ class _VectorLane:
             phase_acc[phase] += rob_bw - last_commit
             last_commit = rob_bw
 
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.incr("vector.python.mem_miss", ev_mem_miss)
+            rec.incr("vector.python.dma", ev_dma)
+            rec.incr("vector.python.dma_sync", ev_dsync)
+
         self.fetch_time = fetch_time
         self._state = (fetch_time, last_commit, rob_bw, rob_stalls,
                        lsq_stalls, contended, total_lat, hier_lat,
@@ -1030,10 +1053,14 @@ class _VectorLane:
         mshr_c = kern.mshr
         i = 0
         n = self._n
+        # Epoch/bounce accounting: local ints (bounces are rare by design),
+        # reported once to the recorder after the loop.
+        epochs = b_mem_miss = b_dma = b_dsync = b_setbuf = 0
         limit, limit_order = yield
         try:
             while True:
                 i = run(ptr, i, n)
+                epochs += 1
                 if i < 0:
                     raise MemoryError("vector kernel allocation failure")
                 if i >= n:
@@ -1051,6 +1078,7 @@ class _VectorLane:
                         limit, limit_order = yield
                 now = issue(ptr, i)
                 if vk <= 6:         # route-5 load/store (multicore only)
+                    b_mem_miss += 1
                     iv[5] += 1      # consume the peeked live route
                     line = int(miss_np[iv[2]])
                     iv[2] += 1
@@ -1059,6 +1087,7 @@ class _VectorLane:
                     fs[6] += latency
                     fs[7] += latency
                 elif vk <= 9:       # dma-get / dma-put issue
+                    b_dma += 1
                     nlines = dma_nlines[ni]
                     ni += 1
                     queue = uncore_acquire(now, nlines) if pause else 0.0
@@ -1078,6 +1107,7 @@ class _VectorLane:
                             ready_t[e] = completion_d
                     latency = 1.0
                 elif vk == 11:      # dma-sync (DMAController.dma_sync)
+                    b_dsync += 1
                     tag = h[2]
                     if tag is None:
                         pending = [x for lst in outstanding.values()
@@ -1100,6 +1130,7 @@ class _VectorLane:
                     else:
                         latency = 1.0
                 elif vk == 10:      # set-bufsize
+                    b_setbuf += 1
                     latency = 1.0
                 else:               # halt: static latency from the stream
                     latency = h[2]
@@ -1108,6 +1139,14 @@ class _VectorLane:
                 i += 1
         finally:
             handle.close()
+
+        rec = obs.get_recorder()
+        if rec.enabled:
+            rec.incr("vector.ckernel.epochs", epochs)
+            rec.incr("vector.bounce.mem_miss", b_mem_miss)
+            rec.incr("vector.bounce.dma", b_dma)
+            rec.incr("vector.bounce.dma_sync", b_dsync)
+            rec.incr("vector.bounce.set_bufsize", b_setbuf)
 
         # The point system's MSHR ran inside the kernel; push its counters
         # back into the live object (stats_summary reads mshr_merges).
@@ -1215,7 +1254,8 @@ def _apply_shared(memory, bus, patches) -> None:
     bus.bytes_transferred = sum(p["bus_bytes"] for p in patches)
 
 
-def replay_single_vector(trace: Trace, machine: MachineConfig) -> RunResult:
+def replay_single_vector(trace: Trace, machine: MachineConfig,
+                         timeline=None) -> RunResult:
     """Single-core vector replay — bit-identical to the fused engine."""
     check_replay_machine(trace.key, machine)
     program, compiled, hot, cold, fu_values, phase_names, fingerprint = \
@@ -1237,8 +1277,11 @@ def replay_single_vector(trace: Trace, machine: MachineConfig) -> RunResult:
                               mode, machine, False, lm_lat, l1_lat)
     lane = _VectorLane(0, phase_names, decoded, vstream, trace,
                        system, config, oracle, flags)
-    lane.run_until(_INFINITY, 0)
-    timing = lane.finish()
+    with obs.phase("vector.timing"):
+        lane.run_until(_INFINITY, 0)
+        timing = lane.finish()
+    if timeline is not None:
+        timeline.lane_span(0, 0.0, lane.fetch_time)
     _apply_shared(system.hierarchy.memory, system.hierarchy.bus,
                   [oracle.patch])
     sim = lane_result(CoreLane(None, timing), system.stats_summary())
@@ -1249,7 +1292,8 @@ def replay_single_vector(trace: Trace, machine: MachineConfig) -> RunResult:
 
 
 def replay_multicore_vector(mtrace: MulticoreTrace,
-                            machine: MachineConfig) -> RunResult:
+                            machine: MachineConfig,
+                            timeline=None) -> RunResult:
     """Multicore vector replay: one :class:`_VectorLane` per core under the
     shared uncore, interleaved by the same min-fetch-time scheduler as the
     fused engine — epoch breaks at uncore events keep the arbitration order
@@ -1267,6 +1311,8 @@ def replay_multicore_vector(mtrace: MulticoreTrace,
                 f"{entry[6]} (the compiler or workload changed since "
                 "capture)")
     system = build_multicore_system(key.mode, machine, num_cores=num_cores)
+    if timeline is not None:
+        system.uncore.timeline = timeline
     config = core_config_for(machine)
     lanes = []
     patches = []
@@ -1284,8 +1330,9 @@ def replay_multicore_vector(mtrace: MulticoreTrace,
                                  trace, mem, config, oracle,
                                  flags, uncore=system.uncore))
         patches.append(oracle.patch)
-    run_resumable_lanes(lanes)
-    timings = [lane.finish() for lane in lanes]
+    with obs.phase("vector.timing"):
+        run_resumable_lanes(lanes, timeline=timeline)
+        timings = [lane.finish() for lane in lanes]
     _apply_shared(system.uncore.memory, system.uncore.bus, patches)
     per_core = [lane_result(CoreLane(None, timing),
                             system.core(core_id).stats_summary())
