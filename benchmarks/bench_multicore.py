@@ -23,10 +23,20 @@ doubles as a perf guard: non-zero unless every fused replay beats its
 execution run (and replay stays cycle/energy-identical at the capture
 config).
 
+With ``--scaling-curve`` only the flat-vs-clustered hybrid scaling curve of
+the first workload is measured and merged into the report (section
+``scaling_curve``): the same core-count sweep on the flat single-bus
+machine and on the clustered hierarchical uncore (``--clusters``, default
+4).  The exit code is the many-core perf guard: non-zero unless the
+clustered machine beats the flat bus at every >= 16-core cell and an
+explicit ``num_clusters=1`` run stays cycle-identical to the flat machine.
+
 Run:  PYTHONPATH=src python benchmarks/bench_multicore.py [--scale small]
           [--workloads CG,SP] [--modes hybrid,cache] [--cores 1,2,4]
       PYTHONPATH=src python benchmarks/bench_multicore.py --replay-speedup \
           [--workloads CG] [--cores 1,2,4] [--scale small]
+      PYTHONPATH=src python benchmarks/bench_multicore.py --scaling-curve \
+          [--workloads CG] [--cores 8,16,32] [--clusters 4] [--scale small]
 """
 
 import argparse
@@ -215,6 +225,72 @@ def measure_replay_speedup(workloads, core_counts, scale: str,
     return section
 
 
+def measure_scaling_curve(workload: str, core_counts, scale: str,
+                          num_clusters: int = 4) -> dict:
+    """Flat vs clustered uncore scaling of one hybrid kernel.
+
+    Runs the same core-count curve twice — on the flat single-bus machine
+    and on the ``num_clusters``-cluster hierarchical uncore (per-cluster
+    buses, home LLC slices, NUMA memory) — and records cycles, speedup and
+    uncore contention per cell.  The guard (``all_pass``) requires:
+
+    * the clustered machine beats the flat bus at every core count >= 16
+      (where the single shared bus saturates);
+    * an explicit ``num_clusters=1`` override stays cycle-identical to the
+      flat machine (the bit-identity contract of the hierarchy refactor).
+    """
+    from repro.harness.runner import run_parallel_workload
+
+    multicore_counts = [n for n in core_counts if n > 1]
+    section = {"workload": workload, "scale": scale,
+               "num_clusters": num_clusters,
+               "flat": {}, "clustered": {}, "all_pass": True}
+    for label, machine_overrides in (("flat", None),
+                                     ("clustered",
+                                      {"num_clusters": num_clusters})):
+        points = scalability_sweep(workloads=(workload,), modes=("hybrid",),
+                                   core_counts=core_counts, scale=scale,
+                                   machine=machine_overrides)
+        for p in points:
+            entry = {"cycles": p.cycles, "speedup": round(p.speedup, 3),
+                     "efficiency": round(p.efficiency, 3),
+                     "energy": p.energy}
+            if p.uncore is not None:
+                entry["queue_delay_cycles"] = p.uncore["queue_delay_cycles"]
+                entry["contended_requests"] = p.uncore["contended_requests"]
+                numa = p.uncore.get("numa")
+                if numa:
+                    entry["local_misses"] = numa["local_misses"]
+                    entry["remote_misses"] = numa["remote_misses"]
+            section[label][str(p.num_cores)] = entry
+            print(f"curve   {workload:3s} {label:9s} x{p.num_cores}: "
+                  f"{p.cycles:>12.0f} cycles, speedup {p.speedup:5.2f}")
+    wins = {}
+    for n in multicore_counts:
+        flat_c = section["flat"][str(n)]["cycles"]
+        clus_c = section["clustered"][str(n)]["cycles"]
+        wins[str(n)] = clus_c < flat_c
+        if n >= 16:
+            section["all_pass"] &= clus_c < flat_c
+    section["clustered_wins"] = wins
+
+    # Bit-identity guard: num_clusters=1 must take the flat-bus path.
+    n = min(multicore_counts) if multicore_counts else 2
+    flat_run = run_parallel_workload(workload, "hybrid", scale,
+                                     num_cores=n)
+    one_cluster = run_parallel_workload(
+        workload, "hybrid", scale,
+        machine=PTLSIM_CONFIG.with_overrides({"num_clusters": 1}),
+        num_cores=n)
+    identical = (one_cluster.cycles == flat_run.cycles and
+                 one_cluster.energy.as_dict() == flat_run.energy.as_dict())
+    section["one_cluster_identical_to_flat"] = identical
+    section["all_pass"] &= identical
+    print(f"curve   {workload:3s} num_clusters=1 x{n}: "
+          f"identical to flat = {identical}")
+    return section
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="small",
@@ -231,6 +307,16 @@ def main() -> int:
                              "it into the existing report; exit non-zero "
                              "unless replay is identical and faster (CI "
                              "perf guard)")
+    parser.add_argument("--scaling-curve", action="store_true",
+                        help="measure only the flat-vs-clustered hybrid "
+                             "scaling curve of the first workload and merge "
+                             "it into the existing report; exit non-zero "
+                             "unless the clustered uncore beats the flat "
+                             "bus at >= 16 cores and num_clusters=1 stays "
+                             "flat-identical (CI perf guard)")
+    parser.add_argument("--clusters", type=int, default=4,
+                        help="cluster count of the clustered curve "
+                             "(default 4; must divide every --cores entry)")
     args = parser.parse_args()
     workloads = tuple(w.strip().upper() for w in args.workloads.split(","))
     modes = tuple(m.strip().lower() for m in args.modes.split(","))
@@ -243,6 +329,16 @@ def main() -> int:
         report = load_report(out)
         section = measure_replay_speedup(workloads, core_counts, args.scale)
         report["replay_speedup"] = section
+        write_report(out, report)
+        return guard_exit(section["all_pass"])
+
+    if args.scaling_curve:
+        report = load_report(out)
+        t0 = time.perf_counter()
+        section = measure_scaling_curve(workloads[0], core_counts, args.scale,
+                                        num_clusters=args.clusters)
+        section["wall_seconds"] = round(time.perf_counter() - t0, 2)
+        report["scaling_curve"] = section
         write_report(out, report)
         return guard_exit(section["all_pass"])
 

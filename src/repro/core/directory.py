@@ -245,3 +245,141 @@ class CoherenceDirectory:
             entry.present = True
         self._tag_index.clear()
         self.stats = DirectoryStats()
+
+
+# --------------------------------------------------------------- home-node map
+#: Chunk ownership states of the home-node directory.
+CHUNK_UNOWNED = 0
+CHUNK_OWNED = 1
+
+#: Transition table of the home-node ownership protocol, in the style of an
+#: N-core home-node MSI directory controller: ``(state, event) -> state``.
+#: CLAIM is a core registering a dma-get mapping (an OWNED chunk may be
+#: re-claimed — migration after the previous owner's dma-put handoff, or a
+#: refresh by the same owner); RELEASE is the dma-put write-back ending the
+#: chunk's LM residence (idempotent: releasing an UNOWNED chunk is a no-op,
+#: which is how stale releases after a reconfiguration drain harmlessly).
+HOME_TRANSITIONS: Dict[Tuple[int, str], int] = {
+    (CHUNK_UNOWNED, "claim"): CHUNK_OWNED,
+    (CHUNK_OWNED, "claim"): CHUNK_OWNED,
+    (CHUNK_OWNED, "release"): CHUNK_UNOWNED,
+    (CHUNK_UNOWNED, "release"): CHUNK_UNOWNED,
+}
+
+
+@dataclass
+class HomeSliceStats:
+    """Activity counters of one home-node directory slice."""
+
+    lookups: int = 0
+    claims: int = 0
+    releases: int = 0
+    migrations: int = 0     # OWNED -> OWNED claims that changed the owner
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"lookups": self.lookups, "claims": self.claims,
+                "releases": self.releases, "migrations": self.migrations}
+
+
+class HomeNodeDirectory:
+    """Address-interleaved chunk-ownership directory with per-cluster slices.
+
+    Scales the multicore's ownership record past the per-core 32-entry CAM
+    model: each chunk key ``(chunk size, chunk-aligned base)`` is tracked by
+    exactly one *slice* — the home node of its base address — and every
+    state change runs through :data:`HOME_TRANSITIONS`.  With one slice
+    (``num_slices=1``, the flat single-bus machine) the structure degenerates
+    to the previous single-dict behaviour bit-for-bit; with a clustered
+    uncore, ``home_fn`` (typically
+    :meth:`~repro.mem.uncore.ClusterUncore.home_cluster`) spreads the
+    chunks across per-cluster slices so each cluster's directory slice only
+    sees its own memory's chunks.
+
+    The directory is purely functional (no latency is charged here — the
+    coherence *timing* lives in the per-core directories and the uncore), so
+    replays under cluster overrides remain valid.
+    """
+
+    def __init__(self, num_slices: int = 1, home_fn=None):
+        if num_slices <= 0:
+            raise ValueError("the home-node directory needs at least one slice")
+        self.num_slices = num_slices
+        self._home_fn = home_fn
+        #: Per-slice (chunk size, base) -> owning core.
+        self._slices: List[Dict[Tuple[int, int], int]] = [
+            {} for _ in range(num_slices)]
+        self.slice_stats: List[HomeSliceStats] = [
+            HomeSliceStats() for _ in range(num_slices)]
+        #: Total live entries across slices (the hot-path emptiness check).
+        self.total_entries = 0
+
+    def slice_of(self, base: int) -> int:
+        """Home slice of a chunk-aligned ``base`` address."""
+        if self.num_slices == 1 or self._home_fn is None:
+            return 0
+        return self._home_fn(base) % self.num_slices
+
+    def _apply(self, state: int, event: str) -> int:
+        next_state = HOME_TRANSITIONS.get((state, event))
+        if next_state is None:  # pragma: no cover - table is total today
+            raise ValueError(f"illegal home-node transition {event!r} "
+                             f"from state {state}")
+        return next_state
+
+    def claim(self, key: Tuple[int, int], core_id: int) -> None:
+        """A dma-get mapped chunk ``key`` into ``core_id``'s LM."""
+        index = self.slice_of(key[1])
+        entries = self._slices[index]
+        stats = self.slice_stats[index]
+        owner = entries.get(key)
+        state = CHUNK_UNOWNED if owner is None else CHUNK_OWNED
+        self._apply(state, "claim")
+        if owner is None:
+            self.total_entries += 1
+        elif owner != core_id:
+            stats.migrations += 1
+        entries[key] = core_id
+        stats.claims += 1
+
+    def release(self, key: Tuple[int, int], core_id: int) -> None:
+        """``core_id`` wrote chunk ``key`` back (dma-put); drop the mapping
+        if — and only if — it still owns it."""
+        index = self.slice_of(key[1])
+        entries = self._slices[index]
+        state = CHUNK_OWNED if key in entries else CHUNK_UNOWNED
+        self._apply(state, "release")
+        if entries.get(key) == core_id:
+            del entries[key]
+            self.total_entries -= 1
+        self.slice_stats[index].releases += 1
+
+    def owner(self, key: Tuple[int, int]) -> Optional[int]:
+        """Owning core of chunk ``key`` (None when unowned)."""
+        index = self.slice_of(key[1])
+        self.slice_stats[index].lookups += 1
+        return self._slices[index].get(key)
+
+    def drop_core(self, core_id: int) -> None:
+        """Forget every chunk ``core_id`` owns (LM buffer reconfiguration
+        invalidates all of that core's mappings at once)."""
+        for entries in self._slices:
+            stale = [key for key, owner in entries.items()
+                     if owner == core_id]
+            for key in stale:
+                del entries[key]
+            self.total_entries -= len(stale)
+
+    def __len__(self) -> int:
+        return self.total_entries
+
+    def items(self) -> List[Tuple[Tuple[int, int], int]]:
+        """Every (chunk key, owner) pair, across slices (introspection)."""
+        return [(key, owner) for entries in self._slices
+                for key, owner in entries.items()]
+
+    def stats_summary(self) -> dict:
+        return {
+            "num_slices": self.num_slices,
+            "entries": self.total_entries,
+            "slices": [s.as_dict() for s in self.slice_stats],
+        }

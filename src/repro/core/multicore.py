@@ -18,7 +18,8 @@ a software-visible ownership map that *checks* the programming-model
 constraint in O(1) and raises when it is violated — which is how the tests
 demonstrate the claim of Section 3.
 
-Ownership bookkeeping: the ``_ownership`` dict (keyed by the chunk's
+Ownership bookkeeping: the
+:class:`~repro.core.directory.HomeNodeDirectory` (keyed by the chunk's
 *(size, base)* so differently-configured cores never alias each other's
 claims) is the authoritative record.  ``dma_get`` registers the mapped
 chunks (releasing whatever chunk the reused LM buffer previously held);
@@ -29,18 +30,22 @@ copy after another core takes over the SM data (the Figure 6 state machine
 allows exactly this ``LM-writeback`` then ``LM-unmap`` sequence);
 reconfiguring a core's buffer size drops all its claims (the directory
 invalidates all its mappings then too).  Every checked access is a
-constant-time dictionary probe per distinct configured chunk size instead
-of a scan over every core's directory.
+constant-time slice probe per distinct configured chunk size instead of a
+scan over every core's directory.  On the flat machine the directory is a
+single slice (the previous single-dict behaviour); with a clustered uncore
+it is address-interleaved into one slice per cluster, homed by the
+uncore's NUMA mapping.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.directory import HomeNodeDirectory
 from repro.core.hybrid import HybridSystem, MemoryOutcome
 from repro.core.protocol import ProtocolAction
 from repro.mem.hierarchy import MemoryHierarchyConfig
-from repro.mem.uncore import Uncore
+from repro.mem.uncore import ClusterTopology, Uncore
 
 
 class OwnershipViolation(RuntimeError):
@@ -87,6 +92,11 @@ class CoreView:
     def set_buffer_size(self, size_bytes: int) -> float:
         return self._machine.set_buffer_size(self.core_id, size_bytes)
 
+    @property
+    def cluster_id(self) -> int:
+        """Cluster this core's bus hangs off (0 on the flat machine)."""
+        return self._machine.topology.cluster_of(self.core_id)
+
     def __getattr__(self, name):
         return getattr(self._core, name)
 
@@ -128,15 +138,29 @@ class MulticoreHybridSystem:
         self.uncore = uncore if uncore is not None else Uncore(
             memory_latency=config.memory_latency,
             bus_latency_per_line=config.bus_latency_per_line)
+        # A clustered uncore carries the topology; the flat bus is one
+        # cluster of everything.  Every core attaches through its port —
+        # the flat Uncore's port *is* the uncore, so the single-bus wiring
+        # (and timing) is exactly what it always was.
+        topology = getattr(self.uncore, "topology", None)
+        self.topology = topology if topology is not None else \
+            ClusterTopology(num_cores, 1)
+        if self.topology.num_cores != num_cores:
+            raise ValueError(
+                f"uncore topology is {self.topology.num_cores}-core but the "
+                f"machine has {num_cores} cores")
         self.cores: List[HybridSystem] = [
-            HybridSystem(memory_config=config, uncore=self.uncore,
+            HybridSystem(memory_config=config, uncore=self.uncore.port(i),
                          **core_kwargs)
-            for _ in range(num_cores)
+            for i in range(num_cores)
         ]
         # Authoritative ownership record: (chunk size, chunk base) -> owning
-        # core.  Keying by the claim's own granularity keeps cores with
-        # different buffer sizes from aliasing into each other's chunks.
-        self._ownership: Dict[Tuple[int, int], int] = {}
+        # core, sliced per home node.  Keying by the claim's own granularity
+        # keeps cores with different buffer sizes from aliasing into each
+        # other's chunks.
+        self.home_directory = HomeNodeDirectory(
+            num_slices=self.topology.num_clusters,
+            home_fn=getattr(self.uncore, "home_cluster", None))
         # Configured chunk (LM buffer) size per core; the O(1) check probes
         # one base per *distinct* size (in practice exactly one).
         self._chunk_sizes: Dict[int, int] = {}
@@ -162,11 +186,11 @@ class MulticoreHybridSystem:
         return [(chunk, base) for base in range(first, last + chunk, chunk)]
 
     def _check_ownership(self, core_id: int, sm_addr: int) -> None:
-        if not self.enforce_ownership or not self._ownership:
+        if not self.enforce_ownership or not self.home_directory.total_entries:
             return
-        ownership = self._ownership
+        directory = self.home_directory
         for size in set(self._chunk_sizes.values()):
-            owner = ownership.get((size, sm_addr & ~(size - 1)))
+            owner = directory.owner((size, sm_addr & ~(size - 1)))
             if owner is not None and owner != core_id:
                 raise OwnershipViolation(
                     f"core {core_id} accessed SM address {sm_addr:#x} that is "
@@ -174,18 +198,17 @@ class MulticoreHybridSystem:
 
     def _claim(self, core_id: int, sm_addr: int, size: int) -> None:
         for key in self._chunk_keys(core_id, sm_addr, size):
-            self._ownership[key] = core_id
+            self.home_directory.claim(key, core_id)
 
     def _release(self, core_id: int, sm_addr: int, size: int) -> None:
         for key in self._chunk_keys(core_id, sm_addr, size):
-            if self._ownership.get(key) == core_id:
-                del self._ownership[key]
+            self.home_directory.release(key, core_id)
 
     def owner_of(self, sm_addr: int) -> Optional[int]:
         """Core currently holding the chunk containing ``sm_addr`` (None when
         unmapped) — introspection for tests and examples."""
         for size in set(self._chunk_sizes.values()):
-            owner = self._ownership.get((size, sm_addr & ~(size - 1)))
+            owner = self.home_directory.owner((size, sm_addr & ~(size - 1)))
             if owner is not None:
                 return owner
         return None
@@ -248,8 +271,7 @@ class MulticoreHybridSystem:
         # Reconfiguring invalidates every LM mapping of this core
         # (CoherenceDirectory.configure drops all entries), so its claims —
         # including ones made at an older granularity — are gone too.
-        self._ownership = {key: owner for key, owner in self._ownership.items()
-                           if owner != core_id}
+        self.home_directory.drop_core(core_id)
         self._chunk_sizes[core_id] = size_bytes
         return result
 

@@ -196,7 +196,8 @@ def lane_result(lane: CoreLane, memory_stats: dict) -> SimulationResult:
 
 
 def aggregate_results(per_core: Sequence[SimulationResult],
-                      memory_stats: dict) -> SimulationResult:
+                      memory_stats: dict,
+                      topology=None) -> SimulationResult:
     """Whole-machine result of a multicore run.
 
     ``cycles`` is the global execution time (the slowest core's commit
@@ -204,7 +205,10 @@ def aggregate_results(per_core: Sequence[SimulationResult],
     (so a phase's total can exceed the wall-clock cycles, like CPU-seconds).
     ``memory_stats`` is the multicore system's aggregate summary (shared
     memory/bus counted once).  Per-core details ride in
-    ``core_stats["per_core"]``.
+    ``core_stats["per_core"]``; with a
+    :class:`~repro.mem.uncore.ClusterTopology` each entry also names the
+    core's cluster (every engine passes the system's topology, so the
+    detail shape stays identical across execution and all replay engines).
     """
     cycles = max(r.cycles for r in per_core)
     instructions = sum(r.instructions for r in per_core)
@@ -237,8 +241,10 @@ def aggregate_results(per_core: Sequence[SimulationResult],
             "per_core": [
                 {"cycles": r.cycles, "instructions": r.instructions,
                  "ipc": r.ipc, "mispredictions": r.mispredictions,
-                 "phase_cycles": dict(r.phase_cycles)}
-                for r in per_core
+                 "phase_cycles": dict(r.phase_cycles),
+                 **({"cluster": topology.cluster_of(i)}
+                    if topology is not None else {})}
+                for i, r in enumerate(per_core)
             ],
         },
     )

@@ -37,6 +37,20 @@ class MachineConfig:
     #: Shared-uncore arbitration window (cycles) and line slots per window.
     uncore_window_cycles: int = 4
     uncore_window_lines: int = 2
+    #: Core clusters.  1 keeps the flat shared bus (the paper's machine,
+    #: bit-identical to every pre-cluster result); >1 must divide
+    #: ``num_cores`` and gives each cluster of ``num_cores / num_clusters``
+    #: cores a private cluster bus, a shared memory-side LLC slice and a
+    #: NUMA home mapping (see :class:`repro.mem.uncore.ClusterUncore`).
+    num_clusters: int = 1
+    #: Extra cycles a demand miss or DMA burst pays when its SM address is
+    #: homed on another cluster (cluster mode only).
+    numa_remote_latency: int = 60
+    #: Per-cluster memory-side LLC (capacity shared by the cluster's cores;
+    #: cluster mode only — the flat machine has no LLC level).
+    llc_size: int = 16 * 1024 * 1024
+    llc_assoc: int = 16
+    llc_latency: int = 30
 
     def with_overrides(self, overrides: Mapping[str, Any]) -> "MachineConfig":
         """Return a copy with some fields replaced.
@@ -65,6 +79,11 @@ class MachineConfig:
             num_cores=self.num_cores,
             uncore_window_cycles=self.uncore_window_cycles,
             uncore_window_lines=self.uncore_window_lines,
+            num_clusters=self.num_clusters,
+            numa_remote_latency=self.numa_remote_latency,
+            llc_size=self.llc_size,
+            llc_assoc=self.llc_assoc,
+            llc_latency=self.llc_latency,
         )
 
 
@@ -83,6 +102,14 @@ def _replace_path(obj, parts: List[str], value):
 
 #: The simulated machine of Table 1.
 PTLSIM_CONFIG = MachineConfig()
+
+#: SM address span reserved per core for the domain-decomposed parallel
+#: kernels: core ``c``'s data lives at ``DATA_BASE + c * PARALLEL_CORE_SPAN``
+#: (mirrors :attr:`repro.isa.program.Program.DATA_BASE`).  The NUMA home
+#: mapping of the clustered uncore derives a chunk's owner core — and with
+#: it the home cluster — from these windows.
+PARALLEL_CORE_SPAN = 0x0400_0000
+PARALLEL_DATA_BASE = 0x1000_0000
 
 
 def table1_rows(config: MachineConfig = PTLSIM_CONFIG) -> List[Tuple[str, str]]:

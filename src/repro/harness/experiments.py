@@ -17,7 +17,7 @@ The drivers are written against the sweep engine's accessor surface: the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.harness.config import PTLSIM_CONFIG, table1_rows
 from repro.harness.metrics import (
@@ -373,6 +373,7 @@ def scalability_sweep(workloads: Sequence[str] = ("CG", "SP"),
                       core_counts: Sequence[int] = SCALABILITY_CORE_COUNTS,
                       scale: str = "small",
                       replay: bool = False,
+                      machine: Optional[Mapping[str, Any]] = None,
                       store=None, workers: int = 1) -> List[ScalabilityPoint]:
     """Speedup and energy vs. core count, hybrid vs. cache-based.
 
@@ -384,11 +385,22 @@ def scalability_sweep(workloads: Sequence[str] = ("CG", "SP"),
     captured once and re-timed (cycle- and energy-identical at the capture
     config).  Speedup is measured against the same workload's single-core
     cell.
+
+    ``machine`` carries extra machine overrides applied to every *multicore*
+    cell (the 1-core speedup baseline stays the plain machine, which has no
+    uncore) — the knob that turns this into the clustered-topology curve:
+    ``machine={"num_clusters": 4}`` sweeps the same core counts on the
+    two-level hierarchical uncore.  ``num_clusters`` must divide each
+    multicore cell's core count.
     """
     kind = "replay" if replay else "kernel"
+    extra = dict(machine) if machine else {}
     core_counts = sorted(set(core_counts) | {1})   # speedup baseline
-    specs = [RunSpec.create(w, mode, scale,
-                            machine=({"num_cores": n} if n != 1 else None),
+
+    def _cell_machine(n: int) -> Optional[Dict[str, Any]]:
+        return dict(extra, num_cores=n) if n != 1 else None
+
+    specs = [RunSpec.create(w, mode, scale, machine=_cell_machine(n),
                             kind=kind)
              for w in workloads for mode in modes for n in core_counts]
     records = run_sweep(specs, workers=workers, store=store)
@@ -399,8 +411,7 @@ def scalability_sweep(workloads: Sequence[str] = ("CG", "SP"),
             base = by_spec[RunSpec.create(w, mode, scale, kind=kind)]
             for n in core_counts:
                 record = by_spec[RunSpec.create(
-                    w, mode, scale,
-                    machine=({"num_cores": n} if n != 1 else None), kind=kind)]
+                    w, mode, scale, machine=_cell_machine(n), kind=kind)]
                 speed = base.cycles / record.cycles if record.cycles else 0.0
                 points.append(ScalabilityPoint(
                     workload=w.strip().upper(), mode=mode.strip().lower(),

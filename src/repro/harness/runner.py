@@ -34,7 +34,11 @@ from repro.cpu.multicore import CoreLane, aggregate_results, lane_result, run_la
 from repro.cpu.executor import FunctionalExecutor
 from repro.cpu.pipeline import OutOfOrderTimingModel
 from repro.energy.model import EnergyBreakdown, EnergyModel
-from repro.harness.config import MachineConfig, PTLSIM_CONFIG
+from repro.harness.config import (
+    MachineConfig,
+    PARALLEL_CORE_SPAN,
+    PTLSIM_CONFIG,
+)
 from repro.harness.systems import (
     build_multicore_system,
     build_system,
@@ -43,12 +47,12 @@ from repro.harness.systems import (
 from repro.isa.program import Program, WORD_SIZE
 from repro.workloads import get_workload, shard_kernel
 
-#: SM address-space window reserved for each core's program in a multicore
-#: run (64 MB, far below the LM virtual range): core ``c``'s data segment is
-#: laid out at ``Program.DATA_BASE + c * PARALLEL_CORE_SPAN``, so the cores'
-#: arrays — and therefore their LM-mapped chunks — are disjoint in the
-#: shared main memory, as the ownership model requires.
-PARALLEL_CORE_SPAN = 0x0400_0000
+# PARALLEL_CORE_SPAN (re-exported above) lives in repro.harness.config now:
+# core ``c``'s data segment is laid out at ``Program.DATA_BASE +
+# c * PARALLEL_CORE_SPAN`` (64 MB windows, far below the LM virtual range),
+# so the cores' arrays — and therefore their LM-mapped chunks — are disjoint
+# in the shared main memory, as the ownership model requires, and the
+# clustered uncore can derive a chunk's home cluster from its window.
 
 
 @dataclass
@@ -268,7 +272,8 @@ def run_parallel_lanes(compiled: Sequence[CompiledKernel], system,
     run_lanes(lanes)
     per_core = [lane_result(lane, system.core(i).stats_summary())
                 for i, lane in enumerate(lanes)]
-    return aggregate_results(per_core, system.aggregate_summary())
+    return aggregate_results(per_core, system.aggregate_summary(),
+                             topology=system.topology)
 
 
 def run_parallel_workload(name: str, mode: str = "hybrid",

@@ -70,17 +70,30 @@ def _freeze_mapping(mapping: Optional[Mapping[str, Any]]) -> _OverrideItems:
     return tuple(sorted(mapping.items()))
 
 
+#: Overrides that restate the paper-default machine and must hash the same
+#: as omitting the key: single-core, the flat (1-cluster) uncore and its
+#: NUMA/LLC knobs, and the Table 1 directory size.  Values are read off
+#: PTLSIM_CONFIG so this set can never drift from the config defaults.
+_DEFAULT_MACHINE_ITEMS = frozenset(
+    (name, getattr(PTLSIM_CONFIG, name))
+    for name in ("num_cores", "num_clusters", "directory_entries",
+                 "numa_remote_latency", "llc_size", "llc_assoc",
+                 "llc_latency"))
+
+
 def _freeze_machine(mapping: Optional[Mapping[str, Any]]) -> _OverrideItems:
     """Canonicalise machine overrides for hashing.
 
-    ``num_cores=1`` is dropped: single-core is the baseline machine, so a
-    cell built as ``{"num_cores": 1, ...}`` (the sweep CLI spells every
-    ``--cores`` cell that way) must hash — and hit the result store — the
-    same as one that simply omits the key.  Every other override, including
-    ``num_cores`` at 2+, is kept verbatim.
+    Overrides that restate a paper default (``num_cores=1``,
+    ``num_clusters=1``, ``directory_entries=32``, and the cluster-mode
+    NUMA/LLC knobs at their defaults) are dropped: a cell built as
+    ``{"num_cores": 1, ...}`` (the sweep CLI spells every ``--cores`` cell
+    that way) must hash — and hit the result store — the same as one that
+    simply omits the key.  Every other override, including the same knobs
+    at non-default values, is kept verbatim.
     """
     return tuple(kv for kv in _freeze_mapping(mapping)
-                 if kv != ("num_cores", 1))
+                 if kv not in _DEFAULT_MACHINE_ITEMS)
 
 
 # ------------------------------------------------------------------------ RunSpec

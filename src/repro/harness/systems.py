@@ -17,8 +17,9 @@ from typing import Optional
 from repro.core.hybrid import HybridSystem
 from repro.core.multicore import MulticoreHybridSystem
 from repro.cpu.config import CoreConfig
-from repro.harness.config import MachineConfig, PTLSIM_CONFIG
-from repro.mem.uncore import Uncore
+from repro.harness.config import (MachineConfig, PARALLEL_CORE_SPAN,
+                                  PARALLEL_DATA_BASE, PTLSIM_CONFIG)
+from repro.mem.uncore import ClusterTopology, ClusterUncore, Uncore
 
 #: Compilation/system modes understood by the harness.
 SYSTEM_MODES = ("hybrid", "hybrid-oracle", "hybrid-naive", "cache")
@@ -50,9 +51,32 @@ def build_system(mode: str, machine: Optional[MachineConfig] = None,
     )
 
 
-def build_uncore(machine: Optional[MachineConfig] = None) -> Uncore:
-    """The shared uncore (main memory + bus + arbitration) of ``machine``."""
+def build_uncore(machine: Optional[MachineConfig] = None,
+                 num_cores: Optional[int] = None) -> Uncore:
+    """The shared uncore (main memory + bus + arbitration) of ``machine``.
+
+    With ``num_clusters`` > 1 this is the two-level
+    :class:`~repro.mem.uncore.ClusterUncore` (per-cluster buses, home LLC
+    slices, NUMA memory); at the default ``num_clusters=1`` it is the flat
+    single-bus :class:`~repro.mem.uncore.Uncore`, bit-identical to every
+    machine built before clustering existed.
+    """
     machine = machine or PTLSIM_CONFIG
+    if machine.num_clusters > 1:
+        cores = machine.num_cores if num_cores is None else num_cores
+        return ClusterUncore(
+            ClusterTopology(cores, machine.num_clusters),
+            memory_latency=machine.memory.memory_latency,
+            bus_latency_per_line=machine.memory.bus_latency_per_line,
+            window_cycles=machine.uncore_window_cycles,
+            window_lines=machine.uncore_window_lines,
+            numa_remote_latency=machine.numa_remote_latency,
+            llc_size=machine.llc_size,
+            llc_assoc=machine.llc_assoc,
+            llc_latency=machine.llc_latency,
+            line_size=machine.memory.line_size,
+            core_span=PARALLEL_CORE_SPAN,
+            data_base=PARALLEL_DATA_BASE)
     return Uncore(memory_latency=machine.memory.memory_latency,
                   bus_latency_per_line=machine.memory.bus_latency_per_line,
                   window_cycles=machine.uncore_window_cycles,
@@ -73,7 +97,7 @@ def build_multicore_system(mode: str, machine: Optional[MachineConfig] = None,
         raise ValueError(f"unknown system mode {mode!r}; expected one of {SYSTEM_MODES}")
     machine = machine or PTLSIM_CONFIG
     num_cores = machine.num_cores if num_cores is None else num_cores
-    uncore = build_uncore(machine)
+    uncore = build_uncore(machine, num_cores=num_cores)
     if mode == "cache":
         cache_machine = machine.cache_based()
         return MulticoreHybridSystem(

@@ -115,8 +115,10 @@ class DMAController:
         self.lines_transferred += len(lines)
         # Shared-uncore arbitration (multicore): a burst queues behind other
         # cores' traffic before its pipelined transfer begins.  0.0 when the
-        # hierarchy has no uncore (every single-core system).
-        queue = self.hierarchy.uncore_delay(now, len(lines))
+        # hierarchy has no uncore (every single-core system).  The SM
+        # address routes the burst to its home cluster on a clustered
+        # uncore (NUMA local vs. remote).
+        queue = self.hierarchy.uncore_delay(now, len(lines), sm_addr)
         completion = now + queue + self._transfer_latency(len(lines))
         return self._record(DMATransfer("get", lm_offset, sm_addr, size, tag,
                                         now, completion))
@@ -140,7 +142,7 @@ class DMAController:
         self.puts += 1
         self.words_transferred += size // WORD_SIZE
         self.lines_transferred += len(lines)
-        queue = self.hierarchy.uncore_delay(now, len(lines))
+        queue = self.hierarchy.uncore_delay(now, len(lines), sm_addr)
         completion = now + queue + self._transfer_latency(len(lines))
         return self._record(DMATransfer("put", lm_offset, sm_addr, size, tag,
                                         now, completion))

@@ -85,6 +85,10 @@ class MemoryHierarchy:
         self.config = config or MemoryHierarchyConfig()
         c = self.config
         self.uncore = uncore
+        # A clustered per-core port (ClusterUncore.port) carries the
+        # hierarchical demand/DMA paths; the flat Uncore does not, and its
+        # pre-cluster arithmetic below stays bit-identical.
+        self._mem_port = uncore if hasattr(uncore, "mem_path") else None
         self.l1 = Cache("L1D", c.l1_size, c.l1_assoc, c.line_size,
                         c.l1_latency, write_back=False)
         self.l1i = Cache("L1I", c.l1i_size, c.l1i_assoc, c.line_size,
@@ -157,12 +161,19 @@ class MemoryHierarchy:
                 beyond_l1 = float(c.l2_latency + c.l3_latency)
                 level = "L3"
             else:
-                self.memory.reads += 1
-                beyond_l1 = float(c.l2_latency + c.l3_latency + c.memory_latency)
-                if self.uncore is not None:
-                    # Shared-uncore arbitration: concurrent misses from other
-                    # cores stretch this one's memory round trip.
-                    beyond_l1 += self.uncore.acquire(now, 1)
+                if self._mem_port is not None:
+                    # Clustered uncore: cluster-bus claims, NUMA penalty and
+                    # the home LLC slice replace the fixed memory round trip
+                    # (mem_path counts memory.reads itself, LLC misses only).
+                    beyond_l1 = float(c.l2_latency + c.l3_latency) \
+                        + self._mem_port.mem_path(now, line)
+                else:
+                    self.memory.reads += 1
+                    beyond_l1 = float(c.l2_latency + c.l3_latency + c.memory_latency)
+                    if self.uncore is not None:
+                        # Shared-uncore arbitration: concurrent misses from
+                        # other cores stretch this one's memory round trip.
+                        beyond_l1 += self.uncore.acquire(now, 1)
                 level = "MEM"
                 # Fill L3 from memory.
                 self._fill_level(self.l3, line, next_cache=None)
@@ -212,11 +223,19 @@ class MemoryHierarchy:
             return float(self.config.l1i_latency + self.config.l2_latency)
         return float(self.config.l1i_latency)
 
-    def uncore_delay(self, now: float, lines: int = 1) -> float:
+    def uncore_delay(self, now: float, lines: int = 1,
+                     sm_addr: Optional[int] = None) -> float:
         """Queueing delay of a ``lines``-line burst at the shared uncore
-        (0.0 on single-core systems, which have no uncore)."""
+        (0.0 on single-core systems, which have no uncore).
+
+        ``sm_addr`` is the burst's SM byte address; on a clustered uncore it
+        selects the home cluster (NUMA routing) through the per-core port's
+        DMA path.  The flat bus ignores it.
+        """
         if self.uncore is None:
             return 0.0
+        if self._mem_port is not None and sm_addr is not None:
+            return self._mem_port.dma_path(now, lines, sm_addr)
         return self.uncore.acquire(now, lines)
 
     # -- coherent DMA bus requests ----------------------------------------------

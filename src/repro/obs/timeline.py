@@ -56,8 +56,11 @@ class TimelineRecorder:
         self.dropped = 0
         #: Per-core pending (start, end, grants) run span, coalesced.
         self._pending: Dict[int, list] = {}
-        #: Bucket index -> [lines claimed, queue-delay cycles, requests].
-        self._bus_buckets: Dict[int, list] = {}
+        #: (bus id, bucket index) -> [lines claimed, queue-delay cycles,
+        #: requests].  Bus 0 is the flat shared bus (or cluster 0's);
+        #: a clustered uncore reports one bus id per cluster, so each
+        #: cluster gets its own occupancy counter lane on flush.
+        self._bus_buckets: Dict[tuple, list] = {}
         self._cores: set = set()
         self._labels: Dict[int, str] = {}
 
@@ -123,18 +126,22 @@ class TimelineRecorder:
 
     # -- uncore hook --------------------------------------------------------------
     def bus_claim(self, now: float, delay: float, lines: int,
-                  window_cycles: int, window_lines: int) -> None:
+                  window_cycles: int, window_lines: int,
+                  bus: int = 0) -> None:
         """One ``Uncore.acquire``: ``lines`` slots claimed at ``now`` after
-        ``delay`` queueing cycles.
+        ``delay`` queueing cycles on bus ``bus`` (0 for the flat shared bus;
+        a clustered uncore passes its cluster index).
 
-        Every claim lands in the per-bucket occupancy/queue-delay counters;
-        multi-line claims (DMA bursts) additionally emit a duration span on
-        the uncore track covering the bus bandwidth they occupy.
+        Every claim lands in that bus's per-bucket occupancy/queue-delay
+        counters — one counter lane per cluster bus on flush; bucket
+        granularity is the recorder's ``bucket_cycles`` parameter.
+        Multi-line claims (DMA bursts) additionally emit a duration span on
+        the bus's uncore track covering the bandwidth they occupy.
         """
-        bucket = int(now) // self.bucket_cycles
-        acc = self._bus_buckets.get(bucket)
+        key = (bus, int(now) // self.bucket_cycles)
+        acc = self._bus_buckets.get(key)
         if acc is None:
-            self._bus_buckets[bucket] = [lines, delay, 1]
+            self._bus_buckets[key] = [lines, delay, 1]
         else:
             acc[0] += lines
             acc[1] += delay
@@ -142,10 +149,10 @@ class TimelineRecorder:
         if lines > 1:
             start = now + delay
             dur = lines * window_cycles / window_lines
-            self.span("dma burst", start, dur, tid=UNCORE_TID,
+            self.span("dma burst", start, dur, tid=UNCORE_TID + bus,
                       args={"lines": lines, "queue_delay": delay})
         elif delay > 0.0:
-            self.instant("miss queued", now, tid=UNCORE_TID,
+            self.instant("miss queued", now, tid=UNCORE_TID + bus,
                          args={"delay": delay})
 
     # -- wall-clock pipeline spans (sweep --timeline) -----------------------------
@@ -161,11 +168,17 @@ class TimelineRecorder:
         for core in sorted(self._pending):
             self._flush_lane(core, self._pending[core])
         self._pending.clear()
-        for bucket in sorted(self._bus_buckets):
-            lines, delay, requests = self._bus_buckets[bucket]
+        multi_bus = any(bus != 0 for bus, _ in self._bus_buckets)
+        for bus, bucket in sorted(self._bus_buckets):
+            lines, delay, requests = self._bus_buckets[(bus, bucket)]
             ts = bucket * self.bucket_cycles
-            self.counter("bus lines", ts, {"lines": lines})
-            self.counter("bus queue delay", ts,
+            # Bus 0 keeps the legacy lane names so single-bus consumers
+            # (and stored timelines) read unchanged; cluster buses — bus 0
+            # included, once more than one bus reported — get one
+            # qualified lane each.
+            suffix = f" (cluster {bus})" if multi_bus else ""
+            self.counter("bus lines" + suffix, ts, {"lines": lines})
+            self.counter("bus queue delay" + suffix, ts,
                          {"cycles": round(delay, 3), "requests": requests})
         self._bus_buckets.clear()
 
@@ -176,8 +189,12 @@ class TimelineRecorder:
         labels = dict(self._labels)
         for core in sorted(self._cores):
             labels.setdefault(core, f"core {core}")
-        if any(ev.get("tid") == UNCORE_TID for ev in self.events):
-            labels.setdefault(UNCORE_TID, "uncore")
+        uncore_tids = {ev["tid"] for ev in self.events
+                       if ev.get("tid", 0) >= UNCORE_TID}
+        for tid in uncore_tids:
+            name = ("uncore" if len(uncore_tids) == 1
+                    else f"uncore cluster {tid - UNCORE_TID}")
+            labels.setdefault(tid, name)
         for tid, name in sorted(labels.items()):
             meta.append({"name": "thread_name", "ph": "M", "pid": 0,
                          "tid": tid, "args": {"name": name}})

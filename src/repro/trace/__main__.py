@@ -108,7 +108,7 @@ def _cmd_replay(args) -> int:
     timeline = None
     if args.timeline_path:
         from repro.obs.timeline import TimelineRecorder
-        timeline = TimelineRecorder()
+        timeline = TimelineRecorder(bucket_cycles=args.timeline_bucket)
     start = time.perf_counter()
     result = replay_trace(trace, machine, timeline=timeline)
     wall = time.perf_counter() - start
@@ -241,8 +241,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                           metavar="OUT.json",
                           help="write a simulated-time timeline of the replay "
                                "(Chrome trace-event JSON: per-core lane "
-                               "run/stall spans, bus occupancy, DMA bursts; "
-                               "open in Perfetto or chrome://tracing)")
+                               "run/stall spans, bus occupancy — one lane "
+                               "per cluster bus on clustered machines — "
+                               "and DMA bursts; open in Perfetto or "
+                               "chrome://tracing)")
+    p_replay.add_argument("--timeline-bucket", type=int, default=256,
+                          metavar="CYCLES",
+                          help="bucket size (simulated cycles) of the bus "
+                               "occupancy/queue-delay counter lanes "
+                               "(default 256)")
     p_replay.set_defaults(func=_cmd_replay)
 
     p_ls = sub.add_parser("ls", help="list stored traces")

@@ -337,9 +337,12 @@ static int retire_one(VCtx *g, int64_t i, double latency,
 
 /* Run instructions [i, n) until an event the caller must handle: any DMA /
  * sync / set-bufsize / halt (vk >= 8), or — multicore — a live memory op
- * routed to the shared uncore (route 5).  Returns the index of the first
- * unprocessed instruction (== n when the stream is finished), or -1 on
- * allocation failure. */
+ * routed to the shared uncore (route 5).  Every memory miss that touches
+ * the uncore bounces here, so the clustered hierarchy (per-cluster buses,
+ * NUMA home routing, LLC slices) runs entirely in the Python bounce
+ * handler; this kernel needs no cluster awareness.  Returns the index of
+ * the first unprocessed instruction (== n when the stream is finished),
+ * or -1 on allocation failure. */
 int64_t vr_run(VCtx *g, int64_t i, int64_t n)
 {
     const uint8_t *vk = g->vk;

@@ -1116,7 +1116,8 @@ def _replay_multicore(mtrace: MulticoreTrace,
     per_core = [lane_result(CoreLane(None, lane.finish()),
                             system.core(core_id).stats_summary())
                 for core_id, lane in enumerate(lanes)]
-    sim = aggregate_results(per_core, system.aggregate_summary())
+    sim = aggregate_results(per_core, system.aggregate_summary(),
+                            topology=system.topology)
     energy = EnergyModel(machine.energy).compute(sim)
     return RunResult(workload=key.workload, mode=key.mode,
                      compiled=entries[0][1], sim=sim, energy=energy,

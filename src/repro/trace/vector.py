@@ -119,14 +119,16 @@ class _OracleRoutes:
     """Timing-independent routing of one stream under one cache geometry."""
 
     __slots__ = ("routes", "miss_lines", "guard_entries", "dma_nlines",
-                 "dget_entries", "n_dir", "collapsed", "patch")
+                 "dma_addrs", "dget_entries", "n_dir", "collapsed", "patch")
 
     def __init__(self, routes, miss_lines, guard_entries, dma_nlines,
-                 dget_entries, n_dir, patch):
+                 dma_addrs, dget_entries, n_dir, patch):
         self.routes = routes              # bytes, one code per memory op
         self.miss_lines = miss_lines      # array("q"), routes 3/4/5 in order
         self.guard_entries = guard_entries  # array("i"), route 1 in order
         self.dma_nlines = dma_nlines      # array("i"), per dget/dput in order
+        self.dma_addrs = dma_addrs        # array("q"), raw SM byte address
+                                          # per dget/dput (NUMA home routing)
         self.dget_entries = dget_entries  # array("i"), per dget (-1: no dir)
         self.n_dir = n_dir                # directory entries (presence arrays)
         self.collapsed = routes.count(_R_COLLAPSED)
@@ -198,6 +200,7 @@ def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
     lines_append = miss_lines.append
     guard_entries = array("i")
     dma_nlines = array("i")
+    dma_addrs = array("q")
     dget_entries = array("i")
     lm_plain_loads = lm_plain_stores = 0
     mi = di = 0
@@ -275,6 +278,7 @@ def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
             first = sm - sm % line_size
             end = sm + size - 1
             dma_nlines.append((end - end % line_size - first) // line_size + 1)
+            dma_addrs.append(sm)
             S.dma_get(lm_v, sm, size, tag=cold[h[7]][1], now=0.0)
             if directory.is_configured:
                 dget_entries.append(translate(lm_v) // directory.buffer_size)
@@ -288,6 +292,7 @@ def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
             first = sm - sm % line_size
             end = sm + size - 1
             dma_nlines.append((end - end % line_size - first) // line_size + 1)
+            dma_addrs.append(sm)
             S.dma_put(lm_v, sm, size, tag=cold[h[7]][1], now=0.0)
             if multicore and directory.is_configured:
                 # MulticoreHybridSystem.dma_put: write-back ends the chunk's
@@ -343,7 +348,7 @@ def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
             "dma_lines": S.dmac.lines_transferred,
         })
     return _OracleRoutes(bytes(routes), miss_lines, guard_entries, dma_nlines,
-                         dget_entries, n_dir, patch)
+                         dma_addrs, dget_entries, n_dir, patch)
 
 
 def _cached_flags(trace: Trace, decoded, cold, config) -> tuple:
@@ -693,6 +698,13 @@ class _VectorLane:
             dma_setup = dma_per_line = 0
         pause = uncore is not None
         uncore_acquire = uncore.acquire if pause else None
+        # Clustered uncore: the per-core port carries the hierarchical
+        # demand path (cluster bus + NUMA + home LLC slice) and the homed
+        # DMA path.  None on the flat bus — the pre-cluster arithmetic below
+        # then runs unchanged.
+        mem_path = getattr(uncore, "mem_path", None) if pause else None
+        dma_path = getattr(uncore, "dma_path", None) if pause else None
+        dma_addrs = oracle.dma_addrs
 
         # -- lane-local replicas of the clock-dependent structures --
         # Directory presence bits/ready times (guarded-hit stalls) and the
@@ -795,17 +807,20 @@ class _VectorLane:
                         # arbiter once another lane's front end is earlier
                         # (strictly, or equal with a lower core id).
                         ev_mem_miss += 1
+                        line = miss_lines[li]
+                        li += 1
                         if pause:
                             if fetch_time > limit or (
                                     fetch_time == limit
                                     and my_order > limit_order):
                                 self.fetch_time = fetch_time
                                 limit, limit_order = yield
-                            beyond = b_mem + uncore_acquire(now, 1)
+                            if mem_path is not None:
+                                beyond = b_l3 + mem_path(now, line)
+                            else:
+                                beyond = b_mem + uncore_acquire(now, 1)
                         else:
                             beyond = b_mem
-                        line = miss_lines[li]
-                        li += 1
                         latency = l1_lat + mshr_request(line, now, beyond)
                         total_lat += latency
                         hier_lat += latency
@@ -837,7 +852,10 @@ class _VectorLane:
                             self.fetch_time = fetch_time
                             limit, limit_order = yield
                         nlines = dma_nlines[ni]
-                        queue = uncore_acquire(now, nlines)
+                        if dma_path is not None:
+                            queue = dma_path(now, nlines, dma_addrs[ni])
+                        else:
+                            queue = uncore_acquire(now, nlines)
                     else:
                         nlines = dma_nlines[ni]
                         queue = 0.0
@@ -989,6 +1007,7 @@ class _VectorLane:
 
         c = mem.hierarchy.config
         l1_lat = float(c.l1_latency)
+        b_l3 = float(c.l2_latency + c.l3_latency)
         b_mem = float(c.l2_latency + c.l3_latency + c.memory_latency)
         mshr = mem.hierarchy.mshr
         if mem.use_lm:
@@ -1000,6 +1019,12 @@ class _VectorLane:
             dma_setup = dma_per_line = 0
         pause = uncore is not None
         uncore_acquire = uncore.acquire if pause else None
+        # Clustered per-core port (see _loop): hierarchical demand/DMA paths,
+        # None on the flat bus.  Both run in the Python bounce handler — the
+        # C kernel already bounces every uncore-relevant instruction.
+        mem_path = getattr(uncore, "mem_path", None) if pause else None
+        dma_path = getattr(uncore, "dma_path", None) if pause else None
+        dma_addrs = oracle.dma_addrs
 
         # -- shared state vectors (layout in _ckernel) and structure arrays --
         fs = np.zeros(_ckernel.FS_LEN)
@@ -1082,15 +1107,23 @@ class _VectorLane:
                     iv[5] += 1      # consume the peeked live route
                     line = int(miss_np[iv[2]])
                     iv[2] += 1
-                    beyond = b_mem + uncore_acquire(now, 1)
+                    if mem_path is not None:
+                        beyond = b_l3 + mem_path(now, line)
+                    else:
+                        beyond = b_mem + uncore_acquire(now, 1)
                     latency = l1_lat + mshr_c(ptr, line, now, beyond)
                     fs[6] += latency
                     fs[7] += latency
                 elif vk <= 9:       # dma-get / dma-put issue
                     b_dma += 1
                     nlines = dma_nlines[ni]
+                    if dma_path is not None:
+                        queue = dma_path(now, nlines, dma_addrs[ni])
+                    elif pause:
+                        queue = uncore_acquire(now, nlines)
+                    else:
+                        queue = 0.0
                     ni += 1
-                    queue = uncore_acquire(now, nlines) if pause else 0.0
                     completion_d = now + queue + float(
                         dma_setup + nlines * dma_per_line)
                     tag = h[2]      # the DMA tag rides in the latency slot
@@ -1240,14 +1273,22 @@ class _VectorLane:
         return timing
 
 
-def _apply_shared(memory, bus, patches) -> None:
+def _apply_shared(memory, bus, patches, uncore=None) -> None:
     """Install the summed shared memory/bus activity of all lanes.
 
     Must run after every lane's :meth:`_VectorLane.finish` and *before* any
     ``stats_summary()`` is collected — in multicore, every per-core summary
     reads these shared objects.
+
+    The oracle's scratch systems have no LLC, so each patch counts every
+    demand MEM route as a memory read; on a clustered uncore the timing
+    pass already counted the true reads itself (LLC demand *misses* only,
+    in ``mem_path``) and recorded its demand hits — subtract those so the
+    installed total matches what execution observes.
     """
     memory.reads = sum(p["memory_reads"] for p in patches)
+    if uncore is not None:
+        memory.reads -= getattr(uncore, "llc_demand_hits", 0)
     memory.writes = sum(p["memory_writes"] for p in patches)
     bus.transactions = sum(p["bus_transactions"] for p in patches)
     bus.dma_transactions = sum(p["bus_dma_transactions"] for p in patches)
@@ -1328,16 +1369,18 @@ def replay_multicore_vector(mtrace: MulticoreTrace,
                                   key.mode, machine, True, lm_lat, l1_lat)
         lanes.append(_VectorLane(core_id, phase_names, decoded, vstream,
                                  trace, mem, config, oracle,
-                                 flags, uncore=system.uncore))
+                                 flags, uncore=system.uncore.port(core_id)))
         patches.append(oracle.patch)
     with obs.phase("vector.timing"):
         run_resumable_lanes(lanes, timeline=timeline)
         timings = [lane.finish() for lane in lanes]
-    _apply_shared(system.uncore.memory, system.uncore.bus, patches)
+    _apply_shared(system.uncore.memory, system.uncore.bus, patches,
+                  uncore=system.uncore)
     per_core = [lane_result(CoreLane(None, timing),
                             system.core(core_id).stats_summary())
                 for core_id, timing in enumerate(timings)]
-    sim = aggregate_results(per_core, system.aggregate_summary())
+    sim = aggregate_results(per_core, system.aggregate_summary(),
+                            topology=system.topology)
     energy = EnergyModel(machine.energy).compute(sim)
     return RunResult(workload=key.workload, mode=key.mode,
                      compiled=entries[0][1], sim=sim, energy=energy,
