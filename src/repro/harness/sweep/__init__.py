@@ -500,13 +500,20 @@ def execute_spec(spec: RunSpec,
         result = run_workload(spec.workload, mode=spec.mode, scale=spec.scale,
                               machine=machine)
     elif spec.kind == "replay":
-        from repro.trace import run_replay_spec
+        from repro.trace import artifacts, run_replay_spec
         from repro.trace.store import EphemeralTraceStore, TraceStore
         if trace_store is None:
             trace_store = (TraceStore(trace_root) if trace_root is not None
                            else EphemeralTraceStore())
-        result = run_replay_spec(spec, base_machine=base_machine,
-                                 store=trace_store)
+        # Derived artifacts follow the trace store's lifecycle: pinned next
+        # to an on-disk store (which may live under an explicit --cache-dir),
+        # disabled outright for memory-only stores (nothing touches disk).
+        on_disk = isinstance(trace_store, TraceStore)
+        with artifacts.scoped(
+                cache_root=trace_store.root.parent if on_disk else None,
+                disabled=not on_disk):
+            result = run_replay_spec(spec, base_machine=base_machine,
+                                     store=trace_store)
     else:
         raise ValueError(f"unknown spec kind {spec.kind!r}")
     wall = time.perf_counter() - start

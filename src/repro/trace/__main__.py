@@ -34,6 +34,7 @@ from repro.trace import (
     TraceError,
     TraceKey,
     TraceStore,
+    artifacts,
     capture_workload,
     ensure_trace,
     replay_trace,
@@ -194,7 +195,9 @@ def _cmd_ls(args) -> int:
     stats = store.disk_stats()
     print(f"\n{stats['entries']} trace(s), {stats['bytes']} bytes under "
           f"{store.root} ({stats['stale_schema']} stale-schema, "
-          f"{stats['tmp_files']} leaked tmp)")
+          f"{stats['tmp_files']} leaked tmp); "
+          f"{stats['artifact_entries']} derived artifact(s), "
+          f"{stats['artifact_bytes']} bytes")
     return 0
 
 
@@ -215,7 +218,8 @@ def _cmd_prune(args) -> int:
     counts = store.prune(max_bytes=max_bytes, max_age_days=max_age)
     print(f"trace store at {store.root}: removed {counts['stale_schema']} "
           f"stale-schema, {counts['tmp_files']} tmp, {counts['evicted']} "
-          f"LRU-evicted ({counts['freed_bytes']} bytes freed); "
+          f"LRU-evicted, {counts['artifacts']} derived artifact(s) "
+          f"({counts['freed_bytes']} bytes freed); "
           f"{counts['kept']} trace(s), {counts['kept_bytes']} bytes kept")
     store.persist_stats()
     return 0
@@ -277,6 +281,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_prune.set_defaults(func=_cmd_prune)
 
     args = parser.parse_args(argv)
+    if getattr(args, "cache_dir", None):
+        # Derived artifacts must follow the same --cache-dir pin as the
+        # trace store every subcommand constructs from it.
+        artifacts.set_default_root(args.cache_dir)
     try:
         return args.func(args)
     except (TraceError, ReplayValidityError, KeyError, ValueError) as exc:

@@ -1,0 +1,324 @@
+"""On-disk cache of derived replay artifacts (decode/oracle/flags/prelower).
+
+The vector replay engine's derivation passes — stream decode, oracle
+routing, branch-flag resolution and the prelowered column stream — are pure
+functions of ``(stream digest, a small config projection)``.  They dominate
+the cost of a warm vector replay (the PR-7 phase profiler puts them at ~90%
+of recorded time on a medium CG point), yet the in-memory memo caches in
+:mod:`repro.trace.vector` die with the process, so every sweep-pool worker
+pays them again.  This module persists the pass products *next to their
+parent trace* so any later process — another worker, a repeat CLI query —
+goes straight to the timing loop.
+
+Layout: ``<cache>/traces/artifacts/<parent_hash>/<kind>-<key_hash>.art``,
+where ``parent_hash`` is the owning trace's :attr:`TraceKey.key_hash` (the
+multicore *family* hash for per-core streams, which have no file of their
+own) and ``key_hash`` content-addresses the pass-specific key (stream
+digest + config projection).  Grouping by parent makes lifecycle trivial:
+when :meth:`TraceStore.prune` evicts a trace, its artifact directory goes
+with it, and a directory whose parent trace no longer exists is an orphan
+swept on the next prune.
+
+Container format (``.art``): ``RPDA`` magic, a little-endian ``<H``
+schema, a ``<I``-length JSON header (kind, JSON-safe metadata, section
+name/length table) and the raw section bytes.  Writes are atomic
+(``<name>.tmp.<pid>`` + ``os.replace``), reads refresh the access time so
+LRU pruning sees artifact usage, and all byte production is deterministic
+(sorted-key JSON, typed arrays) so identical inputs give identical files
+across processes regardless of ``PYTHONHASHSEED``.
+
+Escape hatch: set ``REPRO_NO_ARTIFACTS=1`` (any non-empty value) to skip
+the disk tier entirely — passes fall back to the in-memory memos.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.store import (
+    TRACE_SUBDIR,
+    combined_lifetime_stats,
+    persist_sidecar_stats,
+)
+
+__all__ = [
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_SCHEMA",
+    "ARTIFACT_SUBDIR",
+    "ARTIFACT_SUFFIX",
+    "ArtifactStore",
+    "artifact_file_schema",
+    "content_key_hash",
+    "decode_artifact",
+    "default_store",
+    "encode_artifact",
+    "flush_stats_for",
+    "scoped",
+    "set_default_root",
+    "set_disabled",
+]
+
+#: Subdirectory of the trace store root holding derived artifacts.
+ARTIFACT_SUBDIR = "artifacts"
+ARTIFACT_MAGIC = b"RPDA"
+ARTIFACT_SCHEMA = 1
+#: Deliberately not ``.trace``: artifact files must never match the trace
+#: store's ``*/*.trace`` globs (they are not parseable traces).
+ARTIFACT_SUFFIX = ".art"
+
+_HEADER = struct.Struct("<4sHI")    # magic, schema, header-JSON length
+
+
+def content_key_hash(key) -> str:
+    """Content address of a pass key (any JSON-serializable structure).
+
+    Canonical JSON (sorted keys, no whitespace) makes the hash independent
+    of dict ordering and ``PYTHONHASHSEED``; 16 hex characters are plenty
+    for a per-trace namespace of a handful of (kind, config) points.
+    """
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def encode_artifact(kind: str, meta: dict,
+                    sections: Sequence[Tuple[str, bytes]]) -> bytes:
+    """Serialize one artifact: header + named binary sections, in order."""
+    table = []
+    blobs = []
+    for name, blob in sections:
+        table.append([name, len(blob)])
+        blobs.append(blob)
+    header = json.dumps({"kind": kind, "meta": meta, "sections": table},
+                        sort_keys=True, separators=(",", ":")).encode()
+    return b"".join([_HEADER.pack(ARTIFACT_MAGIC, ARTIFACT_SCHEMA,
+                                  len(header)), header] + blobs)
+
+
+def decode_artifact(data: bytes) -> Tuple[str, dict, Dict[str, bytes]]:
+    """Parse an artifact file; raises ``ValueError`` on any malformation."""
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated artifact header")
+    magic, schema, hlen = _HEADER.unpack_from(data)
+    if magic != ARTIFACT_MAGIC:
+        raise ValueError("not an artifact file")
+    if schema != ARTIFACT_SCHEMA:
+        raise ValueError(f"artifact schema {schema} != {ARTIFACT_SCHEMA}")
+    off = _HEADER.size
+    header = json.loads(data[off:off + hlen])
+    off += hlen
+    sections: Dict[str, bytes] = {}
+    for name, length in header["sections"]:
+        blob = data[off:off + length]
+        if len(blob) != length:
+            raise ValueError(f"truncated artifact section {name!r}")
+        sections[name] = blob
+        off += length
+    return header["kind"], header["meta"], sections
+
+
+def artifact_file_schema(path: Path) -> Optional[int]:
+    """The schema stamped in an artifact file's header (None = unreadable)."""
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(6)
+    except OSError:
+        return None
+    if len(head) < 6 or head[:4] != ARTIFACT_MAGIC:
+        return None
+    return struct.unpack_from("<H", head, 4)[0]
+
+
+class ArtifactStore:
+    """Derived-artifact sidecar of one trace store (same cache lifecycle)."""
+
+    def __init__(self, traces_root: os.PathLike):
+        self.traces_root = Path(traces_root)
+        self.root = self.traces_root / ARTIFACT_SUBDIR
+        self.hits = 0
+        self.misses = 0
+        self.corrupted = 0
+        self.writes = 0
+        #: Counter values already flushed to the sidecar by persist_stats().
+        self._persisted: Dict[str, int] = {}
+
+    def path_for(self, parent_hash: str, kind: str, key) -> Path:
+        return (self.root / parent_hash /
+                f"{kind}-{content_key_hash(key)}{ARTIFACT_SUFFIX}")
+
+    def get(self, parent_hash: str, kind: str, key
+            ) -> Optional[Tuple[dict, Dict[str, bytes]]]:
+        """Load ``(meta, sections)`` for a pass key, or None on a miss.
+
+        A file that cannot be parsed (torn write, stale schema) is removed
+        and treated as a miss.  Hits refresh the access time so the LRU
+        eviction in :meth:`TraceStore.prune` sees artifact usage.
+        """
+        path = self.path_for(parent_hash, kind, key)
+        try:
+            stat = path.stat()
+            stored_kind, meta, sections = decode_artifact(path.read_bytes())
+            if stored_kind != kind:
+                raise ValueError(f"artifact kind {stored_kind!r} != {kind!r}")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.corrupted += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        try:
+            os.utime(path, ns=(time.time_ns(), stat.st_mtime_ns))
+        except OSError:
+            pass
+        return meta, sections
+
+    def put(self, parent_hash: str, kind: str, key, meta: dict,
+            sections: Sequence[Tuple[str, bytes]]) -> Optional[Path]:
+        """Atomically persist one artifact; best-effort (None on I/O error)."""
+        path = self.path_for(parent_hash, kind, key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(encode_artifact(kind, meta, sections))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return None
+        self.writes += 1
+        return path
+
+    # -- introspection ------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob(f"*/*{ARTIFACT_SUFFIX}"))
+
+    def disk_stats(self) -> Dict[str, int]:
+        """On-disk shape: artifact entries, bytes and stale-schema files."""
+        entries = stale = total = 0
+        if self.root.is_dir():
+            for path in self.root.glob(f"*/*{ARTIFACT_SUFFIX}"):
+                try:
+                    total += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    continue
+                if artifact_file_schema(path) != ARTIFACT_SCHEMA:
+                    stale += 1
+        return {"entries": entries, "bytes": total, "stale_schema": stale}
+
+    def parent_dirs(self) -> List[Path]:
+        """Per-parent artifact directories, sorted for determinism."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.iterdir() if p.is_dir())
+
+    # -- lifetime counters ---------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        # Prefixed so the counters share the trace store's stats.meta sidecar
+        # without colliding with its hits/misses/writes keys.
+        return {"artifact_hits": self.hits, "artifact_misses": self.misses,
+                "artifact_corrupted": self.corrupted,
+                "artifact_writes": self.writes}
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Artifact counters across every session (sidecar + this session)."""
+        merged = combined_lifetime_stats(self.traces_root, self.stats(),
+                                         self._persisted)
+        return {k: v for k, v in merged.items() if k.startswith("artifact_")}
+
+    def persist_stats(self) -> Dict[str, int]:
+        """Flush this session's counter deltas into the shared sidecar."""
+        return persist_sidecar_stats(self.traces_root, self.stats(),
+                                     self._persisted)
+
+
+# -- process-wide default store ----------------------------------------------------
+# The replay passes resolve their store lazily per call: the environment (or
+# an explicit --cache-dir pin) names the cache root, and one ArtifactStore
+# per resolved root keeps session counters coherent across passes.
+_STORES: Dict[str, ArtifactStore] = {}
+_OVERRIDE_ROOT: Optional[Path] = None
+_DISABLED = False
+
+
+def set_default_root(cache_root: Optional[os.PathLike]) -> None:
+    """Pin the default store to ``<cache_root>/traces`` (CLI ``--cache-dir``).
+
+    ``None`` restores the ``$REPRO_CACHE_DIR`` / default-dir resolution.
+    """
+    global _OVERRIDE_ROOT
+    _OVERRIDE_ROOT = (None if cache_root is None
+                      else Path(cache_root) / TRACE_SUBDIR)
+
+
+def set_disabled(disabled: bool) -> None:
+    """Disable the disk tier process-wide (``--no-cache`` sweeps)."""
+    global _DISABLED
+    _DISABLED = bool(disabled)
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """The artifact store replay passes should use, or None when disabled.
+
+    Disabled by :func:`set_disabled` (no-cache runs) or by a non-empty
+    ``REPRO_NO_ARTIFACTS`` environment variable.
+    """
+    if _DISABLED or os.environ.get("REPRO_NO_ARTIFACTS"):
+        return None
+    if _OVERRIDE_ROOT is not None:
+        root = _OVERRIDE_ROOT
+    else:
+        from repro.harness.sweep import DEFAULT_CACHE_DIR
+        root = Path(os.environ.get("REPRO_CACHE_DIR",
+                                   DEFAULT_CACHE_DIR)) / TRACE_SUBDIR
+    cache_key = str(root)
+    store = _STORES.get(cache_key)
+    if store is None:
+        store = _STORES[cache_key] = ArtifactStore(root)
+    return store
+
+
+@contextmanager
+def scoped(cache_root: Optional[os.PathLike] = None, disabled: bool = False):
+    """Pin or disable the default store for one scope (a sweep cell).
+
+    ``disabled=True`` turns the disk tier off (no-cache replay cells: the
+    trace never touches the filesystem, so neither may its derived
+    artifacts); a ``cache_root`` pins artifacts next to the trace store the
+    cell replays through (which may be an explicit ``--cache-dir``, not the
+    environment default).  Both settings are restored on exit.
+    """
+    global _OVERRIDE_ROOT, _DISABLED
+    prev_root, prev_disabled = _OVERRIDE_ROOT, _DISABLED
+    if disabled:
+        _DISABLED = True
+    elif cache_root is not None:
+        _OVERRIDE_ROOT = Path(cache_root) / TRACE_SUBDIR
+    try:
+        yield
+    finally:
+        _OVERRIDE_ROOT, _DISABLED = prev_root, prev_disabled
+
+
+def flush_stats_for(traces_root: os.PathLike) -> None:
+    """Persist the session counters of the store rooted at ``traces_root``
+    (no-op if no artifact store was used for that root this session)."""
+    store = _STORES.get(str(Path(traces_root)))
+    if store is not None:
+        store.persist_stats()

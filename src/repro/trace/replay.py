@@ -88,6 +88,7 @@ from repro.harness.runner import RunResult
 from repro.harness.systems import build_system, core_config_for
 from repro.energy.model import EnergyModel
 from repro.isa.instructions import Opcode
+from repro.trace import artifacts
 from repro.trace.format import (
     MulticoreTrace,
     Trace,
@@ -215,9 +216,12 @@ def _program_meta(program):
 def _decode_trace(trace: Trace, hot, cold, fu_values):
     """Expand the trace into the retired dynamic sequence (one walk).
 
-    Returns ``(seq, branches, mem_addrs, dma_words, fu_counts)`` where
-    ``seq`` references the per-pc hot tuples in retirement order.  The walk
-    also validates that the trace matches the rebuilt program exactly.
+    Returns ``(seq, branches, mem_addrs, dma_words, fu_counts, seq_pcs)``
+    where ``seq`` references the per-pc hot tuples in retirement order and
+    ``seq_pcs`` is the same sequence as a flat PC array (the persistable
+    projection: ``seq`` is rebuilt from it as ``[hot[pc] for pc in
+    seq_pcs]``).  The walk also validates that the trace matches the
+    rebuilt program exactly.
     """
     branches = trace.branch_outcomes()
     mem_addrs = list(trace.mem_addrs)
@@ -266,7 +270,40 @@ def _decode_trace(trace: Trace, hot, cold, fu_values):
         if count:
             fu_value = fu_values[pc]
             fu_counts[fu_value] = fu_counts.get(fu_value, 0) + count
-    return seq, branches, mem_addrs, dma_words, fu_counts
+    seq_pcs = array("I", [h[7] for h in seq])
+    return seq, branches, mem_addrs, dma_words, fu_counts, seq_pcs
+
+
+def _decode_to_artifact(decoded):
+    """Project a decode result onto its persistable (meta, sections) form.
+
+    Only the retired PC stream and the FU visit histogram need storing:
+    branch/memory/DMA event streams live in the trace itself, and ``seq``
+    is ``[hot[pc] for pc in seq_pcs]`` by construction.
+    """
+    seq, branches, mem_addrs, dma_words, fu_counts, seq_pcs = decoded
+    meta = {"n": len(seq),
+            "fu_counts": dict(sorted(fu_counts.items()))}
+    return meta, [("seq_pcs", seq_pcs.tobytes())]
+
+
+def _decode_from_artifact(meta, sections, trace: Trace, hot):
+    """Rebuild a decode result from its artifact, or None if implausible.
+
+    Skips the control-flow walk entirely — validity was established when
+    the artifact was written under the same (fingerprint, digest) key.
+    """
+    try:
+        seq_pcs = array("I")
+        seq_pcs.frombytes(sections["seq_pcs"])
+        if len(seq_pcs) != trace.instructions or meta["n"] != len(seq_pcs):
+            return None
+        seq = [hot[pc] for pc in seq_pcs]
+        fu_counts = {k: int(v) for k, v in meta["fu_counts"].items()}
+    except (KeyError, IndexError, ValueError, TypeError):
+        return None
+    return (seq, trace.branch_outcomes(), list(trace.mem_addrs),
+            list(trace.dma_words), fu_counts, seq_pcs)
 
 
 # Rebuilt programs, decoded dynamic sequences and instruction-fetch cache
@@ -339,19 +376,40 @@ def _cached_parallel_program(key: TraceKey, machine: MachineConfig):
     return entry
 
 
-def _cached_decode(trace: Trace, hot, cold, fu_values):
+def _cached_decode(trace: Trace, hot, cold, fu_values, parent_hash=None):
+    """Decoded dynamic sequence of one trace: memory -> disk -> compute.
+
+    ``parent_hash`` (the owning trace's — or multicore family's — key hash)
+    enables the on-disk artifact tier; without it only the in-memory memo
+    is consulted.
+    """
     cache_key = (trace.program_fingerprint, trace.stream_digest())
     entry = _DECODE_CACHE.get(cache_key)
-    if entry is None:
-        obs.incr("replay.decode.miss")
-        with obs.phase("replay.decode"):
-            entry = _decode_trace(trace, hot, cold, fu_values)
-        _DECODE_CACHE[cache_key] = entry
-        while len(_DECODE_CACHE) > _CACHE_CAP:
-            _DECODE_CACHE.popitem(last=False)
-    else:
+    if entry is not None:
         obs.incr("replay.decode.hit")
         _DECODE_CACHE.move_to_end(cache_key)
+        return entry
+    store = artifacts.default_store() if parent_hash else None
+    if store is not None:
+        loaded = store.get(parent_hash, "decode", list(cache_key))
+        if loaded is not None:
+            entry = _decode_from_artifact(loaded[0], loaded[1], trace, hot)
+            if entry is not None:
+                obs.incr("replay.decode.hit")
+                obs.incr("replay.decode.disk.hit")
+                _DECODE_CACHE[cache_key] = entry
+                while len(_DECODE_CACHE) > _CACHE_CAP:
+                    _DECODE_CACHE.popitem(last=False)
+                return entry
+    obs.incr("replay.decode.miss")
+    with obs.phase("replay.decode"):
+        entry = _decode_trace(trace, hot, cold, fu_values)
+    _DECODE_CACHE[cache_key] = entry
+    while len(_DECODE_CACHE) > _CACHE_CAP:
+        _DECODE_CACHE.popitem(last=False)
+    if store is not None:
+        meta, sections = _decode_to_artifact(entry)
+        store.put(parent_hash, "decode", list(cache_key), meta, sections)
     return entry
 
 
@@ -466,7 +524,8 @@ def replay_trace(trace: Trace,
             f"trace {trace.key.label} is stale: program fingerprint "
             f"{trace.program_fingerprint} != rebuilt {fingerprint} "
             "(the compiler or workload changed since capture)")
-    decoded = _cached_decode(trace, hot, cold, fu_values)
+    decoded = _cached_decode(trace, hot, cold, fu_values,
+                             parent_hash=trace.key.key_hash)
     system = build_system(trace.key.mode, machine)
     lane = _FusedLane(0, program, cold, phase_names, decoded, trace,
                       system, system, core_config_for(machine))
@@ -510,7 +569,7 @@ class _FusedLane:
 
     def __init__(self, order: int, program, cold, phase_names, decoded,
                  trace: Trace, system, mem, config):
-        seq, branches, mem_addrs, dma_words, fu_counts = decoded
+        seq, branches, mem_addrs, dma_words, fu_counts = decoded[:5]
         self.order = order
         self.trace = trace
         self.config = config
@@ -1107,7 +1166,8 @@ def _replay_multicore(mtrace: MulticoreTrace,
     lanes = []
     for core_id, (entry, trace) in enumerate(zip(entries, mtrace.cores)):
         program, comp, hot, cold, fu_values, phase_names, fingerprint = entry
-        decoded = _cached_decode(trace, hot, cold, fu_values)
+        decoded = _cached_decode(trace, hot, cold, fu_values,
+                                 parent_hash=key.key_hash)
         lanes.append(_FusedLane(core_id, program, cold, phase_names, decoded,
                                 trace, system.view(core_id),
                                 system.core(core_id), config))

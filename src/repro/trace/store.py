@@ -296,8 +296,12 @@ class TraceStore:
                     continue
                 if _file_schema(path) != TRACE_SCHEMA:
                     stale += 1
+        from repro.trace.artifacts import ArtifactStore
+        art = ArtifactStore(self.root).disk_stats()
         return {"entries": entries, "bytes": total, "stale_schema": stale,
                 "tmp_files": len(self._tmp_files()),
+                "artifact_entries": art["entries"],
+                "artifact_bytes": art["bytes"],
                 "lifetime": self.lifetime_stats()}
 
     def prune(self, max_bytes: Optional[int] = None,
@@ -309,12 +313,23 @@ class TraceStore:
         :data:`TMP_SWEEP_MIN_AGE`, so a concurrent writer's in-flight temp
         file is left alone).  With ``max_age_days``, entries whose access
         time is older are evicted; with ``max_bytes``, least-recently-used
-        entries are evicted until the surviving total fits.  Returns the
-        sweep counters (``stale_schema`` / ``tmp_files`` / ``evicted`` /
+        entries are evicted until the surviving total fits.  Derived
+        artifacts (see :mod:`repro.trace.artifacts`) share their parent
+        trace's lifecycle: their bytes count toward ``max_bytes``, they are
+        deleted when their parent is evicted, and orphaned or stale-schema
+        sidecar files are swept unconditionally.  Returns the sweep counters
+        (``stale_schema`` / ``tmp_files`` / ``evicted`` / ``artifacts`` /
         ``freed_bytes`` / ``kept`` / ``kept_bytes``).
         """
+        from repro.trace.artifacts import (
+            ARTIFACT_SCHEMA,
+            ARTIFACT_SUFFIX,
+            ArtifactStore,
+            artifact_file_schema,
+        )
         counts = {"stale_schema": 0, "tmp_files": 0, "evicted": 0,
-                  "freed_bytes": 0, "kept": 0, "kept_bytes": 0}
+                  "artifacts": 0, "freed_bytes": 0, "kept": 0,
+                  "kept_bytes": 0}
 
         def unlink(path: Path, bucket: str, size: int = 0) -> bool:
             try:
@@ -327,7 +342,10 @@ class TraceStore:
                 self.evictions += 1
             return True
 
-        for path in self._tmp_files(TMP_SWEEP_MIN_AGE):
+        art_store = ArtifactStore(self.root)
+        tmp_sweep = (self._tmp_files(TMP_SWEEP_MIN_AGE) +
+                     tmp_files_under(art_store.root, TMP_SWEEP_MIN_AGE))
+        for path in tmp_sweep:
             try:
                 size = path.stat().st_size
             except OSError:
@@ -347,8 +365,48 @@ class TraceStore:
                 else:
                     live.append((stat.st_atime, stat.st_size, path))
 
-        live = evict_lru(live,
-                         lambda path, size: unlink(path, "evicted", size),
+        # Artifact sweep runs after the trace scan so artifacts of a trace
+        # removed above (stale schema) register as orphans here.  Surviving
+        # artifacts are charged to their parent's LRU record: the pair is
+        # evicted — or kept — as a unit.
+        art_sizes: Dict[str, int] = {}
+        for pdir in art_store.parent_dirs():
+            parent = pdir.name
+            orphan = not (self.root / parent[:2] / f"{parent}.trace").is_file()
+            for path in sorted(pdir.glob(f"*{ARTIFACT_SUFFIX}")):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                if orphan or artifact_file_schema(path) != ARTIFACT_SCHEMA:
+                    unlink(path, "artifacts", size)
+                else:
+                    art_sizes[parent] = art_sizes.get(parent, 0) + size
+            try:
+                pdir.rmdir()   # only succeeds once emptied
+            except OSError:
+                pass
+        live = [(atime, size + art_sizes.get(path.stem, 0), path)
+                for atime, size, path in live]
+
+        def evict_with_artifacts(path: Path, size: int) -> bool:
+            if not unlink(path, "evicted", size):
+                return False
+            pdir = art_store.root / path.stem
+            for art in sorted(pdir.glob(f"*{ARTIFACT_SUFFIX}")):
+                # Freed bytes already counted: `size` includes artifacts.
+                try:
+                    art.unlink()
+                    counts["artifacts"] += 1
+                except OSError:
+                    pass
+            try:
+                pdir.rmdir()
+            except OSError:
+                pass
+            return True
+
+        live = evict_lru(live, evict_with_artifacts,
                          max_bytes=max_bytes, max_age_days=max_age_days)
         counts["kept"] = len(live)
         counts["kept_bytes"] = sum(size for _, size, _ in live)
@@ -414,6 +472,10 @@ class TraceStore:
 
     def persist_stats(self) -> Dict[str, int]:
         """Flush this session's counter deltas into the sidecar file."""
+        from repro.trace import artifacts
+        # The derived-artifact store shares this sidecar (prefixed keys);
+        # flushing here lets every existing persist call site cover both.
+        artifacts.flush_stats_for(self.root)
         return persist_sidecar_stats(self.root, self.stats(),
                                      self._persisted)
 

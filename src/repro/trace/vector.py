@@ -69,7 +69,8 @@ from repro.energy.model import EnergyModel
 from repro.harness.config import MachineConfig
 from repro.harness.runner import RunResult
 from repro.harness.systems import build_system, core_config_for
-from repro.trace import _ckernel
+from repro.mem.cache import CacheStats
+from repro.trace import _ckernel, artifacts
 from repro.trace.format import MulticoreTrace, Trace, TraceError
 from repro.trace.replay import (
     _INFINITY,
@@ -144,26 +145,84 @@ def _geometry_key(mode: str, machine: MachineConfig, multicore: bool) -> tuple:
             c.prefetch_distance, machine.lm_size, machine.directory_entries)
 
 
+def _oracle_to_artifact(oracle: _OracleRoutes) -> tuple:
+    """Persistable (meta, sections) projection of an oracle result."""
+    patch = dict(oracle.patch)
+    for level in ("l1", "l2", "l3"):
+        patch[level] = patch[level].as_dict()
+    if "agu" in patch:
+        patch["agu"] = list(patch["agu"])
+    meta = {"n_dir": oracle.n_dir, "patch": patch}
+    sections = [("routes", bytes(oracle.routes)),
+                ("miss_lines", oracle.miss_lines.tobytes()),
+                ("guard_entries", oracle.guard_entries.tobytes()),
+                ("dma_nlines", oracle.dma_nlines.tobytes()),
+                ("dma_addrs", oracle.dma_addrs.tobytes()),
+                ("dget_entries", oracle.dget_entries.tobytes())]
+    return meta, sections
+
+
+def _oracle_from_artifact(meta, sections):
+    """Rebuild an :class:`_OracleRoutes` from its artifact (None if torn)."""
+    try:
+        patch = dict(meta["patch"])
+        for level in ("l1", "l2", "l3"):
+            patch[level] = CacheStats(**patch[level])
+        if "agu" in patch:
+            patch["agu"] = tuple(patch["agu"])
+        miss_lines = array("q")
+        miss_lines.frombytes(sections["miss_lines"])
+        guard_entries = array("i")
+        guard_entries.frombytes(sections["guard_entries"])
+        dma_nlines = array("i")
+        dma_nlines.frombytes(sections["dma_nlines"])
+        dma_addrs = array("q")
+        dma_addrs.frombytes(sections["dma_addrs"])
+        dget_entries = array("i")
+        dget_entries.frombytes(sections["dget_entries"])
+        return _OracleRoutes(sections["routes"], miss_lines, guard_entries,
+                             dma_nlines, dma_addrs, dget_entries,
+                             int(meta["n_dir"]), patch)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
 def _cached_oracle(trace: Trace, decoded, cold, mode: str,
-                   machine: MachineConfig, multicore: bool) -> _OracleRoutes:
+                   machine: MachineConfig, multicore: bool,
+                   parent_hash=None) -> _OracleRoutes:
     key = (trace.program_fingerprint, trace.stream_digest(),
            _geometry_key(mode, machine, multicore))
     entry = _ORACLE_CACHE.get(key)
-    if entry is None:
-        obs.incr("vector.oracle.miss")
-        with obs.phase("vector.oracle"):
-            entry = _oracle_routes(decoded, cold, mode, machine, multicore)
-        _ORACLE_CACHE[key] = entry
-        while len(_ORACLE_CACHE) > _ORACLE_CAP:
-            _ORACLE_CACHE.popitem(last=False)
-    else:
+    if entry is not None:
         obs.incr("vector.oracle.hit")
         _ORACLE_CACHE.move_to_end(key)
+        return entry
+    store = artifacts.default_store() if parent_hash else None
+    if store is not None:
+        loaded = store.get(parent_hash, "oracle", key)
+        if loaded is not None:
+            entry = _oracle_from_artifact(loaded[0], loaded[1])
+            if entry is not None:
+                obs.incr("vector.oracle.hit")
+                obs.incr("vector.oracle.disk.hit")
+                _ORACLE_CACHE[key] = entry
+                while len(_ORACLE_CACHE) > _ORACLE_CAP:
+                    _ORACLE_CACHE.popitem(last=False)
+                return entry
+    obs.incr("vector.oracle.miss")
+    with obs.phase("vector.oracle"):
+        entry = _oracle_routes(decoded, cold, mode, machine, multicore)
+    _ORACLE_CACHE[key] = entry
+    while len(_ORACLE_CACHE) > _ORACLE_CAP:
+        _ORACLE_CACHE.popitem(last=False)
+    if store is not None:
+        meta, sections = _oracle_to_artifact(entry)
+        store.put(parent_hash, "oracle", key, meta, sections)
     return entry
 
 
-def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
-                   multicore: bool) -> _OracleRoutes:
+def _oracle_routes_scalar(decoded, cold, mode: str, machine: MachineConfig,
+                          multicore: bool) -> _OracleRoutes:
     """Resolve every memory/DMA event of a stream against a scratch system.
 
     The scratch system is the same per-core :func:`build_system` product the
@@ -178,8 +237,12 @@ def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
     (private caches/LM/directory; the shared memory/bus counters commute and
     are summed at apply time), and the multicore wrapper's dma-put directory
     unmap is transcribed below so guarded hit/miss sequences match.
+
+    This is the reference walk; :func:`_oracle_routes` is the batched
+    version with identical output (randomized equivalence enforced by
+    ``tests/test_artifact_cache.py``).
     """
-    seq, branches, mem_addrs, dma_words, fu_counts = decoded
+    seq, branches, mem_addrs, dma_words, fu_counts = decoded[:5]
     S = build_system(mode, machine)
     hierarchy = S.hierarchy
     line_size = hierarchy.config.line_size
@@ -351,24 +414,469 @@ def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
                          dma_addrs, dget_entries, n_dir, patch)
 
 
-def _cached_flags(trace: Trace, decoded, cold, config) -> tuple:
+def _oracle_routes(decoded, cold, mode: str, machine: MachineConfig,
+                   multicore: bool) -> _OracleRoutes:
+    """Batched oracle pass — bit-identical to :func:`_oracle_routes_scalar`.
+
+    Plain cacheable loads/stores (no guard, no divert) dominate every NAS
+    stream; they are buffered and resolved in segments, with the same bounce
+    discipline as the epoch kernel: any event the scalar walk routes through
+    directory/AGU/DMA state (guarded or divert accesses, DMA commands)
+    flushes the buffer and takes the unmodified scalar path, so the scratch
+    system observes the identical call sequence around it.
+
+    Inside a flush, three exactness arguments carry the batching:
+
+    * LM-range filtering and store-collapse matching only need the
+      ``_last_store_*`` latch, tracked locally and written back (bounces
+      update the system's own latch through the real ``store()`` call);
+    * prefetcher training is a pure function of the demand ``(pc, addr)``
+      sequence (:meth:`~repro.mem.prefetcher.StreamPrefetcher.train_batch`
+      is exactly N ``train()`` calls), and the returned per-access fill
+      lists are applied at each access's position, so fills land between
+      the same accesses as in the scalar walk;
+    * a maximal run of prefetch-quiet L1 hits goes through
+      :meth:`~repro.mem.cache.Cache.access_batch` — an L1 hit disturbs only
+      LRU order (write-through, no fills), so the ``probe`` outcome of
+      later run members cannot change, and the runs' store write-throughs
+      keep their per-cache order when replayed as L2/L3 batches after the
+      run (write-throughs never fill, so L2 outcomes are independent of the
+      interleaved L3 traffic).
+
+    Everything the skipped scalar calls would have incremented (system
+    load/store/collapse counters, functional ``MainMemory`` word-touch
+    counters, ``demand_accesses``) is folded in per flush; the functional
+    data words themselves are scratch nothing reads back and are skipped.
+    """
+    seq, branches, mem_addrs, dma_words, fu_counts = decoded[:5]
+    S = build_system(mode, machine)
+    hierarchy = S.hierarchy
+    l1 = hierarchy.l1
+    l2 = hierarchy.l2
+    l3 = hierarchy.l3
+    memory = hierarchy.memory
+    prefetcher = hierarchy.prefetcher
+    prefetch_enabled = hierarchy._prefetch_enabled
+    line_size = hierarchy.config.line_size
+    use_lm = S.use_lm
+    directory = S.directory
+    load = S.load
+    store = S.store
+    if use_lm:
+        lm_lo = S.address_map.virtual_base
+        lm_hi = lm_lo + S.address_map.size
+        translate = S.address_map.translate
+    else:
+        lm_lo = lm_hi = -1
+        translate = None
+    routes = bytearray()
+    routes_append = routes.append
+    miss_lines = array("q")
+    lines_append = miss_lines.append
+    guard_entries = array("i")
+    dma_nlines = array("i")
+    dma_addrs = array("q")
+    dget_entries = array("i")
+    lm_plain_loads = lm_plain_stores = 0
+
+    probe = l1.probe
+    l1_access = l1.access
+    writethrough = hierarchy._writethrough
+    miss_path = hierarchy._miss_path
+    prefetch_fill = hierarchy._prefetch_fill
+
+    pend_store: list = []     # is-store flag per buffered plain event
+    pend_addr: list = []
+    pend_pc: list = []
+    pend_collapse: list = []
+
+    def flush() -> None:
+        nonlocal lm_plain_loads, lm_plain_stores
+        n_pend = len(pend_store)
+        if not n_pend:
+            return
+        # Phase A: classify against the local store-collapse latch.
+        # froutes starts all-_R_LM (code 0); demand/collapsed slots are
+        # overwritten below.
+        last_addr = S._last_store_addr
+        last_sm = S._last_store_to_sm
+        froutes = bytearray(n_pend)
+        d_pos: list = []
+        d_addr: list = []
+        d_pc: list = []
+        d_store: list = []
+        n_loads = n_stores = n_collapsed = 0
+        for j in range(n_pend):
+            addr = pend_addr[j]
+            if pend_store[j]:
+                if lm_lo <= addr < lm_hi:
+                    lm_plain_stores += 1
+                    last_addr = addr
+                    last_sm = False
+                elif pend_collapse[j] and last_sm and last_addr == addr:
+                    n_collapsed += 1
+                    froutes[j] = _R_COLLAPSED
+                else:
+                    n_stores += 1
+                    d_pos.append(j)
+                    d_addr.append(addr)
+                    d_pc.append(pend_pc[j])
+                    d_store.append(True)
+                    last_addr = addr
+                    last_sm = True
+            elif lm_lo <= addr < lm_hi:
+                lm_plain_loads += 1
+            else:
+                n_loads += 1
+                d_pos.append(j)
+                d_addr.append(addr)
+                d_pc.append(pend_pc[j])
+                d_store.append(False)
+        S._last_store_addr = last_addr
+        S._last_store_to_sm = last_sm
+        pend_store.clear()
+        pend_addr.clear()
+        pend_pc.clear()
+        pend_collapse.clear()
+
+        # Counter fold: what the skipped load()/store()/_sm_*/_account calls
+        # increment for plain events (functional read_word/write_word count
+        # on MainMemory; the data words are scratch and skipped).
+        n_demand = len(d_addr)
+        S.loads += n_loads
+        S.stores += n_stores + n_collapsed
+        S.collapsed_stores += n_collapsed
+        S.mem_ops += n_loads + n_stores + n_collapsed
+        memory.reads += n_loads
+        memory.writes += n_stores + n_collapsed
+        hierarchy.demand_accesses += n_demand
+
+        # Phase B: batch-train the prefetcher on the demand stream.
+        pf_lists = (prefetcher.train_batch(d_pc, d_addr)
+                    if prefetch_enabled and n_demand else None)
+
+        # Phase C: resolve demands in order — L1-hit runs batched, the rest
+        # through the real hierarchy path (minus its scratch latency math).
+        run_addrs: list = []
+        run_wt: list = []
+
+        def close_run() -> None:
+            if not run_addrs:
+                return
+            l1.access_batch(run_addrs, False)
+            if run_wt:
+                wt_hits = l2.access_batch(run_wt, True, kind="writethrough")
+                l3_wt = [a for a, hit in zip(run_wt, wt_hits) if not hit]
+                if l3_wt:
+                    l3.access_batch(l3_wt, True, kind="writethrough")
+            run_addrs.clear()
+            run_wt.clear()
+
+        for j in range(n_demand):
+            addr = d_addr[j]
+            is_write = d_store[j]
+            if (pf_lists is None or not pf_lists[j]) and probe(addr):
+                run_addrs.append(addr)
+                if is_write:
+                    run_wt.append(addr)
+                froutes[d_pos[j]] = _R_L1
+                continue
+            close_run()
+            if l1_access(addr, is_write):
+                froutes[d_pos[j]] = _R_L1
+                if is_write:
+                    writethrough(addr)
+            else:
+                level = miss_path(addr, is_write, 0.0).level
+                if level == "L2":
+                    froutes[d_pos[j]] = _R_L2
+                elif level == "L3":
+                    froutes[d_pos[j]] = _R_L3
+                else:
+                    froutes[d_pos[j]] = _R_MEM
+                lines_append(addr - addr % line_size)
+            if pf_lists is not None:
+                for pf_line in pf_lists[j]:
+                    prefetch_fill(pf_line)
+        close_run()
+        routes.extend(froutes)
+
+    p_store = pend_store.append
+    p_addr = pend_addr.append
+    p_pc = pend_pc.append
+    p_collapse = pend_collapse.append
+    mi = di = 0
+    for h in seq:
+        kind = h[0]
+        if kind == 1:        # load
+            addr = mem_addrs[mi]
+            mi += 1
+            index = h[7]
+            cm = cold[index]
+            if (cm[2] or cm[3]) and not lm_lo <= addr < lm_hi:
+                # Guarded/divert SM access: bounce through the scalar path.
+                flush()
+                out = load(addr, guarded=cm[2], oracle_divert=cm[3],
+                           pc=index, now=0.0)
+                served = out.served_by
+                if served == "L1":
+                    routes_append(_R_L1)
+                elif served == "LM":
+                    if cm[2]:   # guarded hit: presence stall recomputed live
+                        routes_append(_R_GUARD)
+                        guard_entries.append(
+                            directory._tag_index[addr & directory.base_mask])
+                    else:       # oracle-divert hit: plain LM latency
+                        routes_append(_R_LM)
+                elif served == "L2":
+                    routes_append(_R_L2)
+                    lines_append(addr - addr % line_size)
+                elif served == "L3":
+                    routes_append(_R_L3)
+                    lines_append(addr - addr % line_size)
+                else:           # MEM
+                    routes_append(_R_MEM)
+                    lines_append(addr - addr % line_size)
+            else:
+                p_store(False)
+                p_addr(addr)
+                p_pc(index)
+                p_collapse(False)
+        elif kind == 2:      # store
+            addr = mem_addrs[mi]
+            mi += 1
+            index = h[7]
+            cm = cold[index]
+            if (cm[2] or cm[3]) and not lm_lo <= addr < lm_hi:
+                flush()
+                out = store(addr, 0.0, guarded=cm[2], oracle_divert=cm[3],
+                            collapse_with_prev=cm[4], pc=index, now=0.0)
+                served = out.served_by
+                if served == "L1":
+                    routes_append(_R_L1)
+                elif served == "LM":
+                    if cm[2]:
+                        routes_append(_R_GUARD)
+                        guard_entries.append(
+                            directory._tag_index[addr & directory.base_mask])
+                    else:
+                        routes_append(_R_LM)
+                elif served == "collapsed":
+                    routes_append(_R_COLLAPSED)
+                elif served == "L2":
+                    routes_append(_R_L2)
+                    lines_append(addr - addr % line_size)
+                elif served == "L3":
+                    routes_append(_R_L3)
+                    lines_append(addr - addr % line_size)
+                else:           # MEM
+                    routes_append(_R_MEM)
+                    lines_append(addr - addr % line_size)
+            else:
+                p_store(True)
+                p_addr(addr)
+                p_pc(index)
+                p_collapse(cm[4])
+        elif kind == 6:      # dma-get
+            flush()
+            lm_v = dma_words[di]
+            sm = dma_words[di + 1]
+            size = dma_words[di + 2]
+            di += 3
+            first = sm - sm % line_size
+            end = sm + size - 1
+            dma_nlines.append((end - end % line_size - first) // line_size + 1)
+            dma_addrs.append(sm)
+            S.dma_get(lm_v, sm, size, tag=cold[h[7]][1], now=0.0)
+            if directory.is_configured:
+                dget_entries.append(translate(lm_v) // directory.buffer_size)
+            else:
+                dget_entries.append(-1)
+        elif kind == 7:      # dma-put
+            flush()
+            lm_v = dma_words[di]
+            sm = dma_words[di + 1]
+            size = dma_words[di + 2]
+            di += 3
+            first = sm - sm % line_size
+            end = sm + size - 1
+            dma_nlines.append((end - end % line_size - first) // line_size + 1)
+            dma_addrs.append(sm)
+            S.dma_put(lm_v, sm, size, tag=cold[h[7]][1], now=0.0)
+            if multicore and directory.is_configured:
+                # MulticoreHybridSystem.dma_put: write-back ends the chunk's
+                # LM residence, unmapping the issuing core's directory entry.
+                lm_offset = translate(lm_v)
+                entry = directory.entries[directory.buffer_index(lm_offset)]
+                if entry.valid and entry.tag == (sm & directory.base_mask):
+                    directory.invalidate_buffer(lm_offset)
+        elif kind == 8:      # dma-sync (timing only; keeps the syncs counter)
+            S.dma_sync(cold[h[7]][1], now=0.0)
+        elif kind == 9:      # set-bufsize
+            S.set_buffer_size(cold[h[7]][1])
+    flush()
+    prefetcher = hierarchy.prefetcher
+    patch = {
+        "loads": S.loads + lm_plain_loads,
+        "stores": S.stores + lm_plain_stores,
+        "guarded_loads": S.guarded_loads,
+        "guarded_stores": S.guarded_stores,
+        "collapsed_stores": S.collapsed_stores,
+        "mem_ops": S.mem_ops + lm_plain_loads + lm_plain_stores,
+        "last_store_addr": S._last_store_addr,
+        "last_store_to_sm": S._last_store_to_sm,
+        "demand_accesses": hierarchy.demand_accesses,
+        "l1": hierarchy.l1.stats,
+        "l2": hierarchy.l2.stats,
+        "l3": hierarchy.l3.stats,
+        "memory_reads": hierarchy.memory.reads,
+        "memory_writes": hierarchy.memory.writes,
+        "bus_transactions": hierarchy.bus.transactions,
+        "bus_dma_transactions": hierarchy.bus.dma_transactions,
+        "bus_bytes": hierarchy.bus.bytes_transferred,
+        "pf_trainings": prefetcher.trainings,
+        "pf_issued": prefetcher.issued,
+        "pf_collisions": prefetcher.collisions,
+    }
+    n_dir = 0
+    if use_lm:
+        n_dir = len(directory.entries)
+        patch.update({
+            "lm_reads": S.lm.reads + lm_plain_loads,
+            "lm_writes": S.lm.writes + lm_plain_stores,
+            "agu": (S.agu.guarded_loads, S.agu.guarded_stores,
+                    S.agu.diverted_loads, S.agu.diverted_stores),
+            "dir_lookups": directory.stats.lookups,
+            "dir_hits": directory.stats.hits,
+            "dir_misses": directory.stats.misses,
+            "dir_updates": directory.stats.updates,
+            "dir_configurations": directory.stats.configurations,
+            "dma_gets": S.dmac.gets,
+            "dma_puts": S.dmac.puts,
+            "dma_syncs": S.dmac.syncs,
+            "dma_words": S.dmac.words_transferred,
+            "dma_lines": S.dmac.lines_transferred,
+        })
+    return _OracleRoutes(bytes(routes), miss_lines, guard_entries, dma_nlines,
+                         dma_addrs, dget_entries, n_dir, patch)
+
+
+def _flags_to_artifact(entry) -> tuple:
+    """Persistable (meta, sections) projection of a flags-pass result."""
+    flags, predictions, mispredictions, btb_hits, btb_misses = entry
+    meta = {"predictions": predictions, "mispredictions": mispredictions,
+            "btb_hits": btb_hits, "btb_misses": btb_misses}
+    return meta, [("flags", bytes(flags))]
+
+
+def _flags_from_artifact(meta, sections):
+    """Rebuild a flags-pass tuple from its artifact (None if torn)."""
+    try:
+        flags = sections["flags"]
+        if len(flags) != int(meta["predictions"]):
+            return None
+        return (flags, int(meta["predictions"]), int(meta["mispredictions"]),
+                int(meta["btb_hits"]), int(meta["btb_misses"]))
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _cached_flags(trace: Trace, decoded, cold, config, hot,
+                  parent_hash=None) -> tuple:
     key = (trace.program_fingerprint, trace.stream_digest(),
            config.predictor_entries, config.btb_entries, config.btb_assoc)
     entry = _FLAGS_CACHE.get(key)
-    if entry is None:
-        obs.incr("vector.flags.miss")
-        with obs.phase("vector.flags"):
-            entry = _branch_flags(decoded, cold, config)
-        _FLAGS_CACHE[key] = entry
-        while len(_FLAGS_CACHE) > _SMALL_CAP:
-            _FLAGS_CACHE.popitem(last=False)
-    else:
+    if entry is not None:
         obs.incr("vector.flags.hit")
         _FLAGS_CACHE.move_to_end(key)
+        return entry
+    store = artifacts.default_store() if parent_hash else None
+    if store is not None:
+        loaded = store.get(parent_hash, "flags", key)
+        if loaded is not None:
+            entry = _flags_from_artifact(loaded[0], loaded[1])
+            if entry is not None:
+                obs.incr("vector.flags.hit")
+                obs.incr("vector.flags.disk.hit")
+                _FLAGS_CACHE[key] = entry
+                while len(_FLAGS_CACHE) > _SMALL_CAP:
+                    _FLAGS_CACHE.popitem(last=False)
+                return entry
+    obs.incr("vector.flags.miss")
+    with obs.phase("vector.flags"):
+        entry = _branch_flags(decoded, cold, config, hot)
+    _FLAGS_CACHE[key] = entry
+    while len(_FLAGS_CACHE) > _SMALL_CAP:
+        _FLAGS_CACHE.popitem(last=False)
+    if store is not None:
+        meta, sections = _flags_to_artifact(entry)
+        store.put(parent_hash, "flags", key, meta, sections)
     return entry
 
 
-def _branch_flags(decoded, cold, config) -> tuple:
+def _branch_flags(decoded, cold, config, hot) -> tuple:
+    """Mispredict flag per branch event — the vectorized flags pass.
+
+    Identical output to :func:`_branch_flags_scalar` (enforced by
+    ``tests/test_artifact_cache.py``), but the per-event Python interleave
+    loop is gone: branch-event extraction is a numpy mask over the decoded
+    pc stream, conditionals go through the predictor's batched
+    :meth:`update_batch` whose flags land back in event order via one
+    vectorized scatter, and only the (sparse) BTB probe/install walk of
+    jumps and taken branches remains scalar.
+
+    Returns ``(flags, predictions, mispredictions, btb_hits, btb_misses)``
+    with one flag per conditional-branch/jump in retirement order.
+    """
+    branches = decoded[1]
+    seq_pcs = decoded[5]
+    predictor = HybridBranchPredictor(entries=config.predictor_entries,
+                                      btb_entries=config.btb_entries,
+                                      btb_assoc=config.btb_assoc,
+                                      ras_entries=config.ras_entries)
+    pcs = np.frombuffer(seq_pcs, np.uint32).astype(np.int64)
+    kind_by_pc = np.fromiter((h[0] for h in hot), np.uint8, len(hot))
+    target_by_pc = np.fromiter((c[0] for c in cold), np.int64, len(cold))
+    kinds = kind_by_pc[pcs]
+    ev_mask = (kinds == 3) | (kinds == 4)
+    ev_pcs = pcs[ev_mask]
+    is_jmp = kinds[ev_mask] == 4
+    n_ev = len(ev_pcs)
+    cbr_mask = ~is_jmp
+    takens = np.ones(n_ev, np.bool_)
+    takens[cbr_mask] = np.fromiter(branches, np.bool_, len(branches))
+    pc_addrs = CODE_BASE + ev_pcs * CODE_INSTR_SIZE
+    next_pc = np.where(takens, target_by_pc[ev_pcs], ev_pcs + 1)
+    target_addrs = CODE_BASE + next_pc * CODE_INSTR_SIZE
+
+    # Direction tables: one batched update over the conditional stream, its
+    # flags scattered back into event order.
+    cbr_flags = predictor.update_batch(pc_addrs[cbr_mask].tolist(),
+                                       list(branches))
+    flags = np.zeros(n_ev, np.uint8)
+    if cbr_flags:
+        flags[cbr_mask] = np.fromiter(cbr_flags, np.uint8, len(cbr_flags))
+
+    # BTB: jumps probe, every taken branch installs — same in-order sequence
+    # as the scalar pass, restricted to the events that actually touch it.
+    btb = predictor.btb
+    btb_lookup = btb.lookup
+    btb_update = btb.update
+    walk = np.flatnonzero(is_jmp | takens)
+    if len(walk):
+        w_pc = pc_addrs[walk].tolist()
+        w_ta = target_addrs[walk].tolist()
+        w_jmp = is_jmp[walk].tolist()
+        w_ei = walk.tolist()
+        for k in range(len(w_ei)):
+            pc_addr = w_pc[k]
+            if w_jmp[k]:
+                flags[w_ei[k]] = btb_lookup(pc_addr) is None
+            btb_update(pc_addr, w_ta[k])
+    return (flags.tobytes(), n_ev, int(flags.sum()), btb.hits, btb.misses)
+
+
+def _branch_flags_scalar(decoded, cold, config) -> tuple:
     """Mispredict flag per branch event, resolved through the real predictor.
 
     The direction tables (gshare/bimodal/selector/history) and the BTB are
@@ -379,10 +887,13 @@ def _branch_flags(decoded, cold, config) -> tuple:
     taken branch (conditional or jump) installs its target — the same
     sequence the fused loop performs.
 
+    This is the reference pass; :func:`_branch_flags` is the vectorized
+    version with identical output.
+
     Returns ``(flags, predictions, mispredictions, btb_hits, btb_misses)``
     with one flag per conditional-branch/jump in retirement order.
     """
-    seq, branches, mem_addrs, dma_words, fu_counts = decoded
+    seq, branches, mem_addrs, dma_words, fu_counts = decoded[:5]
     predictor = HybridBranchPredictor(entries=config.predictor_entries,
                                       btb_entries=config.btb_entries,
                                       btb_assoc=config.btb_assoc,
@@ -426,9 +937,83 @@ def _branch_flags(decoded, cold, config) -> tuple:
     return (bytes(flags), len(events), sum(flags), btb.hits, btb.misses)
 
 
+def _vstream_to_artifact(entry) -> tuple:
+    """Persistable (meta, sections) projection of a prelowered stream.
+
+    Only the columnar views, the live-route side channel and the sparse
+    event-payload map are stored — the seq3 tuple list is the same data in
+    row form and is reconstructed on demand (:func:`_seq3_from_cols`) by the
+    pure-Python loop only; the C kernel reads the columns directly.
+    """
+    seq3, lroutes, n_regs, cols, events = entry
+    vk, fu, lat, dst, soff, sid, phase, unpip = cols
+    meta = {"n_regs": n_regs, "n": int(len(vk)),
+            "events": [[i, v] for i, v in sorted(events.items())]}
+    sections = [("vk", vk.tobytes()), ("fu", fu.tobytes()),
+                ("lat", lat.tobytes()), ("dst", dst.tobytes()),
+                ("soff", soff.tobytes()), ("sid", sid.tobytes()),
+                ("phase", phase.tobytes()), ("unpip", unpip.tobytes()),
+                ("lroutes", bytes(lroutes))]
+    return meta, sections
+
+
+def _vstream_from_artifact(meta, sections):
+    """Rebuild a vstream entry from its artifact (None if torn).
+
+    The seq3 slot comes back as None: the read-only ``frombuffer`` columns
+    are all the C kernel needs, and the Python fallback loop reconstructs
+    the tuples lazily.
+    """
+    try:
+        n = int(meta["n"])
+        vk = np.frombuffer(sections["vk"], np.uint8)
+        fu = np.frombuffer(sections["fu"], np.int32)
+        lat = np.frombuffer(sections["lat"], np.float64)
+        dst = np.frombuffer(sections["dst"], np.int32)
+        soff = np.frombuffer(sections["soff"], np.int32)
+        sid = np.frombuffer(sections["sid"], np.int32)
+        phase = np.frombuffer(sections["phase"], np.int32)
+        unpip = np.frombuffer(sections["unpip"], np.uint8)
+        if not (len(vk) == len(fu) == len(lat) == len(dst) == len(phase)
+                == len(unpip) == n and len(soff) == n + 1
+                and len(sid) == int(soff[n])):
+            return None
+        events = {int(i): v for i, v in meta["events"]}
+        cols = (vk, fu, lat, dst, soff, sid, phase, unpip)
+        return (None, sections["lroutes"], int(meta["n_regs"]), cols, events)
+    except (KeyError, TypeError, ValueError, IndexError):
+        return None
+
+
+def _seq3_from_cols(cols, events) -> list:
+    """Row-form seq3 tuples from the columnar views (pure-Python loop only).
+
+    Inverse of :func:`_build_cols` given the sparse event-payload map: the
+    latency slot of event ops (vk >= 8) is the DMA tag / drain latency the
+    columns store as 0.0, and ``is_mem`` is exactly ``1 <= vk <= 6`` (plain
+    vkinds are 0, 7 and >= 8).
+    """
+    vk_l = cols[0].tolist()
+    fu_l = cols[1].tolist()
+    lat_l = cols[2].tolist()
+    dst_l = cols[3].tolist()
+    soff_l = cols[4].tolist()
+    sid_l = cols[5].tolist()
+    phase_l = cols[6].tolist()
+    unpip_l = cols[7].tolist()
+    seq3 = []
+    append = seq3.append
+    for i in range(len(vk_l)):
+        k = vk_l[i]
+        append((k, fu_l[i], lat_l[i] if k < 8 else events.get(i),
+                dst_l[i], tuple(sid_l[soff_l[i]:soff_l[i + 1]]),
+                phase_l[i], bool(unpip_l[i]), 1 <= k <= 6))
+    return seq3
+
+
 def _cached_vstream(trace: Trace, hot, cold, seq, oracle_routes, mode: str,
                     machine: MachineConfig, multicore: bool,
-                    lm_lat: float, l1_lat: float) -> tuple:
+                    lm_lat: float, l1_lat: float, parent_hash=None) -> tuple:
     """The fully-prefolded timing stream for one (trace, point) pair.
 
     Two cache levels: the *vtab* (per-pc vkind variants + dense register
@@ -436,9 +1021,32 @@ def _cached_vstream(trace: Trace, hot, cold, seq, oracle_routes, mode: str,
     ablation point that keeps ``lm``/``l1`` latencies shares it; the *seq3*
     stream (one picked variant per retired instruction, plus the compact
     live-route side channel) additionally depends on the oracle's routing and
-    is shared across points with the same cache geometry.
+    is shared across points with the same cache geometry.  The prelowered
+    entry is also persisted as an on-disk ``prelower`` artifact, so a warm
+    process skips the vtab/seq3 builds entirely (the disk form carries only
+    the columnar views — see :func:`_vstream_from_artifact`).
     """
     fp = trace.program_fingerprint
+    skey = (fp, trace.stream_digest(),
+            _geometry_key(mode, machine, multicore), lm_lat, l1_lat)
+    entry = _SEQ3_CACHE.get(skey)
+    if entry is not None:
+        obs.incr("vector.prelower.hit")
+        _SEQ3_CACHE.move_to_end(skey)
+        return entry
+    store = artifacts.default_store() if parent_hash else None
+    if store is not None:
+        loaded = store.get(parent_hash, "prelower", skey)
+        if loaded is not None:
+            entry = _vstream_from_artifact(loaded[0], loaded[1])
+            if entry is not None:
+                obs.incr("vector.prelower.hit")
+                obs.incr("vector.prelower.disk.hit")
+                _SEQ3_CACHE[skey] = entry
+                while len(_SEQ3_CACHE) > _SEQ3_CAP:
+                    _SEQ3_CACHE.popitem(last=False)
+                return entry
+    obs.incr("vector.prelower.miss")
     vkey = (fp, lm_lat, l1_lat)
     vtab = _VTAB_CACHE.get(vkey)
     if vtab is None:
@@ -450,20 +1058,16 @@ def _cached_vstream(trace: Trace, hot, cold, seq, oracle_routes, mode: str,
     else:
         _VTAB_CACHE.move_to_end(vkey)
     plain, memvar, n_regs = vtab
-    skey = (fp, trace.stream_digest(),
-            _geometry_key(mode, machine, multicore), lm_lat, l1_lat)
-    entry = _SEQ3_CACHE.get(skey)
-    if entry is None:
-        obs.incr("vector.prelower.miss")
-        with obs.phase("vector.prelower"):
-            seq3, lroutes = _build_seq3(seq, oracle_routes, plain, memvar)
-            entry = (seq3, lroutes, n_regs, _build_cols(seq3))
-        _SEQ3_CACHE[skey] = entry
-        while len(_SEQ3_CACHE) > _SEQ3_CAP:
-            _SEQ3_CACHE.popitem(last=False)
-    else:
-        obs.incr("vector.prelower.hit")
-        _SEQ3_CACHE.move_to_end(skey)
+    with obs.phase("vector.prelower"):
+        seq3, lroutes = _build_seq3(seq, oracle_routes, plain, memvar)
+        events = {i: h[2] for i, h in enumerate(seq3) if h[0] >= 8}
+        entry = (seq3, lroutes, n_regs, _build_cols(seq3), events)
+    _SEQ3_CACHE[skey] = entry
+    while len(_SEQ3_CACHE) > _SEQ3_CAP:
+        _SEQ3_CACHE.popitem(last=False)
+    if store is not None:
+        meta, sections = _vstream_to_artifact(entry)
+        store.put(parent_hash, "prelower", skey, meta, sections)
     return entry
 
 
@@ -597,8 +1201,8 @@ class _VectorLane:
     def __init__(self, order: int, phase_names, decoded, vstream,
                  trace: Trace, mem, config, oracle: _OracleRoutes, flags,
                  uncore=None):
-        seq, branches, mem_addrs, dma_words, fu_counts = decoded
-        seq3, lroutes, n_regs, cols = vstream
+        seq, branches, mem_addrs, dma_words, fu_counts = decoded[:5]
+        seq3, lroutes, n_regs, cols, events = vstream
         self.order = order
         self.trace = trace
         self.config = config
@@ -617,9 +1221,11 @@ class _VectorLane:
         if self._n:
             kern = _ckernel.load()
             if kern is not None:
-                self._gen = self._loop_c(seq3, lroutes, cols, n_regs,
+                self._gen = self._loop_c(lroutes, cols, events, n_regs,
                                          uncore, kern)
             else:
+                if seq3 is None:    # prelower artifact: columns only
+                    seq3 = _seq3_from_cols(cols, events)
                 self._gen = self._loop(seq3, lroutes, n_regs, uncore)
             next(self._gen)     # run the loop's setup to the first yield
         else:   # defensive: programs always retire at least a HALT
@@ -987,7 +1593,7 @@ class _VectorLane:
                        lsq_stalls, contended, total_lat, hier_lat,
                        presence_stalls)
 
-    def _loop_c(self, seq3, lroutes, cols, n_regs, uncore, kern):
+    def _loop_c(self, lroutes, cols, events, n_regs, uncore, kern):
         """The vector loop with the compiled inner kernel.
 
         Same resume protocol and identical results as :meth:`_loop` (the C
@@ -996,7 +1602,9 @@ class _VectorLane:
         uncore-free instructions; this generator handles only the *event*
         instructions it stops at — the epoch yield-check, DMA/uncore/dsync
         bookkeeping (which stays in Python, on the same shared state vectors)
-        and the re-entry.
+        and the re-entry.  It reads only the columnar views plus the sparse
+        ``events`` payload map (DMA tags, halt latency), so a prelower
+        artifact hit never materializes the row-form seq3 tuples.
         """
         config = self.config
         mem = self._mem
@@ -1090,8 +1698,7 @@ class _VectorLane:
                     raise MemoryError("vector kernel allocation failure")
                 if i >= n:
                     break
-                h = seq3[i]
-                vk = h[0]
+                vk = int(vk_a[i])
                 # Epoch break before any shared-uncore touch: a route-5 miss
                 # (vk 5/6 — the only live ops the kernel bounces when
                 # multicore) or a DMA burst (vk 8/9).
@@ -1126,7 +1733,7 @@ class _VectorLane:
                     ni += 1
                     completion_d = now + queue + float(
                         dma_setup + nlines * dma_per_line)
-                    tag = h[2]      # the DMA tag rides in the latency slot
+                    tag = events[i]  # the DMA tag rides in the event payload
                     lst = outstanding.get(tag)
                     if lst is None:
                         outstanding[tag] = [completion_d]
@@ -1141,7 +1748,7 @@ class _VectorLane:
                     latency = 1.0
                 elif vk == 11:      # dma-sync (DMAController.dma_sync)
                     b_dsync += 1
-                    tag = h[2]
+                    tag = events[i]
                     if tag is None:
                         pending = [x for lst in outstanding.values()
                                    for x in lst]
@@ -1166,7 +1773,7 @@ class _VectorLane:
                     b_setbuf += 1
                     latency = 1.0
                 else:               # halt: static latency from the stream
-                    latency = h[2]
+                    latency = events[i]
                 if retire(ptr, i, latency) < 0:
                     raise MemoryError("vector kernel allocation failure")
                 i += 1
@@ -1306,16 +1913,21 @@ def replay_single_vector(trace: Trace, machine: MachineConfig,
             f"trace {trace.key.label} is stale: program fingerprint "
             f"{trace.program_fingerprint} != rebuilt {fingerprint} "
             "(the compiler or workload changed since capture)")
-    decoded = _cached_decode(trace, hot, cold, fu_values)
+    parent_hash = trace.key.key_hash
+    decoded = _cached_decode(trace, hot, cold, fu_values,
+                             parent_hash=parent_hash)
     config = core_config_for(machine)
     mode = trace.key.mode
-    oracle = _cached_oracle(trace, decoded, cold, mode, machine, False)
-    flags = _cached_flags(trace, decoded, cold, config)
+    oracle = _cached_oracle(trace, decoded, cold, mode, machine, False,
+                            parent_hash=parent_hash)
+    flags = _cached_flags(trace, decoded, cold, config, hot,
+                          parent_hash=parent_hash)
     system = build_system(mode, machine)
     lm_lat = float(system.lm.latency) if system.use_lm else 0.0
     l1_lat = float(system.hierarchy.config.l1_latency)
     vstream = _cached_vstream(trace, hot, cold, decoded[0], oracle.routes,
-                              mode, machine, False, lm_lat, l1_lat)
+                              mode, machine, False, lm_lat, l1_lat,
+                              parent_hash=parent_hash)
     lane = _VectorLane(0, phase_names, decoded, vstream, trace,
                        system, config, oracle, flags)
     with obs.phase("vector.timing"):
@@ -1359,14 +1971,20 @@ def replay_multicore_vector(mtrace: MulticoreTrace,
     patches = []
     for core_id, (entry, trace) in enumerate(zip(entries, mtrace.cores)):
         program, comp, hot, cold, fu_values, phase_names, fingerprint = entry
-        decoded = _cached_decode(trace, hot, cold, fu_values)
-        oracle = _cached_oracle(trace, decoded, cold, key.mode, machine, True)
-        flags = _cached_flags(trace, decoded, cold, config)
+        # Per-core streams have no stored file of their own: artifacts hang
+        # off the multicore *family* hash (the key every core shares).
+        decoded = _cached_decode(trace, hot, cold, fu_values,
+                                 parent_hash=key.key_hash)
+        oracle = _cached_oracle(trace, decoded, cold, key.mode, machine, True,
+                                parent_hash=key.key_hash)
+        flags = _cached_flags(trace, decoded, cold, config, hot,
+                              parent_hash=key.key_hash)
         mem = system.core(core_id)
         lm_lat = float(mem.lm.latency) if mem.use_lm else 0.0
         l1_lat = float(mem.hierarchy.config.l1_latency)
         vstream = _cached_vstream(trace, hot, cold, decoded[0], oracle.routes,
-                                  key.mode, machine, True, lm_lat, l1_lat)
+                                  key.mode, machine, True, lm_lat, l1_lat,
+                                  parent_hash=key.key_hash)
         lanes.append(_VectorLane(core_id, phase_names, decoded, vstream,
                                  trace, mem, config, oracle,
                                  flags, uncore=system.uncore.port(core_id)))

@@ -128,8 +128,14 @@ def test_fused_detects_stale_core_fingerprint():
 def test_multicore_replay_decodes_each_stream_once(monkeypatch):
     """A replay sweep over one multicore trace walks each per-core stream
     exactly once: the decode cache is keyed by stream content, so a second
-    replay (or a reparse of the same RPMT bytes) pays no second walk."""
+    replay (or a reparse of the same RPMT bytes) pays no second walk.
+
+    The on-disk artifact tier is disabled here: this test pins the
+    *in-memory* dedup, and a warm decode artifact would (correctly) drop the
+    walk count to zero (``tests/test_artifact_cache.py`` covers that path).
+    """
     import repro.trace.replay as replay_mod
+    monkeypatch.setenv("REPRO_NO_ARTIFACTS", "1")
     machine = _machine(2)
     _, mtrace = capture_workload("CG", "hybrid", "tiny", machine=machine)
     replay_mod._DECODE_CACHE.clear()
