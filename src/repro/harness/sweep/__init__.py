@@ -46,11 +46,11 @@ import hashlib
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro import obs
+from repro import faults, obs
 from repro.harness.config import MachineConfig, PTLSIM_CONFIG
 from repro.harness.systems import SYSTEM_MODES
 
@@ -291,6 +291,12 @@ class ResultStore:
     miss, removed, and counted in :attr:`corrupted`.
     """
 
+    #: Consecutive :meth:`put` ``OSError`` failures that trip the store into
+    #: memory-only degraded mode (records keep flowing to callers, nothing
+    #: further touches the disk) — e.g. a full filesystem fails every cell's
+    #: write, and erroring ~N times per sweep helps nobody.
+    DEGRADE_AFTER = 3
+
     def __init__(self, root: Optional[os.PathLike] = None):
         self.root = Path(root if root is not None
                          else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
@@ -299,6 +305,14 @@ class ResultStore:
         self.corrupted = 0
         self.writes = 0
         self.evictions = 0
+        self.put_errors = 0
+        self.cell_retries = 0
+        self.cell_failures = 0
+        self.cell_quarantined = 0
+        #: True once DEGRADE_AFTER consecutive writes failed; puts become
+        #: no-ops (reads still work — the disk may be readable but full).
+        self.degraded = False
+        self._consecutive_put_errors = 0
         #: Lifetime counters already folded into the sidecar (so repeated
         #: :meth:`persist_stats` calls only add this session's delta).
         self._persisted: Dict[str, int] = {}
@@ -337,15 +351,51 @@ class ResultStore:
             pass
         return record
 
-    def put(self, spec: RunSpec, record: RunRecord) -> Path:
+    def put(self, spec: RunSpec, record: RunRecord) -> Optional[Path]:
+        """Write one record atomically; best-effort under disk failure.
+
+        An ``OSError`` (ENOSPC, EROFS, quota, ...) is absorbed and counted
+        (:attr:`put_errors`) rather than raised — a sweep must not lose the
+        simulated result because the cache could not keep it.  After
+        :data:`DEGRADE_AFTER` *consecutive* failures the store trips to
+        memory-only :attr:`degraded` mode and stops touching the disk; any
+        successful write re-arms the trip.  Returns the entry path, or
+        ``None`` when the write failed or was skipped.
+        """
+        if self.degraded:
+            return None
         path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": STORE_SCHEMA, "spec": spec.as_dict(),
                    "record": record.as_dict()}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, path)
+        data = json.dumps(payload)
+        clause = faults.fire("store.put", key=spec.spec_hash)
+        try:
+            if clause is not None:
+                # A "torn" clause truncates the blob (the next get() sees a
+                # corrupted entry); "os" raises into the handler below.
+                data = faults.apply_write_fault(clause, "store.put",
+                                                spec.spec_hash, data)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.put_errors += 1
+            self._consecutive_put_errors += 1
+            obs.incr("sweep.store.put_error")
+            obs.get_logger().warning("result store put failed for %s: %r",
+                                     spec.spec_hash, exc)
+            if (self._consecutive_put_errors >= self.DEGRADE_AFTER
+                    and not self.degraded):
+                self.degraded = True
+                obs.degraded(
+                    "store.result",
+                    f"{self._consecutive_put_errors} consecutive write "
+                    f"failures (last: {exc!r}); memory-only for this session",
+                    root=str(self.root))
+            return None
+        self._consecutive_put_errors = 0
         self.writes += 1
         return path
 
@@ -452,7 +502,10 @@ class ResultStore:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "corrupted": self.corrupted, "writes": self.writes,
-                "evictions": self.evictions}
+                "evictions": self.evictions, "put_errors": self.put_errors,
+                "cell_retries": self.cell_retries,
+                "cell_failures": self.cell_failures,
+                "cell_quarantined": self.cell_quarantined}
 
     def lifetime_stats(self) -> Dict[str, int]:
         """Session counters merged with the sidecar's persisted lifetime."""
@@ -469,7 +522,7 @@ class ResultStore:
 def execute_spec(spec: RunSpec,
                  base_machine: Optional[MachineConfig] = None,
                  trace_root: Optional[str] = None,
-                 trace_store=None) -> RunRecord:
+                 trace_store=None, attempt: int = 0) -> RunRecord:
     """Simulate one cell in-process and return its plain-data record.
 
     Replay cells resolve their trace through ``trace_store`` when one is
@@ -479,7 +532,12 @@ def execute_spec(spec: RunSpec,
     store living under a specific cache root; with both unset (e.g. a
     stand-alone ``--no-cache`` cell) the captured trace lives and dies with
     this call and nothing touches the disk.
+
+    ``attempt`` is the retry ordinal the sweep engine is executing (0 on
+    the first try); it only feeds the deterministic fault layer, so an
+    injected ``worker.exec`` fault can fail attempt 0 and spare attempt 1.
     """
+    faults.check("worker.exec", key=spec.spec_hash, attempt=attempt)
     # Imported here (not at module top) to keep worker-process start cheap
     # and to avoid an import cycle with repro.harness.runner.
     from repro.harness.runner import run_program, run_workload
@@ -522,26 +580,38 @@ def execute_spec(spec: RunSpec,
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool entry point: spec dict in, record dict out (picklable)."""
-    spec = RunSpec.from_dict(payload["spec"])
-    trace_store = None
-    if payload.get("trace_blob") is not None:
-        # A store-less (--no-cache) replay sweep ships the family's captured
-        # trace to the worker instead of letting it re-capture from scratch.
-        from repro.trace.format import parse_trace_bytes
-        from repro.trace.store import EphemeralTraceStore
-        trace_store = EphemeralTraceStore()
-        trace_store.put(parse_trace_bytes(payload["trace_blob"]))
-    return execute_spec(spec, trace_root=payload.get("trace_root"),
-                        trace_store=trace_store).as_dict()
+    try:
+        spec = RunSpec.from_dict(payload["spec"])
+        trace_store = None
+        if payload.get("trace_blob") is not None:
+            # A store-less (--no-cache) replay sweep ships the family's
+            # captured trace to the worker instead of letting it re-capture
+            # from scratch.
+            from repro.trace.format import parse_trace_bytes
+            from repro.trace.store import EphemeralTraceStore
+            trace_store = EphemeralTraceStore()
+            trace_store.put(parse_trace_bytes(payload["trace_blob"]))
+        return execute_spec(spec, trace_root=payload.get("trace_root"),
+                            trace_store=trace_store,
+                            attempt=payload.get("attempt", 0)).as_dict()
+    except faults.FaultCrash:
+        # An injected "crash" means the worker process dies, not that it
+        # raises: the parent must see a BrokenProcessPool, exactly as with
+        # a real segfault or OOM kill.
+        os._exit(13)
 
 
 def _capture_payload(payload: Dict[str, Any]) -> None:
     """Process-pool entry point of the pre-capture pass: record one
     (workload, mode, scale, functional-config) family into the on-disk
     trace store (a no-op when another worker already finished it)."""
-    from repro.trace import TraceKey, TraceStore, ensure_trace
-    key = TraceKey.from_dict(payload["key"])
-    ensure_trace(key, store=TraceStore(payload["trace_root"]))
+    try:
+        from repro.trace import TraceKey, TraceStore, ensure_trace
+        key = TraceKey.from_dict(payload["key"])
+        faults.check("capture.exec", key=key.key_hash)
+        ensure_trace(key, store=TraceStore(payload["trace_root"]))
+    except faults.FaultCrash:
+        os._exit(13)
 
 
 def _replay_family_key(spec: RunSpec, base_machine: Optional[MachineConfig]):
@@ -590,41 +660,134 @@ def _prepare_replay_traces(misses: Sequence[RunSpec], trace_store,
                 for future in cf.as_completed(futures):
                     future.result()
             return spec_family
-        except (OSError, cf.BrokenExecutor):  # pragma: no cover - platform-specific
-            say("sweep: capture pool failed; capturing inline")
+        except (OSError, cf.BrokenExecutor) as exc:
+            # A dead capture worker (or a pool that cannot start) is
+            # recoverable — the loop below captures whatever the pool did
+            # not get to — but never silently: the sweep engine's whole
+            # fan-out plan rests on this pass having run.
+            remaining = [key.key_hash for key in missing
+                         if trace_store.get(key) is None]
+            obs.incr("sweep.capture_pool.failed")
+            obs.get_logger().warning(
+                "capture pool failed (%r); %d of %d famil%s left for inline "
+                "capture: %s", exc, len(remaining), len(missing),
+                "y" if len(missing) == 1 else "ies", ",".join(remaining))
+            say(f"sweep: capture pool failed ({exc!r}); capturing "
+                f"{len(remaining)} remaining famil"
+                f"{'y' if len(remaining) == 1 else 'ies'} inline")
     for key in missing:
         if trace_store.get(key) is None:    # pool may have captured some
             ensure_trace(key, store=trace_store, capture_machine=base_machine)
     return spec_family
 
 
-def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
-              store: Optional[ResultStore] = None,
-              base_machine: Optional[MachineConfig] = None,
-              echo=None, trace_store=None, timeline=None) -> List[RunRecord]:
-    """Execute ``specs``, serving store hits and fanning misses out.
+# ------------------------------------------------------------------ fault tolerance
+#: Exception types that mark a misconfigured cell (unknown workload, mode
+#: or config field) rather than a failed execution: retrying cannot fix a
+#: bad spec and ``keep_going`` must not hide one, so they always propagate.
+_FATAL_ERRORS = (KeyError, ValueError, TypeError)
 
-    Returns one record per spec, in input order.  ``workers > 1`` runs the
-    misses on a process pool (falling back to inline execution if the
-    platform cannot spawn worker processes).  ``echo`` is an optional
-    ``callable(str)`` for progress lines.
 
-    Replay cells share a single trace store for the whole sweep —
-    ``trace_store`` when given, else the on-disk store living alongside
-    ``store``, else one in-memory store — and each (workload, mode, scale,
-    functional-config) family is captured exactly once, before the fan-out,
-    no matter how many machine configs replay it or how the sweep is cached.
+@dataclass
+class CellFailure:
+    """Terminal failure of one sweep cell, its retry budget exhausted.
 
-    ``timeline`` (a :class:`repro.obs.timeline.TimelineRecorder`) records a
-    wall-clock pipeline view: one span per simulated cell, sized by its
-    ``sim_wall_seconds`` and ending when the engine collected it, laid out
-    on one track per worker slot.
+    ``kind`` is ``"error"`` (the cell raised), ``"crash"`` (its worker
+    process died), or ``"timeout"`` (it overran ``cell_timeout``);
+    ``quarantined`` marks a cell that repeatedly killed its worker and was
+    isolated so the rest of the sweep could keep its pool.
     """
+
+    spec: RunSpec
+    kind: str
+    error: str
+    attempts: int
+    quarantined: bool = False
+
+
+class SweepCellError(RuntimeError):
+    """Raised in fail-fast mode when a cell exhausts its retries."""
+
+    def __init__(self, failure: CellFailure):
+        self.failure = failure
+        super().__init__(
+            f"sweep cell {failure.spec.label} failed after "
+            f"{failure.attempts} attempt(s) [{failure.kind}]: "
+            f"{failure.error}")
+
+
+@dataclass
+class SweepReport:
+    """What a fault-tolerant sweep actually did.
+
+    ``records`` is aligned with the input specs — ``None`` where that cell
+    terminally failed (only possible in keep-going mode).
+    """
+
+    records: List[Optional[RunRecord]]
+    failures: List[CellFailure] = field(default_factory=list)
+    completed: int = 0
+    cached: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_sweep_report(specs: Sequence[RunSpec], workers: int = 1,
+                     store: Optional[ResultStore] = None,
+                     base_machine: Optional[MachineConfig] = None,
+                     echo=None, trace_store=None, timeline=None,
+                     max_retries: int = 1,
+                     cell_timeout: Optional[float] = None,
+                     keep_going: bool = False,
+                     retry_backoff: float = 0.05) -> SweepReport:
+    """Execute ``specs`` with cell-level failure isolation.
+
+    The engine of :func:`run_sweep`, returning a :class:`SweepReport`
+    instead of bare records.  Store hits are served first; misses fan out
+    over a process pool (``workers > 1``) or run inline.  One cell's
+    failure is *its own*:
+
+    * an exception in a cell is retried up to ``max_retries`` times with
+      exponential backoff (``retry_backoff * 2**attempt`` seconds);
+    * a worker death (``BrokenProcessPool`` — segfault, OOM kill, injected
+      crash) poisons the whole pool with no attribution, so the pool is
+      torn down and every in-flight suspect is *probed* in a fresh
+      single-worker pool: innocents complete (or requeue on ordinary
+      errors), and only the cell that again kills its private worker is
+      charged — after ``max_retries`` such kills it is **quarantined**
+      (``CellFailure.quarantined``) and the shared pool is rebuilt for the
+      survivors;
+    * a cell overrunning ``cell_timeout`` seconds wall-clock has its
+      (hung) pool killed and rebuilt; the overrunning cell is charged a
+      ``"timeout"`` attempt while co-resident victims are requeued free of
+      charge.  Inline cells cannot be preempted, so the timeout only
+      applies when a pool is in use;
+    * ``KeyError`` / ``ValueError`` / ``TypeError`` mean the spec itself is
+      bad; they propagate immediately, never retried, even under
+      ``keep_going``.
+
+    With ``keep_going=False`` the first terminal failure raises
+    :class:`SweepCellError`; with ``keep_going=True`` the sweep completes
+    every cell it can and reports the casualties in
+    :attr:`SweepReport.failures`, leaving ``None`` in the corresponding
+    :attr:`SweepReport.records` slots.
+
+    Store and trace-store lifetime counters are persisted in a ``finally``
+    block, so they survive a ``KeyboardInterrupt`` or fail-fast abort.
+    """
+    import concurrent.futures as cf
+
     say = echo or (lambda msg: None)
     log = obs.get_logger()
     rec = obs.get_recorder()
     sweep_start = time.perf_counter()
+    report = SweepReport(records=[])
     records: Dict[RunSpec, RunRecord] = {}
+    failures: Dict[RunSpec, CellFailure] = {}
     misses: List[RunSpec] = []
     for spec in specs:
         if spec in records or spec in misses:
@@ -633,6 +796,7 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
         if cached is not None:
             records[spec] = cached
             rec.incr("sweep.store.hit")
+            report.cached += 1
         else:
             misses.append(spec)
             rec.incr("sweep.store.miss")
@@ -643,6 +807,7 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
         # Persist each cell as soon as it completes, so an interrupted sweep
         # keeps the work already done.
         records[spec] = record
+        report.completed += 1
         if store is not None:
             store.put(spec, record)
         rec.incr("sweep.cell.finished")
@@ -661,6 +826,49 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
                                t_start if t_start > 0.0 else 0.0, t_end,
                                tid=tid, args={"spec_hash": record.spec_hash})
         say(f"  done {spec.label}")
+
+    def backoff_for(attempt: int) -> float:
+        return retry_backoff * (2 ** attempt)
+
+    def note_retry(spec: RunSpec, attempt: int, exc: BaseException,
+                   kind: str) -> None:
+        report.retries += 1
+        rec.incr("sweep.cell.retry")
+        if store is not None:
+            store.cell_retries += 1
+        log.warning("cell %s attempt %d failed [%s]: %r; retrying",
+                    spec.label, attempt + 1, kind, exc)
+        say(f"  retry {spec.label} [{kind}] "
+            f"(attempt {attempt + 2}/{max_retries + 1})")
+
+    def fail(spec: RunSpec, kind: str, exc: BaseException, attempts: int,
+             quarantined: bool = False) -> None:
+        failure = CellFailure(spec=spec, kind=kind, error=repr(exc),
+                              attempts=attempts, quarantined=quarantined)
+        failures[spec] = failure
+        report.failures.append(failure)
+        rec.incr("sweep.cell.failed")
+        if quarantined:
+            rec.incr("sweep.cell.quarantined")
+        if store is not None:
+            store.cell_failures += 1
+            if quarantined:
+                store.cell_quarantined += 1
+        rec.event("sweep.cell.failed", spec=spec.label, kind=kind,
+                  attempts=attempts, quarantined=quarantined)
+        log.error("cell FAILED %s after %d attempt(s) [%s]: %s",
+                  spec.label, attempts, kind, failure.error)
+        if timeline is not None:
+            timeline.instant(f"FAILED {spec.label}",
+                             (time.perf_counter() - sweep_start) * 1e6,
+                             args={"kind": kind, "attempts": attempts,
+                                   "quarantined": quarantined,
+                                   "error": failure.error})
+        say(f"  FAILED {spec.label} after {attempts} attempt(s) [{kind}]"
+            + (" — quarantined" if quarantined else ""))
+        if not keep_going:
+            raise SweepCellError(failure)
+
     # A live base_machine cannot cross the process boundary (workers rebuild
     # the machine from the spec's overrides), so it forces inline execution.
     use_pool = workers > 1 and base_machine is None
@@ -669,58 +877,314 @@ def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
             f"with {workers if use_pool else 1} worker(s)"
             + (" (inline: custom base machine)"
                if workers > 1 and not use_pool else ""))
-    spec_family: Dict[RunSpec, str] = {}
     trace_root: Optional[str] = None    # cache root pool workers reopen
-    if any(spec.kind == "replay" for spec in misses):
-        from repro.trace.store import EphemeralTraceStore, TraceStore
-        if trace_store is None:
-            trace_store = (TraceStore(store.root) if store is not None
-                           else EphemeralTraceStore())
-        if isinstance(trace_store, TraceStore):
-            trace_root = str(trace_store.root.parent)
-        spec_family = _prepare_replay_traces(
-            misses, trace_store, base_machine, trace_root, workers,
-            use_pool, say)
-    # A memory-only trace store cannot be reopened by pool workers, so its
-    # captured traces ride along inside each replay payload instead.
-    family_blobs: Dict[str, bytes] = {}
-    if use_pool and trace_root is None and spec_family:
-        for spec, key_hash in spec_family.items():
-            if key_hash not in family_blobs:
-                trace = trace_store.get(_replay_family_key(spec, base_machine))
-                family_blobs[key_hash] = trace.to_bytes()
-    if misses and use_pool:
-        import concurrent.futures as cf
-        try:
-            with cf.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {}
-                for spec in misses:
-                    rec.incr("sweep.pool.dispatched")
-                    log.info("cell start %s", spec.label)
-                    futures[pool.submit(_execute_payload,
-                                        {"spec": spec.as_dict(),
-                                         "trace_root": trace_root,
-                                         "trace_blob": family_blobs.get(
-                                             spec_family.get(spec))})] = spec
-                for future in cf.as_completed(futures):
-                    spec = futures[future]
-                    finish(spec, RunRecord.from_dict(future.result()))
-            misses = []
-        except (OSError, cf.BrokenExecutor) as exc:  # pragma: no cover - platform-specific
-            # Pool could not start, or a worker died mid-sweep (e.g. OOM
-            # kill -> BrokenProcessPool): finish the remaining cells inline.
-            say(f"sweep: process pool failed ({exc!r}); finishing inline")
-    for spec in misses:  # serial path (workers==1, custom machine, or fallback)
-        if spec not in records:  # skip cells a failed pool already finished
-            log.info("cell start %s", spec.label)
-            finish(spec, execute_spec(spec, base_machine, trace_root=trace_root,
-                                      trace_store=trace_store))
-    # Fold this sweep's trace-store counters into its lifetime sidecar (the
-    # in-memory store has none; pool workers' short-lived instances are not
-    # captured — the sidecar tracks the coordinating process).
-    if trace_store is not None and hasattr(trace_store, "persist_stats"):
-        trace_store.persist_stats()
-    return [records[spec] for spec in specs]
+    try:
+        spec_family: Dict[RunSpec, str] = {}
+        if any(spec.kind == "replay" for spec in misses):
+            from repro.trace.store import EphemeralTraceStore, TraceStore
+            if trace_store is None:
+                trace_store = (TraceStore(store.root) if store is not None
+                               else EphemeralTraceStore())
+            if isinstance(trace_store, TraceStore):
+                trace_root = str(trace_store.root.parent)
+            spec_family = _prepare_replay_traces(
+                misses, trace_store, base_machine, trace_root, workers,
+                use_pool, say)
+        # A memory-only trace store cannot be reopened by pool workers, so
+        # its captured traces ride along inside each replay payload instead.
+        family_blobs: Dict[str, bytes] = {}
+        if use_pool and trace_root is None and spec_family:
+            for spec, key_hash in spec_family.items():
+                if key_hash not in family_blobs:
+                    trace = trace_store.get(
+                        _replay_family_key(spec, base_machine))
+                    family_blobs[key_hash] = trace.to_bytes()
+
+        def payload_for(spec: RunSpec, attempt: int) -> Dict[str, Any]:
+            return {"spec": spec.as_dict(), "trace_root": trace_root,
+                    "trace_blob": family_blobs.get(spec_family.get(spec)),
+                    "attempt": attempt}
+
+        # The work queue: [spec, attempt, not_before] — not_before is the
+        # monotonic instant before which a backed-off retry must not start.
+        pending: List[List[Any]] = [[spec, 0, 0.0] for spec in misses]
+
+        if pending and use_pool:
+            pool: Optional[cf.ProcessPoolExecutor] = None
+            in_flight: Dict[Any, Tuple[RunSpec, int, float]] = {}
+
+            def kill_pool() -> None:
+                # A broken or hung pool cannot be shut down politely: a
+                # clean shutdown() would join workers that will never
+                # return.  Terminate them, then discard the executor.
+                nonlocal pool
+                if pool is None:
+                    return
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    try:
+                        proc.terminate()
+                    except (OSError, AttributeError):
+                        pass
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+
+            def probe(spec: RunSpec, attempt: int) -> None:
+                # After a pool break nothing says *which* in-flight cell
+                # killed it, and charging (or quarantining) an innocent cell
+                # would violate the retry contract.  So each suspect re-runs
+                # alone in a private single-worker pool: only the cell that
+                # again kills its own worker is charged a "crash" attempt.
+                while True:
+                    probe_pool = cf.ProcessPoolExecutor(max_workers=1)
+                    try:
+                        rec.incr("sweep.pool.dispatched")
+                        future = probe_pool.submit(_execute_payload,
+                                                   payload_for(spec, attempt))
+                        result = future.result(timeout=cell_timeout)
+                    except cf.BrokenExecutor as exc:
+                        if attempt < max_retries:
+                            note_retry(spec, attempt, exc, "crash")
+                            attempt += 1
+                            continue
+                        fail(spec, "crash", exc, attempt + 1,
+                             quarantined=True)
+                        return
+                    except cf.TimeoutError:
+                        exc = TimeoutError(
+                            f"cell exceeded cell_timeout={cell_timeout}s")
+                        rec.incr("sweep.cell.timeout")
+                        if attempt < max_retries:
+                            note_retry(spec, attempt, exc, "timeout")
+                            attempt += 1
+                            continue
+                        fail(spec, "timeout", exc, attempt + 1,
+                             quarantined=True)
+                        return
+                    except _FATAL_ERRORS:
+                        raise
+                    except Exception as exc:
+                        # An ordinary in-worker exception: this cell is not
+                        # a pool-killer, so its retries go back to the
+                        # shared pool's queue.
+                        if attempt < max_retries:
+                            note_retry(spec, attempt, exc, "error")
+                            pending.append([spec, attempt + 1,
+                                            time.monotonic()
+                                            + backoff_for(attempt)])
+                        else:
+                            fail(spec, "error", exc, attempt + 1)
+                        return
+                    else:
+                        finish(spec, RunRecord.from_dict(result))
+                        return
+                    finally:
+                        for proc in list(getattr(probe_pool, "_processes",
+                                                 {}).values()):
+                            try:
+                                proc.terminate()
+                            except (OSError, AttributeError):
+                                pass
+                        probe_pool.shutdown(wait=False, cancel_futures=True)
+
+            try:
+                while pending or in_flight:
+                    now = time.monotonic()
+                    for entry in [e for e in pending if e[2] <= now]:
+                        if len(in_flight) >= workers:
+                            break
+                        # Create (or re-create) the pool before dequeuing,
+                        # so a pool that cannot start leaves the cell queued
+                        # for the inline fallback.
+                        if pool is None:
+                            pool = cf.ProcessPoolExecutor(max_workers=workers)
+                        spec, attempt, _ = entry
+                        rec.incr("sweep.pool.dispatched")
+                        log.info("cell start %s (attempt %d)", spec.label,
+                                 attempt + 1)
+                        future = pool.submit(_execute_payload,
+                                             payload_for(spec, attempt))
+                        pending.remove(entry)
+                        # The in-flight cap equals the worker count, so a
+                        # submitted cell starts (almost) immediately and its
+                        # wall-clock deadline can anchor at submission.
+                        in_flight[future] = (
+                            spec, attempt,
+                            now + cell_timeout if cell_timeout is not None
+                            else float("inf"))
+                    if not in_flight:
+                        # Everything is backing off; sleep to the earliest.
+                        time.sleep(max(0.0, min(e[2] for e in pending)
+                                       - time.monotonic()))
+                        continue
+                    done, _ = cf.wait(list(in_flight), timeout=0.05,
+                                      return_when=cf.FIRST_COMPLETED)
+                    broken: Optional[BaseException] = None
+                    suspects: List[Tuple[RunSpec, int]] = []
+                    for future in done:
+                        spec, attempt, _ = in_flight.pop(future)
+                        try:
+                            finish(spec, RunRecord.from_dict(future.result()))
+                        except cf.BrokenExecutor as exc:
+                            # Keep draining `done` first: futures that
+                            # completed before the break still hold their
+                            # results and must not be re-executed.
+                            broken = exc
+                            suspects.append((spec, attempt))
+                        except _FATAL_ERRORS:
+                            raise
+                        except Exception as exc:
+                            if attempt < max_retries:
+                                note_retry(spec, attempt, exc, "error")
+                                pending.append([spec, attempt + 1,
+                                                time.monotonic()
+                                                + backoff_for(attempt)])
+                            else:
+                                fail(spec, "error", exc, attempt + 1)
+                    if broken is not None:
+                        suspects.extend((s, a)
+                                        for s, a, _ in in_flight.values())
+                        in_flight.clear()
+                        kill_pool()
+                        report.pool_rebuilds += 1
+                        rec.incr("sweep.pool.rebuilt")
+                        log.warning("worker pool broke (%r); probing %d "
+                                    "in-flight cell(s) in isolation",
+                                    broken, len(suspects))
+                        say(f"sweep: worker pool broke ({broken!r}); "
+                            f"probing {len(suspects)} in-flight cell(s) "
+                            f"in isolation")
+                        while suspects:
+                            spec, attempt = suspects[0]
+                            try:
+                                probe(spec, attempt)
+                            except OSError:
+                                # Pool infrastructure gone mid-probe: give
+                                # the un-probed suspects back to the queue
+                                # for the inline fallback.
+                                pending.extend([s, a, 0.0]
+                                               for s, a in suspects)
+                                raise
+                            suspects.pop(0)
+                        continue
+                    now = time.monotonic()
+                    expired = {f for f, (_, _, d) in in_flight.items()
+                               if d <= now}
+                    if expired:
+                        overruns = [(s, a) for f, (s, a, _)
+                                    in in_flight.items() if f in expired]
+                        victims = [(s, a) for f, (s, a, _)
+                                   in in_flight.items() if f not in expired]
+                        in_flight.clear()
+                        # The overrunning worker is hung inside user code —
+                        # there is no way to cancel one worker, so the pool
+                        # dies and its innocent co-residents requeue free.
+                        kill_pool()
+                        report.pool_rebuilds += 1
+                        rec.incr("sweep.pool.rebuilt")
+                        rec.incr("sweep.cell.timeout", len(overruns))
+                        say(f"sweep: {len(overruns)} cell(s) exceeded "
+                            f"cell_timeout={cell_timeout}s; pool rebuilt")
+                        for spec, attempt in overruns:
+                            exc = TimeoutError(
+                                f"cell exceeded cell_timeout="
+                                f"{cell_timeout}s")
+                            if attempt < max_retries:
+                                note_retry(spec, attempt, exc, "timeout")
+                                pending.append([spec, attempt + 1,
+                                                time.monotonic()
+                                                + backoff_for(attempt)])
+                            else:
+                                fail(spec, "timeout", exc, attempt + 1)
+                        pending.extend([s, a, 0.0] for s, a in victims)
+            except OSError as exc:
+                # The pool *infrastructure* failed (cannot fork, pipe
+                # trouble) — distinct from any one cell failing.  Requeue
+                # whatever was in flight and fall through to inline.
+                pending.extend([s, a, 0.0]
+                               for s, a, _ in in_flight.values())
+                in_flight.clear()
+                rec.incr("sweep.pool.unavailable")
+                log.warning("process pool unavailable (%r); finishing "
+                            "%d cell(s) inline", exc, len(pending))
+                say(f"sweep: process pool failed ({exc!r}); finishing inline")
+            finally:
+                kill_pool()
+
+        # Serial path: workers==1, custom machine, or pool fallback.  No
+        # preemption here, so cell_timeout does not apply.
+        while pending:
+            pending.sort(key=lambda e: e[2])
+            spec, attempt, not_before = pending.pop(0)
+            if spec in records or spec in failures:
+                continue
+            delay = not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            log.info("cell start %s (attempt %d)", spec.label, attempt + 1)
+            try:
+                finish(spec, execute_spec(spec, base_machine,
+                                          trace_root=trace_root,
+                                          trace_store=trace_store,
+                                          attempt=attempt))
+            except _FATAL_ERRORS:
+                raise
+            except Exception as exc:
+                kind = ("crash" if isinstance(exc, faults.FaultCrash)
+                        else "error")
+                if attempt < max_retries:
+                    note_retry(spec, attempt, exc, kind)
+                    pending.append([spec, attempt + 1,
+                                    time.monotonic() + backoff_for(attempt)])
+                else:
+                    fail(spec, kind, exc, attempt + 1)
+    finally:
+        # Counters must survive interrupts (KeyboardInterrupt included) and
+        # fail-fast aborts: both stores fold their session deltas into the
+        # lifetime sidecar here.  (Pool workers' short-lived store instances
+        # are not captured — the sidecar tracks the coordinating process.)
+        if trace_store is not None and hasattr(trace_store, "persist_stats"):
+            trace_store.persist_stats()
+        if store is not None:
+            store.persist_stats()
+    report.records = [records.get(spec) for spec in specs]
+    return report
+
+
+def run_sweep(specs: Sequence[RunSpec], workers: int = 1,
+              store: Optional[ResultStore] = None,
+              base_machine: Optional[MachineConfig] = None,
+              echo=None, trace_store=None, timeline=None,
+              max_retries: int = 1,
+              cell_timeout: Optional[float] = None) -> List[RunRecord]:
+    """Execute ``specs``, serving store hits and fanning misses out.
+
+    Returns one record per spec, in input order.  ``workers > 1`` runs the
+    misses on a process pool (falling back to inline execution if the
+    platform cannot spawn worker processes).  ``echo`` is an optional
+    ``callable(str)`` for progress lines.
+
+    Replay cells share a single trace store for the whole sweep —
+    ``trace_store`` when given, else the on-disk store living alongside
+    ``store``, else one in-memory store — and each (workload, mode, scale,
+    functional-config) family is captured exactly once, before the fan-out,
+    no matter how many machine configs replay it or how the sweep is cached.
+
+    ``timeline`` (a :class:`repro.obs.timeline.TimelineRecorder`) records a
+    wall-clock pipeline view: one span per simulated cell, sized by its
+    ``sim_wall_seconds`` and ending when the engine collected it, laid out
+    on one track per worker slot.
+
+    This is the fail-fast wrapper over :func:`run_sweep_report`: transient
+    cell failures are retried (``max_retries``, default 1) and worker
+    crashes are isolated and probed, but a cell that exhausts its budget
+    raises :class:`SweepCellError`.  Use :func:`run_sweep_report` with
+    ``keep_going=True`` for partial-result semantics.
+    """
+    return run_sweep_report(
+        specs, workers=workers, store=store, base_machine=base_machine,
+        echo=echo, trace_store=trace_store, timeline=timeline,
+        max_retries=max_retries, cell_timeout=cell_timeout,
+        keep_going=False).records
 
 
 # -------------------------------------------------------------------- SweepContext
@@ -854,6 +1318,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "scalability sweep over the parallel kernels)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for cache misses (default 1)")
+    parser.add_argument("--max-retries", type=int, default=1,
+                        help="retries per failing cell before it is "
+                             "declared failed (default 1)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell wall-clock budget; an overrunning "
+                             "cell's worker is killed and the cell retried "
+                             "(pool mode only, i.e. --workers > 1)")
+    going = parser.add_mutually_exclusive_group()
+    going.add_argument("--keep-going", action="store_true",
+                       help="on a cell failure, keep simulating the other "
+                            "cells and report partial results (exit code 2)")
+    going.add_argument("--fail-fast", action="store_true",
+                       help="abort on the first cell whose retries are "
+                            "exhausted (the default)")
     parser.add_argument("--replay", action="store_true",
                         help="resolve kernel cells through the trace "
                              "subsystem: capture each (workload, mode, "
@@ -923,6 +1402,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{disk['tmp_files']} leaked tmp file(s) "
               f"(schema {STORE_SCHEMA})")
         print(_lifetime_line(disk["lifetime"]))
+        life = disk["lifetime"]
+        print(f"  failures: {life.get('cell_retries', 0)} cell retr"
+              f"{'y' if life.get('cell_retries', 0) == 1 else 'ies'}, "
+              f"{life.get('cell_failures', 0)} failed, "
+              f"{life.get('cell_quarantined', 0)} quarantined, "
+              f"{life.get('put_errors', 0)} store write error(s)")
         from repro.trace import TRACE_SCHEMA, TraceStore
         traces = TraceStore(store.root)
         tdisk = traces.disk_stats()
@@ -956,12 +1441,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         timeline = TimelineRecorder()
     start = time.perf_counter()
     try:
-        records = run_sweep(cells, workers=args.workers, store=store,
-                            echo=print, timeline=timeline)
+        report = run_sweep_report(
+            cells, workers=args.workers, store=store, echo=print,
+            timeline=timeline, max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout, keep_going=args.keep_going)
     except (KeyError, ValueError) as exc:
         # Unknown workload / mode / config field: show the message, not a
         # worker-process traceback.
         raise SystemExit(f"error: {exc}")
+    except SweepCellError as exc:
+        # Fail-fast: one cell exhausted its retries.  Already-finished
+        # cells are in the store; rerunning picks up where this left off.
+        raise SystemExit(f"error: {exc} (use --keep-going for partial "
+                         f"results; finished cells are already cached)")
+    records = report.records
     wall = time.perf_counter() - start
     if store is not None:
         store.persist_stats()
@@ -970,23 +1463,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"pipeline timeline ({count} event(s)) written to "
               f"{args.timeline_path}")
 
+    failed_by_spec = {f.spec: f for f in report.failures}
     print(f"\n{'Workload':<10s} {'Mode':<14s} {'Scale':<7s} {'Cycles':>14s} "
           f"{'Instr':>10s} {'IPC':>6s} {'Energy (nJ)':>14s}  {'Hash':<16s}")
     print("-" * 98)
-    for record in records:
+    for cell, record in zip(cells, records):
+        if record is None:
+            failure = failed_by_spec.get(cell)
+            detail = (f"FAILED [{failure.kind}"
+                      + ("; quarantined" if failure.quarantined else "")
+                      + f" after {failure.attempts} attempt(s)]"
+                      if failure is not None else "FAILED")
+            print(f"{cell.workload:<10s} {cell.mode:<14s} {cell.scale:<7s} "
+                  f"{detail:>55s}  {cell.spec_hash:<16s}")
+            continue
         print(f"{record.workload:<10s} {record.mode:<14s} {record.scale:<7s} "
               f"{record.cycles:>14.0f} {record.instructions:>10d} "
               f"{record.ipc:>6.2f} {record.total_energy:>14.0f}  "
               f"{record.spec_hash:<16s}")
     summary = f"\n{len(cells)} cell(s) in {wall:.2f}s"
+    if report.retries or report.failures or report.pool_rebuilds:
+        summary += (f" — {report.retries} retr"
+                    f"{'y' if report.retries == 1 else 'ies'}, "
+                    f"{len(report.failures)} failed, "
+                    f"{report.pool_rebuilds} pool rebuild(s)")
     if store is not None:
         s = store.stats()
         summary += (f" — store: {s['hits']} hit(s), {s['writes']} new, "
                     f"{s['corrupted']} corrupted, root={store.root}")
+        if store.degraded:
+            summary += " [store DEGRADED: memory-only]"
     print(summary)
+    for failure in report.failures:
+        print(f"  FAILED {failure.spec.label}: {failure.error} "
+              f"[{failure.kind}, {failure.attempts} attempt(s)"
+              + (", quarantined" if failure.quarantined else "") + "]")
 
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as fh:
-            json.dump([r.as_dict() for r in records], fh, indent=2)
+            json.dump([r.as_dict() for r in records if r is not None],
+                      fh, indent=2)
         print(f"records written to {args.json_path}")
-    return 0
+    return 2 if report.failures else 0

@@ -227,6 +227,21 @@ def event(name: str, **fields: Any) -> None:
     _RECORDER.event(name, **fields)
 
 
+def degraded(component: str, reason: str, **fields: Any) -> None:
+    """Record that ``component`` fell back to a degraded mode.
+
+    One call per degradation occurrence: bumps ``degraded.<component>``,
+    emits a ``degraded`` event carrying the reason, and warns through the
+    shared logger so the fallback is visible even without a recorder.
+    Components currently degrading this way: ``vector`` (C-kernel/prelower
+    failure -> fused engine), ``store.result`` / ``store.artifact``
+    (consecutive write errors -> memory-only).
+    """
+    _RECORDER.incr(f"degraded.{component}")
+    _RECORDER.event("degraded", component=component, reason=reason, **fields)
+    get_logger().warning("%s degraded: %s", component, reason)
+
+
 # ------------------------------------------------------------------------ logging
 _LOG_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
                "warning": logging.WARNING, "error": logging.ERROR}

@@ -89,8 +89,12 @@ def _cmd_capture(args) -> int:
         print(f"trace      {key.label}: {trace.instructions} instructions, "
               f"{trace.branch_count} branches, {trace.mem_count} memory ops, "
               f"{trace.dma_count} DMA commands")
-    print(f"artifact   {path} ({path.stat().st_size} bytes, "
-          f"hash {trace.content_hash}, captured in {wall:.2f}s)")
+    if path is not None:
+        print(f"artifact   {path} ({path.stat().st_size} bytes, "
+              f"hash {trace.content_hash}, captured in {wall:.2f}s)")
+    else:
+        print(f"artifact   NOT persisted (disk error; see trace-store "
+              f"stats), hash {trace.content_hash}, captured in {wall:.2f}s")
     store.persist_stats()
     return 0
 

@@ -471,28 +471,57 @@ class CtxHandle:
         self.close()
 
 
+def _cache_dir() -> str:
+    """The shared compile-cache directory.
+
+    ``REPRO_CKERNEL_CACHE`` overrides the default tempdir location — tests
+    use it to get an isolated cache, and a cluster deployment can point it
+    at a shared fast path.
+    """
+    return (os.environ.get("REPRO_CKERNEL_CACHE")
+            or os.path.join(tempfile.gettempdir(), "repro-vector-cc"))
+
+
 def _compile() -> "_Kernel | None":
     digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-    cache_dir = os.path.join(tempfile.gettempdir(), "repro-vector-cc")
+    cache_dir = _cache_dir()
     so_path = os.path.join(cache_dir, f"vrkernel-{digest}.so")
+    # Negative-result marker: when no compiler on this machine can build
+    # this exact source, every pool worker of every sweep process would
+    # otherwise re-discover that by running the full cc/gcc/clang probe
+    # (~seconds each).  The marker caches the failure on disk, so the probe
+    # runs once per machine per source digest; delete the file (or install
+    # a compiler, which changes nothing here — so bump/clear the cache) to
+    # retry.
+    failed_marker = os.path.join(cache_dir, f"vrkernel-{digest}.failed")
     if not os.path.exists(so_path):
+        if os.path.exists(failed_marker):
+            return None
         os.makedirs(cache_dir, exist_ok=True)
         src_path = os.path.join(cache_dir, f"vrkernel-{digest}.c")
         with open(src_path, "w") as fh:
             fh.write(_C_SOURCE)
         tmp_so = so_path + f".tmp{os.getpid()}"
+        errors = []
         for cc in ("cc", "gcc", "clang"):
             try:
                 proc = subprocess.run(
                     [cc, "-O2", "-shared", "-fPIC", "-ffp-contract=off",
                      "-o", tmp_so, src_path],
                     capture_output=True, timeout=120)
-            except (OSError, subprocess.TimeoutExpired):
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                errors.append(f"{cc}: {exc!r}")
                 continue
             if proc.returncode == 0:
                 os.replace(tmp_so, so_path)
                 break
+            errors.append(f"{cc}: exit {proc.returncode}")
         else:
+            try:
+                with open(failed_marker, "w") as fh:
+                    fh.write("\n".join(errors) + "\n")
+            except OSError:
+                pass
             return None
     try:
         return _Kernel(ctypes.CDLL(so_path))
@@ -505,9 +534,16 @@ def load() -> "_Kernel | None":
 
     ``REPRO_NO_CKERNEL=1`` is consulted on every call so tests can flip the
     pure-Python path on and off within one process; the compile itself is
-    attempted at most once.
+    attempted at most once per process (and a *failed* compile at most once
+    per machine — see the negative marker in :func:`_compile`).
+
+    An injected ``ckernel.compile`` fault fires before the memo, so it
+    raises on every load: the vector engine sees an unavailable kernel and
+    degrades, without a failure marker polluting the real compile cache.
     """
     global _KERNEL, _KERNEL_TRIED
+    from repro import faults
+    faults.check("ckernel.compile")
     if os.environ.get("REPRO_NO_CKERNEL"):
         return None
     if not _KERNEL_TRIED:

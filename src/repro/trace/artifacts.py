@@ -42,6 +42,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults, obs
 from repro.trace.store import (
     TRACE_SUBDIR,
     combined_lifetime_stats,
@@ -136,7 +137,18 @@ def artifact_file_schema(path: Path) -> Optional[int]:
 
 
 class ArtifactStore:
-    """Derived-artifact sidecar of one trace store (same cache lifecycle)."""
+    """Derived-artifact sidecar of one trace store (same cache lifecycle).
+
+    The store degrades to memory-only after :data:`DEGRADE_AFTER`
+    *consecutive* ``OSError`` write failures (a full or read-only disk
+    fails every pass of every cell — erroring each time buys nothing):
+    once :attr:`degraded`, puts and gets short-circuit and the replay
+    passes simply recompute, exactly as with ``REPRO_NO_ARTIFACTS``.  A
+    successful write re-arms the trip.
+    """
+
+    #: Consecutive put failures that trip :attr:`degraded`.
+    DEGRADE_AFTER = 3
 
     def __init__(self, traces_root: os.PathLike):
         self.traces_root = Path(traces_root)
@@ -145,6 +157,9 @@ class ArtifactStore:
         self.misses = 0
         self.corrupted = 0
         self.writes = 0
+        self.put_errors = 0
+        self.degraded = False
+        self._consecutive_put_errors = 0
         #: Counter values already flushed to the sidecar by persist_stats().
         self._persisted: Dict[str, int] = {}
 
@@ -160,6 +175,9 @@ class ArtifactStore:
         and treated as a miss.  Hits refresh the access time so the LRU
         eviction in :meth:`TraceStore.prune` sees artifact usage.
         """
+        if self.degraded:
+            self.misses += 1
+            return None
         path = self.path_for(parent_hash, kind, key)
         try:
             stat = path.stat()
@@ -187,18 +205,39 @@ class ArtifactStore:
     def put(self, parent_hash: str, kind: str, key, meta: dict,
             sections: Sequence[Tuple[str, bytes]]) -> Optional[Path]:
         """Atomically persist one artifact; best-effort (None on I/O error)."""
+        if self.degraded:
+            return None
         path = self.path_for(parent_hash, kind, key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        data = encode_artifact(kind, meta, sections)
+        clause = faults.fire("artifact.write", key=parent_hash)
         try:
+            if clause is not None:
+                # "torn" truncates the blob (the next get() unlinks it as
+                # corrupted and the pass recomputes); "os" raises below.
+                data = faults.apply_write_fault(clause, "artifact.write",
+                                                parent_hash, data)
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_bytes(encode_artifact(kind, meta, sections))
+            tmp.write_bytes(data)
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
             try:
                 tmp.unlink()
             except OSError:
                 pass
+            self.put_errors += 1
+            self._consecutive_put_errors += 1
+            obs.incr("artifact.store.put_error")
+            if (self._consecutive_put_errors >= self.DEGRADE_AFTER
+                    and not self.degraded):
+                self.degraded = True
+                obs.degraded(
+                    "store.artifact",
+                    f"{self._consecutive_put_errors} consecutive write "
+                    f"failures (last: {exc!r}); memory-only for this session",
+                    root=str(self.root))
             return None
+        self._consecutive_put_errors = 0
         self.writes += 1
         return path
 
@@ -234,7 +273,8 @@ class ArtifactStore:
         # without colliding with its hits/misses/writes keys.
         return {"artifact_hits": self.hits, "artifact_misses": self.misses,
                 "artifact_corrupted": self.corrupted,
-                "artifact_writes": self.writes}
+                "artifact_writes": self.writes,
+                "artifact_put_errors": self.put_errors}
 
     def lifetime_stats(self) -> Dict[str, int]:
         """Artifact counters across every session (sidecar + this session)."""

@@ -505,13 +505,25 @@ def replay_trace(trace: Trace,
         raise ValueError(f"unknown replay engine {engine!r}; "
                          f"expected one of {REPLAY_ENGINES}")
     if engine == "vector":
+        from repro import faults
         from repro.trace.vector import (
             replay_multicore_vector,
             replay_single_vector,
         )
-        if isinstance(trace, MulticoreTrace):
-            return replay_multicore_vector(trace, machine, timeline=timeline)
-        return replay_single_vector(trace, machine, timeline=timeline)
+        try:
+            if isinstance(trace, MulticoreTrace):
+                return replay_multicore_vector(trace, machine,
+                                               timeline=timeline)
+            return replay_single_vector(trace, machine, timeline=timeline)
+        except (faults.FaultError, OSError, MemoryError) as exc:
+            # The vector engine is a pure accelerator: its C kernel or
+            # prelowering infrastructure failing (injected or real — a
+            # vanished .so, an OOM building columns) costs speed, never
+            # correctness, because the fused engine is bit-identical by
+            # construction.  Genuine replay errors (TraceError, validity,
+            # ValueError) propagate — falling back would mask them.
+            obs.degraded("vector", f"falling back to fused engine: {exc!r}",
+                         trace=trace.key.label)
     if isinstance(trace, MulticoreTrace):
         if engine == "lanes":
             return _replay_multicore_lanes(trace, machine, timeline=timeline)

@@ -29,6 +29,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro import faults, obs
 from repro.trace.format import (
     MULTI_TRACE_MAGIC,
     TRACE_MAGIC,
@@ -212,6 +213,7 @@ class TraceStore:
         self.corrupted = 0
         self.writes = 0
         self.evictions = 0
+        self.put_errors = 0
         #: Counter values already flushed to the sidecar by persist_stats().
         self._persisted: Dict[str, int] = {}
 
@@ -222,13 +224,15 @@ class TraceStore:
     def get(self, key: TraceKey) -> Optional[Trace]:
         path = self.path_for(key)
         try:
+            faults.check("trace.decode", key=key.key_hash)
             stat = path.stat()
             trace = _parse_cached(path, stat)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, TraceError):
-            # Corrupted / stale artifact: drop it and treat as a miss.
+        except (OSError, TraceError, faults.FaultError):
+            # Corrupted / stale artifact (or an injected decode fault):
+            # drop it and treat as a miss.
             self.corrupted += 1
             self.misses += 1
             try:
@@ -246,22 +250,43 @@ class TraceStore:
             pass
         return trace
 
-    def put(self, trace: Trace) -> Path:
+    def put(self, trace: Trace) -> Optional[Path]:
+        """Persist one trace atomically; best-effort under disk failure.
+
+        An ``OSError`` (ENOSPC and friends) is absorbed and counted rather
+        than raised: a failed persist only costs a future re-capture, never
+        the capture that just happened.  Returns ``None`` on failure.
+        """
         path = self.path_for(trace.key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(trace.to_bytes())
-        os.replace(tmp, path)
-        self.writes += 1
+        data = trace.to_bytes()
+        clause = faults.fire("trace.put", key=trace.key.key_hash)
         try:
+            if clause is not None:
+                data = faults.apply_write_fault(clause, "trace.put",
+                                                trace.key.key_hash, data)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.put_errors += 1
+            obs.incr("trace.store.put_error")
+            obs.get_logger().warning("trace store put failed for %s: %r",
+                                     trace.key.key_hash, exc)
+            return None
+        self.writes += 1
+        if clause is None:
             # Seed the parse memo so the sweep that just captured this trace
-            # does not pay a decode to read its own write back.
-            stat = path.stat()
-            _PARSE_CACHE[(str(path), stat.st_mtime_ns, stat.st_size)] = trace
-            while len(_PARSE_CACHE) > _PARSE_CACHE_CAP:
-                _PARSE_CACHE.popitem(last=False)
-        except OSError:  # pragma: no cover - stat raced a concurrent delete
-            pass
+            # does not pay a decode to read its own write back.  (Skipped
+            # under an injected torn write: the memo would mask the on-disk
+            # corruption the injection exists to exercise.)
+            try:
+                stat = path.stat()
+                _PARSE_CACHE[(str(path), stat.st_mtime_ns, stat.st_size)] = trace
+                while len(_PARSE_CACHE) > _PARSE_CACHE_CAP:
+                    _PARSE_CACHE.popitem(last=False)
+            except OSError:  # pragma: no cover - stat raced a concurrent delete
+                pass
         return path
 
     # -- introspection ------------------------------------------------------------
@@ -463,7 +488,7 @@ class TraceStore:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "corrupted": self.corrupted, "writes": self.writes,
-                "evictions": self.evictions}
+                "evictions": self.evictions, "put_errors": self.put_errors}
 
     def lifetime_stats(self) -> Dict[str, int]:
         """Counters across every session: sidecar plus unflushed deltas."""

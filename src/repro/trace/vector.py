@@ -1026,6 +1026,8 @@ def _cached_vstream(trace: Trace, hot, cold, seq, oracle_routes, mode: str,
     process skips the vtab/seq3 builds entirely (the disk form carries only
     the columnar views — see :func:`_vstream_from_artifact`).
     """
+    from repro import faults
+    faults.check("vector.prelower", key=trace.stream_digest())
     fp = trace.program_fingerprint
     skey = (fp, trace.stream_digest(),
             _geometry_key(mode, machine, multicore), lm_lat, l1_lat)

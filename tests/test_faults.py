@@ -1,0 +1,175 @@
+"""Tests of the deterministic fault-injection layer (:mod:`repro.faults`):
+spec parsing, the pure (seed, site, key, attempt) decision function, the
+kind -> exception mapping, torn-write truncation and the env-memoised
+active plan."""
+
+import errno
+
+import pytest
+
+from repro import faults, obs
+from repro.faults import (
+    FAULTS_ENV,
+    FaultClause,
+    FaultCrash,
+    FaultError,
+    FaultPlan,
+    FaultSpecError,
+    apply_write_fault,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+
+
+# ---------------------------------------------------------------------- parsing
+def test_parse_full_clause():
+    plan = FaultPlan.parse("worker.exec@3f9a=crash:0.25x2")
+    assert plan.seed == 0
+    (clause,) = plan.clauses
+    assert clause == FaultClause(site="worker.exec", key_filter="3f9a",
+                                 kind="crash", arg=None, rate=0.25, limit=2)
+
+
+def test_parse_defaults():
+    (clause,) = FaultPlan.parse("store.put").clauses
+    assert clause.kind == "err"
+    assert clause.rate == 1.0
+    assert clause.limit is None
+    assert clause.key_filter == ""
+
+
+def test_parse_seed_and_multiple_clauses():
+    plan = FaultPlan.parse("seed=7; worker.exec=errx1 ;store.put=os")
+    assert plan.seed == 7
+    assert [c.site for c in plan.clauses] == ["worker.exec", "store.put"]
+    assert plan.clauses[0].limit == 1
+
+
+def test_parse_hang_argument():
+    (clause,) = FaultPlan.parse("worker.exec=hang2.5x1").clauses
+    assert clause.kind == "hang"
+    assert clause.arg == 2.5
+    assert clause.limit == 1
+
+
+def test_parse_limit_not_swallowed_by_kind():
+    """Regression: a greedy kind pattern parsed ``errx1`` as kind "errx"."""
+    (clause,) = FaultPlan.parse("worker.exec=errx1").clauses
+    assert clause.kind == "err" and clause.limit == 1
+    (clause,) = FaultPlan.parse("worker.exec=osx3").clauses
+    assert clause.kind == "os" and clause.limit == 3
+
+
+def test_parse_rejects_garbage():
+    for bad in ("worker.exec=frobnicate", "=err", "worker.exec:1.5",
+                "worker.exec:nope", "seed=xyz", "worker exec=err"):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+
+def test_fault_spec_error_is_a_value_error():
+    # run_sweep treats ValueError as fatal (never retried), so a typo'd
+    # REPRO_FAULTS must abort the sweep instead of being "retried".
+    assert issubclass(FaultSpecError, ValueError)
+
+
+# ----------------------------------------------------------------- site matching
+def test_site_matching_exact_prefix_and_wildcard():
+    exact = FaultClause(site="store.put")
+    prefix = FaultClause(site="store.*")
+    glob = FaultClause(site="*")
+    assert exact.matches_site("store.put")
+    assert not exact.matches_site("store.putx")
+    assert prefix.matches_site("store.put")
+    assert not prefix.matches_site("trace.put")
+    assert glob.matches_site("anything.at.all")
+
+
+def test_key_filter_is_a_substring_match():
+    plan = FaultPlan.parse("worker.exec@3f9a=err")
+    assert plan.fire("worker.exec", "ab3f9acd", 0) is not None
+    assert plan.fire("worker.exec", "deadbeef", 0) is None
+
+
+# ------------------------------------------------------------------- determinism
+def test_decision_is_deterministic_and_seed_sensitive():
+    draw = faults._decision(0, "worker.exec", "abc", 0)
+    assert draw == faults._decision(0, "worker.exec", "abc", 0)
+    assert 0.0 <= draw < 1.0
+    assert draw != faults._decision(1, "worker.exec", "abc", 0)
+    assert draw != faults._decision(0, "worker.exec", "abc", 1)
+    assert draw != faults._decision(0, "worker.exec", "abd", 0)
+
+
+def test_rate_statistics_roughly_match():
+    plan = FaultPlan.parse("worker.exec=err:0.3")
+    fired = sum(1 for i in range(2000)
+                if plan.fire("worker.exec", f"key{i}", 0) is not None)
+    assert 450 < fired < 750  # 0.3 +/- generous slack over 2000 draws
+
+
+def test_limit_bounds_attempts():
+    plan = FaultPlan.parse("worker.exec=errx2")
+    assert plan.fire("worker.exec", "k", 0) is not None
+    assert plan.fire("worker.exec", "k", 1) is not None
+    assert plan.fire("worker.exec", "k", 2) is None
+
+
+# ------------------------------------------------------------- exception mapping
+def test_check_raises_per_kind(monkeypatch):
+    cases = {"err": FaultError, "crash": FaultCrash}
+    for kind, exc_type in cases.items():
+        monkeypatch.setenv(FAULTS_ENV, f"site.x={kind}")
+        with pytest.raises(exc_type):
+            faults.check("site.x", key="k")
+    monkeypatch.setenv(FAULTS_ENV, "site.x=os")
+    with pytest.raises(OSError) as info:
+        faults.check("site.x", key="k")
+    assert info.value.errno == errno.ENOSPC
+
+
+def test_check_hang_sleeps_then_returns(monkeypatch):
+    import time
+    monkeypatch.setenv(FAULTS_ENV, "site.x=hang0.05")
+    t0 = time.perf_counter()
+    faults.check("site.x")  # must not raise
+    assert time.perf_counter() - t0 >= 0.04
+
+
+def test_check_counts_injections(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "site.x=err")
+    with obs.recording() as rec:
+        with pytest.raises(FaultError):
+            faults.check("site.x", key="k")
+    assert rec.counters["faults.injected"] == 1
+    assert rec.counters["faults.site.x"] == 1
+
+
+def test_apply_write_fault_torn_truncates():
+    clause = FaultClause(site="store.put", kind="torn")
+    assert apply_write_fault(clause, "store.put", "k", b"0123456789") \
+        == b"01234"
+    assert apply_write_fault(clause, "store.put", "k", "0123456789") \
+        == "01234"
+
+
+# ------------------------------------------------------------------- active plan
+def test_no_env_means_no_plan_and_no_fire():
+    assert faults.active_plan() is None
+    assert faults.fire("worker.exec", key="k") is None
+    faults.check("worker.exec", key="k")  # must be a no-op
+
+
+def test_active_plan_memoised_on_env_value(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "worker.exec=err")
+    first = faults.active_plan()
+    assert first is faults.active_plan()          # same string -> same plan
+    monkeypatch.setenv(FAULTS_ENV, "store.put=os")
+    second = faults.active_plan()
+    assert second is not first                    # new string -> re-parsed
+    assert second.clauses[0].site == "store.put"
+    monkeypatch.setenv(FAULTS_ENV, "")
+    assert faults.active_plan() is None

@@ -103,6 +103,32 @@ def test_vector_python_fallback_identical(monkeypatch):
     _assert_same_run(fallback, with_kernel)
 
 
+def test_ckernel_negative_compile_cache(monkeypatch, tmp_path):
+    """A machine with no working compiler pays the full cc/gcc/clang probe
+    once: the failure is cached as an on-disk marker next to the .so cache,
+    and later compiles skip the probe until the marker is deleted."""
+    from repro.trace import _ckernel
+
+    monkeypatch.setenv("REPRO_CKERNEL_CACHE", str(tmp_path / "cc-cache"))
+    calls = []
+
+    def failing_run(argv, **kwargs):
+        calls.append(argv[0])
+        raise OSError("no such compiler")
+
+    monkeypatch.setattr(_ckernel.subprocess, "run", failing_run)
+    assert _ckernel._compile() is None
+    assert calls == ["cc", "gcc", "clang"]  # the full probe ran, once
+    (marker,) = (tmp_path / "cc-cache").glob("vrkernel-*.failed")
+    assert "no such compiler" in marker.read_text()
+    calls.clear()
+    assert _ckernel._compile() is None      # negative hit: no probe at all
+    assert calls == []
+    marker.unlink()                         # deleting the marker retries
+    assert _ckernel._compile() is None
+    assert calls == ["cc", "gcc", "clang"]
+
+
 def test_vector_rejects_unknown_engine():
     machine = _machine(2)
     _, mtrace = capture_workload("CG", "hybrid", "tiny", machine=machine)
